@@ -1,0 +1,131 @@
+//! Classic single-tag ASK decoding (§5.4's robustness yardstick).
+//!
+//! The receiver integrates the IQ signal over the interior of each bit
+//! period (skipping the edge ramps) and makes a two-level decision between
+//! the learned "reflecting" and "absorbing" constellation points. Full-bit
+//! integration is ASK at its most robust — the point of Fig. 14 is that
+//! LF-Backscatter, which localizes its energy into 3-sample edges, pays a
+//! few dB against this yardstick and buys concurrency with them.
+
+use lf_dsp::kmeans::kmeans;
+use lf_types::{BitVec, Complex};
+
+/// Single-tag ASK decoder with known timing (rate and offset — Fig. 14's
+/// setting, where the single link is fully characterized).
+#[derive(Debug, Clone)]
+pub struct AskDecoder {
+    /// Bit period in samples.
+    pub period_samples: f64,
+    /// Time of the first bit boundary in samples.
+    pub offset_samples: f64,
+    /// Samples to skip at each end of a bit (edge settling).
+    pub guard_samples: f64,
+}
+
+impl AskDecoder {
+    /// A decoder for a known link.
+    pub fn new(period_samples: f64, offset_samples: f64) -> Self {
+        AskDecoder {
+            period_samples,
+            offset_samples,
+            guard_samples: 4.0,
+        }
+    }
+
+    /// Per-bit integrated IQ levels for `n_bits`.
+    pub fn bit_levels(&self, signal: &[Complex], n_bits: usize) -> Vec<Complex> {
+        (0..n_bits)
+            .map(|k| {
+                let start = self.offset_samples + k as f64 * self.period_samples;
+                let lo = (start + self.guard_samples).floor().max(0.0) as usize;
+                let hi = ((start + self.period_samples - self.guard_samples).ceil() as usize)
+                    .min(signal.len());
+                if lo >= hi {
+                    Complex::ZERO
+                } else {
+                    Complex::mean(&signal[lo..hi])
+                }
+            })
+            .collect()
+    }
+
+    /// Decodes `n_bits`, using the anchor convention (bit 0 is 1) to label
+    /// the two level clusters.
+    pub fn decode(&self, signal: &[Complex], n_bits: usize) -> BitVec {
+        let levels = self.bit_levels(signal, n_bits);
+        if levels.is_empty() {
+            return BitVec::new();
+        }
+        let fit = kmeans(&levels, 2, 50);
+        if fit.centroids.len() < 2 {
+            // Degenerate (all levels identical): undecodable, emit zeros.
+            return (0..n_bits).map(|_| false).collect();
+        }
+        // The cluster containing bit 0 is the "1" (reflecting) level.
+        let one_cluster = fit.assignments[0];
+        fit.assignments.iter().map(|&a| a == one_cluster).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nrz(bits: &[bool], offset: f64, period: f64, h: Complex, n: usize) -> Vec<Complex> {
+        let env = Complex::new(0.4, -0.2);
+        (0..n)
+            .map(|t| {
+                let k = ((t as f64 - offset) / period).floor();
+                let level = if k < 0.0 {
+                    false
+                } else {
+                    *bits.get(k as usize).unwrap_or(&false)
+                };
+                env + if level { h } else { Complex::ZERO }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_round_trip() {
+        let bits = [true, false, true, true, false, false, true, false];
+        let sig = nrz(&bits, 50.0, 100.0, Complex::new(0.1, 0.05), 1000);
+        let d = AskDecoder::new(100.0, 50.0);
+        assert_eq!(d.decode(&sig, 8).as_slice(), &bits);
+    }
+
+    #[test]
+    fn environment_offset_is_harmless() {
+        // The decision is between two clusters; the common offset cancels.
+        let bits = [true, false, false, true];
+        let sig = nrz(&bits, 0.0, 100.0, Complex::new(-0.08, 0.03), 400);
+        let d = AskDecoder::new(100.0, 0.0);
+        assert_eq!(d.decode(&sig, 4).as_slice(), &bits);
+    }
+
+    #[test]
+    fn bit_levels_average_the_interior() {
+        let bits = [true, false];
+        let h = Complex::new(0.1, 0.0);
+        let sig = nrz(&bits, 0.0, 100.0, h, 200);
+        let d = AskDecoder::new(100.0, 0.0);
+        let levels = d.bit_levels(&sig, 2);
+        assert!((levels[0] - levels[1]).approx_eq(h, 1e-9));
+    }
+
+    #[test]
+    fn degenerate_all_same_level() {
+        // All-one payload: a single cluster; decode must not panic.
+        let bits = [true, true, true, true];
+        let sig = nrz(&bits, 0.0, 100.0, Complex::new(0.1, 0.0), 400);
+        let d = AskDecoder::new(100.0, 0.0);
+        let out = d.decode(&sig, 4);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn empty_requests() {
+        let d = AskDecoder::new(100.0, 0.0);
+        assert!(d.decode(&[], 0).is_empty());
+    }
+}

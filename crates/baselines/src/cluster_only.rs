@@ -1,0 +1,150 @@
+//! Pure IQ-cluster separation (§2.3, after Angerer et al.).
+//!
+//! N synchronized tags produce 2^N constellation points (each point one
+//! combination of antenna states). Classifying received symbols to the
+//! nearest point decodes everyone at once — for N = 2. "A fundamental
+//! issue with this method is that it simply does not scale": with N tags
+//! the 2^N points crowd together and the minimum inter-point distance
+//! collapses, which Fig. 2(c) shows at N = 6 and this module quantifies.
+//!
+//! The decoder here is *genie-aided* (it knows the true constellation —
+//! no clustering error, no training): the measured error rate is therefore
+//! a lower bound, making the scaling collapse an even stronger result.
+
+use lf_types::Complex;
+use rand::Rng;
+
+/// The 2^N constellation of N tags with coefficients `h`: point `m` is the
+/// sum of `h[i]` over the set bits of `m`.
+pub fn constellation(h: &[Complex]) -> Vec<Complex> {
+    let n = h.len();
+    assert!(n <= 20, "constellation explodes past 2^20 points");
+    (0..(1usize << n))
+        .map(|m| {
+            (0..n)
+                .filter(|i| m >> i & 1 == 1)
+                .map(|i| h[i])
+                .sum()
+        })
+        .collect()
+}
+
+/// Minimum distance between distinct constellation points.
+pub fn min_distance(points: &[Complex]) -> f64 {
+    let mut best = f64::INFINITY;
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            best = best.min(points[i].distance(points[j]));
+        }
+    }
+    best
+}
+
+/// Monte-Carlo symbol error rate of genie-aided nearest-point decoding for
+/// `n_tags` tags with random channel coefficients, at per-component noise
+/// `sigma`. Each trial draws fresh coefficients (uniform phase, magnitudes
+/// in [0.7, 1.3]× the reference) and `symbols_per_trial` random symbols.
+pub fn cluster_separation_error_rate<R: Rng>(
+    n_tags: usize,
+    reference_amplitude: f64,
+    sigma: f64,
+    trials: usize,
+    symbols_per_trial: usize,
+    rng: &mut R,
+) -> f64 {
+    let mut errors = 0usize;
+    let mut total = 0usize;
+    for _ in 0..trials {
+        let h: Vec<Complex> = (0..n_tags)
+            .map(|_| {
+                Complex::from_polar(
+                    reference_amplitude * rng.gen_range(0.7..1.3),
+                    rng.gen_range(0.0..std::f64::consts::TAU),
+                )
+            })
+            .collect();
+        let points = constellation(&h);
+        for _ in 0..symbols_per_trial {
+            let truth = rng.gen_range(0..points.len());
+            let rx = points[truth]
+                + Complex::new(sigma * std_normal(rng), sigma * std_normal(rng));
+            let decoded = points
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    rx.distance_sqr(*a.1)
+                        .partial_cmp(&rx.distance_sqr(*b.1))
+                        .expect("finite")
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty constellation");
+            if decoded != truth {
+                errors += 1;
+            }
+            total += 1;
+        }
+    }
+    errors as f64 / total as f64
+}
+
+fn std_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    (-2.0 * u1.ln()).sqrt() * u2.cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constellation_size_and_structure() {
+        let h = [Complex::new(1.0, 0.0), Complex::new(0.0, 1.0)];
+        let pts = constellation(&h);
+        assert_eq!(pts.len(), 4);
+        assert!(pts.contains(&Complex::ZERO));
+        assert!(pts.contains(&Complex::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn min_distance_shrinks_with_population() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let draw = |n: usize, rng: &mut StdRng| {
+            let h: Vec<Complex> = (0..n)
+                .map(|_| Complex::from_polar(1.0, rng.gen_range(0.0..std::f64::consts::TAU)))
+                .collect();
+            min_distance(&constellation(&h))
+        };
+        // Average over draws to beat variance.
+        let avg = |n: usize, rng: &mut StdRng| {
+            (0..20).map(|_| draw(n, rng)).sum::<f64>() / 20.0
+        };
+        let d2 = avg(2, &mut rng);
+        let d6 = avg(6, &mut rng);
+        assert!(
+            d6 < d2 / 4.0,
+            "6-tag min distance {d6} not much smaller than 2-tag {d2}"
+        );
+    }
+
+    #[test]
+    fn two_tags_decode_reliably_six_tags_do_not() {
+        // The §2.3 conclusion, quantified: at an SNR where 2 tags are
+        // essentially error-free, 6 tags are hopeless.
+        let mut rng = StdRng::seed_from_u64(2);
+        let sigma = 0.05;
+        let e2 = cluster_separation_error_rate(2, 1.0, sigma, 30, 200, &mut rng);
+        let e6 = cluster_separation_error_rate(6, 1.0, sigma, 30, 200, &mut rng);
+        assert!(e2 < 0.02, "2-tag error rate {e2}");
+        assert!(e6 > 0.10, "6-tag error rate {e6} unexpectedly good");
+    }
+
+    #[test]
+    fn zero_noise_is_error_free_for_distinct_points() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = cluster_separation_error_rate(3, 1.0, 1e-9, 5, 100, &mut rng);
+        assert_eq!(e, 0.0);
+    }
+}

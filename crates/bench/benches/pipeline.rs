@@ -1,0 +1,109 @@
+//! Criterion benches of the decode pipeline's stages on a standard
+//! capture: edge detection, stream separation, the full decode at each of
+//! the Fig. 9 stage configurations, plus the DSP hot spots (k-means,
+//! Viterbi). These track the *implementation's* performance; the
+//! experiment regeneration lives in the `repro` binary and the `figures`
+//! bench.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lf_bench::{stage_configs, standard_fixture};
+use lf_core::config::DecoderConfig;
+use lf_core::edges::detect_edges;
+use lf_core::pipeline::Decoder;
+use lf_core::streams::find_streams;
+use lf_dsp::kmeans::kmeans;
+use lf_dsp::viterbi::{EmissionModel, ViterbiDecoder};
+use lf_sim::experiments::Scale;
+use lf_types::Complex;
+use std::hint::black_box;
+
+fn decoder_cfg(fix: &lf_bench::Fixture) -> DecoderConfig {
+    let mut cfg = DecoderConfig::at_sample_rate(fix.scenario.sample_rate);
+    cfg.rate_plan = fix.scenario.rate_plan.clone();
+    cfg
+}
+
+fn bench_edge_detection(c: &mut Criterion) {
+    let fix = standard_fixture(Scale::Quick, 8, 1);
+    let cfg = decoder_cfg(&fix);
+    c.bench_function("edge_detection_8tags_60k_samples", |b| {
+        b.iter(|| detect_edges(black_box(&fix.signal), &cfg))
+    });
+}
+
+fn bench_stream_separation(c: &mut Criterion) {
+    let fix = standard_fixture(Scale::Quick, 8, 1);
+    let cfg = decoder_cfg(&fix);
+    let edges = detect_edges(&fix.signal, &cfg);
+    c.bench_function("stream_separation_8tags", |b| {
+        b.iter(|| find_streams(black_box(&edges), fix.signal.len(), &cfg))
+    });
+}
+
+fn bench_full_decode_stages(c: &mut Criterion) {
+    let fix = standard_fixture(Scale::Quick, 8, 1);
+    let mut group = c.benchmark_group("decode_8tags_by_stage");
+    for (name, stages) in stage_configs() {
+        let mut cfg = decoder_cfg(&fix);
+        cfg.stages = stages;
+        let decoder = Decoder::new(cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &decoder, |b, d| {
+            b.iter(|| d.decode(black_box(&fix.signal)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_by_population");
+    for n in [2usize, 4, 8] {
+        let fix = standard_fixture(Scale::Quick, n, 2);
+        let decoder = Decoder::new(decoder_cfg(&fix));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &decoder, |b, d| {
+            b.iter(|| d.decode(black_box(&fix.signal)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    // A 9-cluster collision constellation, 200 points.
+    let e1 = Complex::new(0.1, 0.01);
+    let e2 = Complex::new(-0.03, 0.09);
+    let points: Vec<Complex> = (0..200)
+        .map(|k| {
+            let a = (k % 3) as f64 - 1.0;
+            let b = ((k / 3) % 3) as f64 - 1.0;
+            e1.scale(a) + e2.scale(b) + Complex::new(0.001 * (k as f64).sin(), 0.0)
+        })
+        .collect();
+    c.bench_function("kmeans_k9_200pts", |b| {
+        b.iter(|| kmeans(black_box(&points), 9, 60))
+    });
+}
+
+fn bench_viterbi(c: &mut Criterion) {
+    let e = Complex::new(0.1, 0.05);
+    let decoder = ViterbiDecoder::new(EmissionModel::for_edge_vector(e, 1e-4));
+    let obs: Vec<Complex> = (0..1000)
+        .map(|k| match k % 4 {
+            0 => e,
+            1 => -e,
+            _ => Complex::ZERO,
+        })
+        .collect();
+    c.bench_function("viterbi_1000_slots", |b| {
+        b.iter(|| decoder.decode_bits(black_box(&obs), Some(false)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_edge_detection,
+    bench_stream_separation,
+    bench_full_decode_stages,
+    bench_decode_scaling,
+    bench_kmeans,
+    bench_viterbi
+);
+criterion_main!(benches);

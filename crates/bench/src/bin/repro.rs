@@ -1,0 +1,112 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p lf-bench --bin repro -- all            # paper scale
+//! cargo run --release -p lf-bench --bin repro -- all --quick    # scaled down
+//! cargo run --release -p lf-bench --bin repro -- fig8 table2    # a subset
+//! ```
+//!
+//! Experiment names: fig1 fig2 fig5 fig8 fig9 fig10 fig11 fig12 fig13
+//! fig14 table1 table2 table3 collisions range reliability ablations.
+
+use lf_sim::experiments::{
+    ablations, collision_prob, fig1, fig10, fig11, fig12, fig13, fig14, fig2, fig5, fig8, fig9,
+    range, reliability, table1, table2, table3, Scale,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const ALL: &[&str] = &[
+    "fig1", "fig2", "table1", "collisions", "fig5", "fig8", "fig9", "fig10", "table2",
+    "fig11", "fig12", "table3", "fig13", "fig14", "range", "reliability", "ablations",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Paper };
+    let mut wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.as_str())
+        .collect();
+    if wanted.is_empty() || wanted.contains(&"all") {
+        wanted = ALL.to_vec();
+    }
+
+    let seed = 0x5eed_2015;
+    println!(
+        "LF-Backscatter reproduction harness — scale: {scale:?}, experiments: {}",
+        wanted.join(", ")
+    );
+    println!();
+
+    // Fig. 14 runs before the range analysis so the measured gap feeds it.
+    let mut measured_gap: Option<f64> = None;
+
+    for name in wanted {
+        let t0 = Instant::now();
+        match name {
+            "fig1" => print(fig1::table(&fig1::run(seed))),
+            "fig2" => print(fig2::table(&fig2::run(
+                seed,
+                if quick { 500 } else { 5_000 },
+            ))),
+            "table1" => print(table1::table(&table1::run(seed))),
+            "collisions" => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let trials = if quick { 50_000 } else { 500_000 };
+                print(collision_prob::table(trials, &mut rng));
+            }
+            "fig5" => print(fig5::table(&fig5::run(seed))),
+            "fig8" => print(fig8::table(&fig8::run(scale, seed))),
+            "fig9" => print(fig9::table(&fig9::run(scale, seed))),
+            "fig10" => print(fig10::table(&fig10::run(scale, seed))),
+            "table2" => print(table2::table(&table2::run(scale, seed))),
+            "fig11" => print(fig11::table(&fig11::run(scale, seed))),
+            "fig12" => print(fig12::table(&fig12::run(scale, seed))),
+            "table3" => {
+                print(table3::table());
+                print(table3::component_table(
+                    &lf_tag::hardware::HardwareInventory::lf_backscatter(),
+                ));
+                print(table3::component_table(
+                    &lf_tag::hardware::HardwareInventory::buzz(),
+                ));
+                print(table3::component_table(
+                    &lf_tag::hardware::HardwareInventory::epc_gen2(),
+                ));
+            }
+            "fig13" => print(fig13::table(&fig13::run(scale, seed))),
+            "fig14" => {
+                let f = fig14::run(scale, seed);
+                measured_gap = f.gap_db_at_1e2;
+                print(fig14::table(&f));
+            }
+            "reliability" => print(reliability::table(&reliability::run(scale, seed))),
+            "ablations" => {
+                for t in ablations::table(scale, seed) {
+                    print(t);
+                }
+            }
+            "range" => {
+                // §5.4 uses the Fig. 14 gap; the paper's nominal 4 dB is
+                // printed alongside whatever this run measured.
+                print(range::table(&range::run(4.0), 4.0));
+                if let Some(g) = measured_gap {
+                    print(range::table(&range::run(g), g));
+                }
+            }
+            other => {
+                eprintln!("unknown experiment '{other}' — known: {}", ALL.join(" "));
+                std::process::exit(2);
+            }
+        }
+        println!("  [{name} took {:.1} s]\n", t0.elapsed().as_secs_f64());
+    }
+}
+
+fn print(t: lf_sim::report::Table) {
+    println!("{}", t.render());
+}

@@ -1,0 +1,299 @@
+//! Baseband signal synthesis — the "air" between tags and reader.
+//!
+//! Implements Eq. 2's model: the received signal is the linear combination
+//! of every tag's reflection (its antenna state times its channel
+//! coefficient), plus the environment reflection and receiver noise. Two
+//! non-idealities the decoder depends on are modelled explicitly:
+//!
+//! * **Finite rise time** — "an edge is roughly 3 samples wide at the
+//!   reader's sampling rate" (§2.4). Antenna toggles ramp linearly over
+//!   [`AirConfig::edge_rise_samples`].
+//! * **Slow coefficient drift** — channel coefficients are evaluated on a
+//!   block grid ([`AirConfig::coeff_block`] samples) and held within each
+//!   block. Fig. 1's processes move over seconds; a block at 25 Msps is
+//!   tens of microseconds, so the staircase error is far below the noise
+//!   floor while saving an expensive trig evaluation per sample per tag.
+
+use crate::dynamics::CoeffProcess;
+use crate::noise::Awgn;
+use lf_types::{Complex, SampleRate};
+
+/// One antenna-state change of a tag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ToggleEvent {
+    /// The time of the toggle in (fractional) samples from capture start.
+    pub time: f64,
+    /// The new antenna state the tag ramps to (1.0 = reflecting, 0.0 =
+    /// absorbing). Intermediate values model partially-tuned states.
+    pub level: f64,
+}
+
+/// A tag as the air sees it: a toggle-event stream plus a channel
+/// coefficient process.
+pub struct TagAir {
+    /// Antenna state changes, sorted by time, at least
+    /// `edge_rise_samples` apart (tags physically cannot toggle faster
+    /// than their RF transistor settles).
+    pub events: Vec<ToggleEvent>,
+    /// Antenna state before the first event.
+    pub initial_level: f64,
+    /// The tag's channel coefficient over time.
+    pub process: Box<dyn CoeffProcess>,
+}
+
+/// Synthesis parameters.
+pub struct AirConfig {
+    /// Receiver sample rate.
+    pub sample_rate: SampleRate,
+    /// Number of samples to synthesize.
+    pub n_samples: usize,
+    /// Width of an antenna-toggle ramp in samples (§2.4: ≈3 at 25 Msps).
+    pub edge_rise_samples: f64,
+    /// Constant environment reflection added to every sample (§2.3 treats
+    /// it as "a constant … an offset").
+    pub env_reflection: Complex,
+    /// Per-component AWGN sigma.
+    pub noise_sigma: f64,
+    /// Noise seed.
+    pub seed: u64,
+    /// Samples per channel-coefficient evaluation block.
+    pub coeff_block: usize,
+}
+
+impl AirConfig {
+    /// A config with the paper's reader parameters: 25 Msps, 3-sample
+    /// edges, a small environment reflection, and the given capture length.
+    pub fn paper_default(n_samples: usize) -> Self {
+        AirConfig {
+            sample_rate: SampleRate::USRP_N210,
+            n_samples,
+            edge_rise_samples: 3.0,
+            env_reflection: Complex::new(0.4, -0.25),
+            noise_sigma: 0.0,
+            seed: 0,
+            coeff_block: 1024,
+        }
+    }
+}
+
+/// Synthesizes the received IQ stream for a set of tags.
+///
+/// Panics if any tag's events are unsorted — that indicates a broken tag
+/// model upstream, not a runtime condition to recover from.
+pub fn synthesize(cfg: &AirConfig, tags: &[TagAir]) -> Vec<Complex> {
+    let mut signal = vec![cfg.env_reflection; cfg.n_samples];
+    let rise = cfg.edge_rise_samples.max(1e-9);
+    let block = cfg.coeff_block.max(1);
+
+    for tag in tags {
+        debug_assert!(
+            tag.events.windows(2).all(|w| w[0].time <= w[1].time),
+            "toggle events must be sorted by time"
+        );
+        let mut level_before = tag.initial_level; // level before current event
+        let mut ev_idx = 0usize;
+        let mut t = 0usize;
+        while t < cfg.n_samples {
+            let block_end = (t + block).min(cfg.n_samples);
+            let h = tag
+                .process
+                .coeff_at(cfg.sample_rate.time_of(t as f64).secs());
+            for s in t..block_end {
+                let ts = s as f64;
+                // Retire events whose ramp has fully completed.
+                while ev_idx < tag.events.len() && tag.events[ev_idx].time + rise <= ts {
+                    level_before = tag.events[ev_idx].level;
+                    ev_idx += 1;
+                }
+                let state = if ev_idx < tag.events.len() && tag.events[ev_idx].time <= ts {
+                    // Inside the ramp of the current event.
+                    let ev = tag.events[ev_idx];
+                    let frac = ((ts - ev.time) / rise).clamp(0.0, 1.0);
+                    level_before + (ev.level - level_before) * frac
+                } else {
+                    level_before
+                };
+                if state != 0.0 {
+                    signal[s] += h.scale(state);
+                }
+            }
+            t = block_end;
+        }
+    }
+
+    let mut noise = Awgn::new(cfg.noise_sigma, cfg.seed);
+    noise.corrupt(&mut signal);
+    signal
+}
+
+/// Builds the toggle-event stream of an NRZ bit sequence: bit `k` occupies
+/// `[offset + k·period, offset + (k+1)·period)` samples, the antenna level
+/// is the bit value, and an event is emitted at each boundary where the
+/// level changes (including the initial rise for a leading 1 bit).
+/// `timing_error(k)` lets the caller inject per-boundary clock error in
+/// samples (drift and jitter — the tag-model crate supplies it).
+pub fn nrz_events<F: Fn(usize) -> f64>(
+    bits: &[bool],
+    offset: f64,
+    period: f64,
+    timing_error: F,
+) -> Vec<ToggleEvent> {
+    let mut events = Vec::new();
+    let mut level = false;
+    for (k, &b) in bits.iter().enumerate() {
+        if b != level {
+            events.push(ToggleEvent {
+                time: offset + k as f64 * period + timing_error(k),
+                level: b as u8 as f64,
+            });
+            level = b;
+        }
+    }
+    // Return to absorbing state after the last bit so the frame has a
+    // defined end.
+    if level {
+        events.push(ToggleEvent {
+            time: offset + bits.len() as f64 * period + timing_error(bits.len()),
+            level: 0.0,
+        });
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::StaticChannel;
+
+    const H: Complex = Complex { re: 0.1, im: 0.05 };
+
+    fn one_tag(events: Vec<ToggleEvent>, n: usize) -> Vec<Complex> {
+        let mut cfg = AirConfig::paper_default(n);
+        cfg.sample_rate = SampleRate::from_msps(1.0);
+        let tags = [TagAir {
+            events,
+            initial_level: 0.0,
+            process: Box::new(StaticChannel(H)),
+        }];
+        synthesize(&cfg, &tags)
+    }
+
+    #[test]
+    fn idle_tag_leaves_only_environment() {
+        let sig = one_tag(vec![], 100);
+        let env = AirConfig::paper_default(0).env_reflection;
+        assert!(sig.iter().all(|&z| z.approx_eq(env, 1e-12)));
+    }
+
+    #[test]
+    fn reflecting_tag_adds_its_coefficient() {
+        let sig = one_tag(vec![ToggleEvent { time: 10.0, level: 1.0 }], 100);
+        let env = AirConfig::paper_default(0).env_reflection;
+        // Before the edge: environment only.
+        assert!(sig[5].approx_eq(env, 1e-12));
+        // Well after the 3-sample ramp: env + h.
+        assert!(sig[50].approx_eq(env + H, 1e-12));
+    }
+
+    #[test]
+    fn ramp_is_linear_over_rise_time() {
+        let sig = one_tag(vec![ToggleEvent { time: 10.0, level: 1.0 }], 100);
+        let env = AirConfig::paper_default(0).env_reflection;
+        // At exactly t=10 the ramp starts (0), t=11.5 half, t=13 complete.
+        assert!(sig[10].approx_eq(env, 1e-12));
+        let mid = sig[11] - env;
+        assert!((mid.abs() - H.abs() / 3.0).abs() < 1e-9, "1/3 through ramp");
+        assert!(sig[13].approx_eq(env + H, 1e-12));
+    }
+
+    #[test]
+    fn toggle_off_returns_to_environment() {
+        let sig = one_tag(
+            vec![
+                ToggleEvent { time: 10.0, level: 1.0 },
+                ToggleEvent { time: 50.0, level: 0.0 },
+            ],
+            100,
+        );
+        let env = AirConfig::paper_default(0).env_reflection;
+        assert!(sig[40].approx_eq(env + H, 1e-12));
+        assert!(sig[60].approx_eq(env, 1e-12));
+    }
+
+    #[test]
+    fn two_tags_combine_linearly() {
+        let h2 = Complex::new(-0.07, 0.02);
+        let mut cfg = AirConfig::paper_default(100);
+        cfg.sample_rate = SampleRate::from_msps(1.0);
+        let tags = [
+            TagAir {
+                events: vec![ToggleEvent { time: 10.0, level: 1.0 }],
+                initial_level: 0.0,
+                process: Box::new(StaticChannel(H)),
+            },
+            TagAir {
+                events: vec![ToggleEvent { time: 20.0, level: 1.0 }],
+                initial_level: 0.0,
+                process: Box::new(StaticChannel(h2)),
+            },
+        ];
+        let sig = synthesize(&cfg, &tags);
+        let env = cfg.env_reflection;
+        assert!(sig[15].approx_eq(env + H, 1e-12));
+        assert!(sig[50].approx_eq(env + H + h2, 1e-12));
+    }
+
+    #[test]
+    fn noise_is_added_when_configured() {
+        let mut cfg = AirConfig::paper_default(1000);
+        cfg.noise_sigma = 0.05;
+        cfg.seed = 3;
+        let sig = synthesize(&cfg, &[]);
+        let env = cfg.env_reflection;
+        let rms = (sig.iter().map(|z| (*z - env).norm_sqr()).sum::<f64>()
+            / sig.len() as f64)
+            .sqrt();
+        assert!((rms - 0.05 * std::f64::consts::SQRT_2).abs() < 0.01);
+    }
+
+    #[test]
+    fn nrz_events_basic() {
+        // Bits 1,0,0,1 from idle-low: rise at 0, fall at P, rise at 3P,
+        // trailing fall at 4P.
+        let ev = nrz_events(&[true, false, false, true], 100.0, 10.0, |_| 0.0);
+        assert_eq!(
+            ev,
+            vec![
+                ToggleEvent { time: 100.0, level: 1.0 },
+                ToggleEvent { time: 110.0, level: 0.0 },
+                ToggleEvent { time: 130.0, level: 1.0 },
+                ToggleEvent { time: 140.0, level: 0.0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn nrz_events_all_zero_bits_produce_nothing() {
+        assert!(nrz_events(&[false, false], 0.0, 10.0, |_| 0.0).is_empty());
+    }
+
+    #[test]
+    fn nrz_timing_error_is_applied() {
+        let ev = nrz_events(&[true], 0.0, 10.0, |k| k as f64 + 0.5);
+        assert_eq!(ev[0].time, 0.5);
+        assert_eq!(ev[1].time, 11.5);
+    }
+
+    #[test]
+    fn initial_level_high_supported() {
+        let mut cfg = AirConfig::paper_default(20);
+        cfg.sample_rate = SampleRate::from_msps(1.0);
+        let tags = [TagAir {
+            events: vec![],
+            initial_level: 1.0,
+            process: Box::new(StaticChannel(H)),
+        }];
+        let sig = synthesize(&cfg, &tags);
+        assert!(sig[0].approx_eq(cfg.env_reflection + H, 1e-12));
+    }
+}

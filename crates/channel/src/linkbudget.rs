@@ -1,0 +1,163 @@
+//! Radar-equation link budget (§5.4).
+//!
+//! The paper uses "the classical radar equation used to determine
+//! backscatter link budget":
+//!
+//! ```text
+//! Pr = Pt · Gt² · (λ / 4πd)⁴ · Gtag² · K
+//! ```
+//!
+//! where `Pr` is the received power at the reader, `Pt` the transmit power,
+//! `Gt` the reader antenna gain, `λ` the wavelength, `d` the reader–tag
+//! distance, `Gtag` the tag antenna gain, and `K` the tag's modulation
+//! loss. Backscatter power falls as d⁻⁴ (round trip), which is why a 4 dB
+//! SNR penalty costs only a factor of 10^(4/40) ≈ 1.26 in range.
+
+use lf_types::units::{dbm_to_watts, feet_to_meters, meters_to_feet, watts_to_dbm, wavelength};
+
+/// Parameters of a backscatter link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkBudget {
+    /// Reader transmit power in dBm.
+    pub tx_power_dbm: f64,
+    /// Reader antenna gain in dBi (applied on both transmit and receive).
+    pub reader_gain_dbi: f64,
+    /// Tag antenna gain in dBi (applied on both absorb and re-radiate).
+    pub tag_gain_dbi: f64,
+    /// Tag modulation loss `K` in dB (negative quantity expressed as loss,
+    /// e.g. 6.0 means the tag reflects 6 dB below ideal).
+    pub modulation_loss_db: f64,
+    /// Carrier frequency in Hz.
+    pub carrier_hz: f64,
+    /// Receiver noise floor in dBm (thermal + NF over the capture
+    /// bandwidth).
+    pub noise_floor_dbm: f64,
+}
+
+impl LinkBudget {
+    /// A representative UHF RFID setup matching the paper's hardware: USRP
+    /// N210 with ~20 dBm output, 6 dBi Cushcraft S9028 antennas, 915 MHz
+    /// carrier, a typical 6 dB tag modulation loss, and a −90 dBm effective
+    /// noise floor over the capture bandwidth.
+    pub fn paper_default() -> Self {
+        LinkBudget {
+            tx_power_dbm: 20.0,
+            reader_gain_dbi: 6.0,
+            tag_gain_dbi: 2.0,
+            modulation_loss_db: 6.0,
+            carrier_hz: 915e6,
+            noise_floor_dbm: -90.0,
+        }
+    }
+
+    /// Received backscatter power (dBm) at reader–tag distance `d` metres.
+    pub fn received_power_dbm(&self, d: f64) -> f64 {
+        assert!(d > 0.0, "distance must be positive");
+        let lambda = wavelength(self.carrier_hz);
+        let path = (lambda / (4.0 * std::f64::consts::PI * d)).powi(4);
+        let pr_watts = dbm_to_watts(self.tx_power_dbm)
+            * 10f64.powf(2.0 * self.reader_gain_dbi / 10.0)
+            * path
+            * 10f64.powf(2.0 * self.tag_gain_dbi / 10.0)
+            * 10f64.powf(-self.modulation_loss_db / 10.0);
+        watts_to_dbm(pr_watts)
+    }
+
+    /// SNR (dB) of the backscattered signal at distance `d` metres.
+    pub fn snr_db(&self, d: f64) -> f64 {
+        self.received_power_dbm(d) - self.noise_floor_dbm
+    }
+
+    /// The distance at which the link achieves `snr_db`. Inverts the d⁻⁴
+    /// law analytically.
+    pub fn range_for_snr(&self, snr_db: f64) -> f64 {
+        // snr(d) = snr(1m) − 40·log10(d)  ⇒  d = 10^((snr(1m) − snr)/40)
+        let snr_at_1m = self.snr_db(1.0);
+        10f64.powf((snr_at_1m - snr_db) / 40.0)
+    }
+
+    /// §5.4's range conversion: given a scheme works at `range` with some
+    /// required SNR, a scheme needing `extra_snr_db` more SNR works at
+    /// `range · 10^(−extra/40)` under the d⁻⁴ radar equation.
+    pub fn equivalent_range(range: f64, extra_snr_db: f64) -> f64 {
+        range * 10f64.powf(-extra_snr_db / 40.0)
+    }
+
+    /// §5.4's worked example in feet: a tag with a working range of
+    /// `range_ft` under ASK has this working range under LF-Backscatter's
+    /// `extra_snr_db` (≈4 dB) requirement.
+    pub fn equivalent_range_feet(range_ft: f64, extra_snr_db: f64) -> f64 {
+        meters_to_feet(Self::equivalent_range(
+            feet_to_meters(range_ft),
+            extra_snr_db,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_falls_with_fourth_power_of_distance() {
+        let lb = LinkBudget::paper_default();
+        let p1 = lb.received_power_dbm(1.0);
+        let p2 = lb.received_power_dbm(2.0);
+        // Doubling distance costs 40·log10(2) ≈ 12.04 dB.
+        assert!((p1 - p2 - 12.0412).abs() < 1e-3);
+    }
+
+    #[test]
+    fn snr_matches_power_minus_floor() {
+        let lb = LinkBudget::paper_default();
+        assert!((lb.snr_db(2.0) - (lb.received_power_dbm(2.0) + 90.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_for_snr_inverts_snr() {
+        let lb = LinkBudget::paper_default();
+        for snr in [5.0, 10.0, 20.0, 30.0] {
+            let d = lb.range_for_snr(snr);
+            assert!((lb.snr_db(d) - snr).abs() < 1e-9, "snr {snr} → d {d}");
+        }
+    }
+
+    #[test]
+    fn paper_equivalent_ranges() {
+        // §5.4: "if a tag has a working range of 10ft with ASK, it will
+        // have an equivalent range of 8.1ft with LF-Backscatter.
+        // Similarly, LF-Backscatter will have a working range of 23.7ft if
+        // a tag works 30ft with ASK." (4 dB gap)
+        // Note: the paper's two examples are internally inconsistent —
+        // 8.1/10 implies a 3.66 dB gap while 23.7/30 implies 4.09 dB. With
+        // exactly 4 dB the d⁻⁴ law gives 7.94 ft and 23.83 ft; we accept
+        // the paper's rounding with a ±0.2 ft tolerance.
+        let r10 = LinkBudget::equivalent_range_feet(10.0, 4.0);
+        assert!((r10 - 8.1).abs() < 0.2, "got {r10}");
+        let r30 = LinkBudget::equivalent_range_feet(30.0, 4.0);
+        assert!((r30 - 23.7).abs() < 0.2, "got {r30}");
+    }
+
+    #[test]
+    fn zero_gap_preserves_range() {
+        assert_eq!(LinkBudget::equivalent_range(7.0, 0.0), 7.0);
+    }
+
+    #[test]
+    fn reasonable_absolute_numbers() {
+        // At 2 m (the evaluation's deployment distance) the link should be
+        // comfortably decodable: SNR well above 15 dB (where Fig. 14 says
+        // BER → 0), and received power in a plausible backscatter regime.
+        let lb = LinkBudget::paper_default();
+        let snr = lb.snr_db(2.0);
+        assert!(snr > 15.0, "2 m SNR too low: {snr}");
+        let p = lb.received_power_dbm(2.0);
+        assert!(p < -30.0 && p > -80.0, "implausible rx power {p} dBm");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_distance_rejected() {
+        let _ = LinkBudget::paper_default().received_power_dbm(0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Complex additive white Gaussian noise and SNR bookkeeping.
+//!
+//! `rand` (the one RNG crate in our offline dependency set) provides
+//! uniform sampling only, so Gaussian variates are produced with the
+//! Box–Muller transform. Noise is always seeded: every experiment in the
+//! harness is reproducible run-to-run.
+
+use lf_types::Complex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded complex AWGN source with per-component standard deviation
+/// `sigma`.
+#[derive(Debug, Clone)]
+pub struct Awgn {
+    sigma: f64,
+    rng: StdRng,
+    /// Box–Muller produces pairs; cache the spare variate.
+    spare: Option<f64>,
+}
+
+impl Awgn {
+    /// Creates a source with per-component (I and Q separately) standard
+    /// deviation `sigma`. `sigma == 0` produces exact zeros (noise-free
+    /// runs for decoder unit tests).
+    pub fn new(sigma: f64, seed: u64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be >= 0");
+        Awgn {
+            sigma,
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// Per-component standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller.
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..std::f64::consts::TAU);
+        let r = (-2.0 * u1.ln()).sqrt();
+        self.spare = Some(r * u2.sin());
+        r * u2.cos()
+    }
+
+    /// Draws one complex noise sample.
+    pub fn sample(&mut self) -> Complex {
+        if self.sigma == 0.0 {
+            return Complex::ZERO;
+        }
+        Complex::new(
+            self.sigma * self.standard_normal(),
+            self.sigma * self.standard_normal(),
+        )
+    }
+
+    /// Adds noise in place to a signal buffer.
+    pub fn corrupt(&mut self, signal: &mut [Complex]) {
+        if self.sigma == 0.0 {
+            return;
+        }
+        for s in signal {
+            *s += self.sample();
+        }
+    }
+}
+
+/// The per-component noise sigma that yields `snr_db` for a signal of
+/// amplitude `signal_amplitude`, under the convention
+/// `SNR = |signal|² / E[|noise|²] = A² / (2σ²)`.
+pub fn sigma_for_snr(signal_amplitude: f64, snr_db: f64) -> f64 {
+    let snr = 10f64.powf(snr_db / 10.0);
+    signal_amplitude / (2.0 * snr).sqrt()
+}
+
+/// The SNR in dB for a signal amplitude and per-component sigma (inverse of
+/// [`sigma_for_snr`]).
+pub fn snr_db_for_sigma(signal_amplitude: f64, sigma: f64) -> f64 {
+    assert!(sigma > 0.0, "sigma must be positive to compute SNR");
+    10.0 * (signal_amplitude * signal_amplitude / (2.0 * sigma * sigma)).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_noise_is_reproducible() {
+        let mut a = Awgn::new(0.3, 42);
+        let mut b = Awgn::new(0.3, 42);
+        for _ in 0..100 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Awgn::new(0.3, 1);
+        let mut b = Awgn::new(0.3, 2);
+        let same = (0..32).filter(|_| a.sample() == b.sample()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn zero_sigma_is_silent() {
+        let mut n = Awgn::new(0.0, 5);
+        assert_eq!(n.sample(), Complex::ZERO);
+        let mut buf = vec![Complex::ONE; 8];
+        n.corrupt(&mut buf);
+        assert!(buf.iter().all(|&z| z == Complex::ONE));
+    }
+
+    #[test]
+    fn moments_are_right() {
+        let mut n = Awgn::new(0.5, 7);
+        let samples: Vec<Complex> = (0..200_000).map(|_| n.sample()).collect();
+        let mean = Complex::mean(&samples);
+        assert!(mean.abs() < 0.01, "mean {mean} not near zero");
+        let var_i: f64 =
+            samples.iter().map(|z| z.re * z.re).sum::<f64>() / samples.len() as f64;
+        let var_q: f64 =
+            samples.iter().map(|z| z.im * z.im).sum::<f64>() / samples.len() as f64;
+        assert!((var_i - 0.25).abs() < 0.01, "I variance {var_i}");
+        assert!((var_q - 0.25).abs() < 0.01, "Q variance {var_q}");
+    }
+
+    #[test]
+    fn snr_round_trip() {
+        for snr in [0.0, 5.0, 10.0, 20.0] {
+            let sigma = sigma_for_snr(0.1, snr);
+            assert!((snr_db_for_sigma(0.1, sigma) - snr).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn higher_snr_means_less_noise() {
+        assert!(sigma_for_snr(1.0, 20.0) < sigma_for_snr(1.0, 10.0));
+    }
+
+    #[test]
+    fn corrupt_changes_signal_at_expected_scale() {
+        let mut n = Awgn::new(0.1, 9);
+        let mut buf = vec![Complex::ZERO; 10_000];
+        n.corrupt(&mut buf);
+        let rms =
+            (buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / buf.len() as f64).sqrt();
+        // E[|z|²] = 2σ² → rms ≈ σ√2 ≈ 0.1414.
+        assert!((rms - 0.1414).abs() < 0.01, "rms {rms}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Decoder configuration.
+
+use lf_types::{RatePlan, SampleRate};
+
+/// Which decode stages are enabled — the knobs behind the Fig. 9
+/// breakdown ("Edge", "Edge+IQ", "Edge+IQ+Error").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeStages {
+    /// Enable IQ-cluster collision detection and parallelogram separation
+    /// (§3.3–3.4). Off: collided streams are decoded as if single (and
+    /// mostly fail their CRCs).
+    pub iq_separation: bool,
+    /// Enable the 4-state Viterbi error correction (§3.5). Off: per-slot
+    /// hard decisions against the cluster centroids.
+    pub error_correction: bool,
+}
+
+impl DecodeStages {
+    /// Fig. 9's "Edge" bar: time-domain concurrency only.
+    pub fn edge_only() -> Self {
+        DecodeStages {
+            iq_separation: false,
+            error_correction: false,
+        }
+    }
+
+    /// Fig. 9's "Edge+IQ" bar.
+    pub fn edge_iq() -> Self {
+        DecodeStages {
+            iq_separation: true,
+            error_correction: false,
+        }
+    }
+
+    /// Fig. 9's "Edge+IQ+Error" bar — the full pipeline (default).
+    pub fn full() -> Self {
+        DecodeStages {
+            iq_separation: true,
+            error_correction: true,
+        }
+    }
+}
+
+impl Default for DecodeStages {
+    fn default() -> Self {
+        DecodeStages::full()
+    }
+}
+
+/// Configuration of the reader decode pipeline.
+///
+/// The defaults are the paper's operating point (25 Msps, 3-sample edges,
+/// 100 bps base rate); tests run the same logic at lower sample rates by
+/// overriding `sample_rate`.
+#[derive(Debug, Clone)]
+pub struct DecoderConfig {
+    /// Receiver sample rate.
+    pub sample_rate: SampleRate,
+    /// The deployment's valid rates (§3.2's base-rate restriction). The
+    /// folder only searches these rates — a rate outside the plan cannot
+    /// be decoded, by design.
+    pub rate_plan: RatePlan,
+    /// Edge (antenna-toggle ramp) width in samples, ≈3 at 25 Msps (§2.4).
+    pub edge_width: f64,
+    /// Samples averaged on each side when computing the *detection*
+    /// differential (short: localization matters more than noise here).
+    pub detect_window: usize,
+    /// Robust-threshold multiplier over the MAD noise estimate for edge
+    /// candidate detection.
+    pub detect_threshold_k: f64,
+    /// Fraction of a fold window's expected edges a phase bin must hold to
+    /// seed a stream (payload bits toggle with probability ≈½).
+    pub min_stream_fill: f64,
+    /// Worst-case clock drift the tracker must absorb, as a fraction
+    /// (2e-4 = 200 ppm, the paper's stated tolerance).
+    pub drift_tolerance: f64,
+    /// Inertia-improvement factor for accepting the 9-cluster (collision)
+    /// model over the 3-cluster one.
+    pub collision_improvement: f64,
+    /// Lloyd iterations for the clustering stages.
+    pub kmeans_iters: usize,
+    /// Minimum slots a stream needs before collision analysis is
+    /// meaningful.
+    pub min_slots_for_collision: usize,
+    /// Stage switches (Fig. 9 ablation).
+    pub stages: DecodeStages,
+}
+
+impl DecoderConfig {
+    /// The paper's reader: USRP N210 at 25 Msps, the paper's rate plan.
+    pub fn paper_default() -> Self {
+        DecoderConfig::at_sample_rate(SampleRate::USRP_N210)
+    }
+
+    /// Paper parameters at an arbitrary sample rate. The edge width stays
+    /// at 3 *samples* — it is a property of the capture chain relative to
+    /// its own sample clock, which is how the paper states it.
+    pub fn at_sample_rate(sample_rate: SampleRate) -> Self {
+        DecoderConfig {
+            sample_rate,
+            rate_plan: RatePlan::paper_default(),
+            edge_width: 3.0,
+            detect_window: 4,
+            detect_threshold_k: 8.0,
+            min_stream_fill: 0.25,
+            drift_tolerance: 2e-4,
+            collision_improvement: 8.0,
+            kmeans_iters: 60,
+            min_slots_for_collision: 12,
+            stages: DecodeStages::full(),
+        }
+    }
+
+    /// The nominal bit period in samples for a rate in bps.
+    pub fn period_samples(&self, rate_bps: f64) -> f64 {
+        self.sample_rate.samples_per_bit(rate_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_presets() {
+        assert!(!DecodeStages::edge_only().iq_separation);
+        assert!(!DecodeStages::edge_only().error_correction);
+        assert!(DecodeStages::edge_iq().iq_separation);
+        assert!(!DecodeStages::edge_iq().error_correction);
+        assert_eq!(DecodeStages::default(), DecodeStages::full());
+    }
+
+    #[test]
+    fn paper_default_period() {
+        let cfg = DecoderConfig::paper_default();
+        assert_eq!(cfg.period_samples(100_000.0), 250.0);
+        assert_eq!(cfg.edge_width, 3.0);
+    }
+
+    #[test]
+    fn sample_rate_override_scales_period() {
+        let cfg = DecoderConfig::at_sample_rate(SampleRate::from_msps(2.5));
+        assert_eq!(cfg.period_samples(100_000.0), 25.0);
+    }
+}

@@ -1,0 +1,433 @@
+//! The assembled decode pipeline: IQ capture in, per-tag bit streams out.
+
+use crate::config::DecoderConfig;
+use crate::decode::{decode_member, decode_single};
+use crate::edges::detect_edges;
+use crate::separate::{analyze_slots, StreamAnalysis};
+use crate::slots::{slot_cleanliness, slot_differentials};
+use crate::streams::find_streams;
+use lf_types::{BitRate, BitVec, Complex};
+
+/// How a decoded stream was recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKind {
+    /// A clean single-tag stream (3 IQ clusters).
+    Single,
+    /// One member of a separated 2-tag collision (9 IQ clusters).
+    CollisionMember,
+    /// A tracked stream whose cluster structure fit neither model; its
+    /// bits are not recoverable and are reported empty.
+    Unresolved,
+}
+
+/// One decoded tag stream.
+#[derive(Debug, Clone)]
+pub struct DecodedStream {
+    /// The stream's bitrate.
+    pub rate: BitRate,
+    /// Bitrate in bits/second.
+    pub rate_bps: f64,
+    /// Time of the first slot boundary (samples from capture start).
+    pub offset: f64,
+    /// Tracked bit period in samples.
+    pub period: f64,
+    /// The decoded bits, one per slot, anchor first.
+    pub bits: BitVec,
+    /// How this stream was recovered.
+    pub kind: StreamKind,
+    /// The recovered edge vector (≈ the tag's channel coefficient).
+    pub edge_vector: Complex,
+}
+
+/// The result of decoding one epoch.
+#[derive(Debug, Clone)]
+pub struct EpochDecode {
+    /// All recovered streams (a separated collision contributes two).
+    pub streams: Vec<DecodedStream>,
+    /// Candidate edges detected in stage 1.
+    pub n_edges: usize,
+    /// Streams locked by the folder/tracker in stage 2 (before collision
+    /// separation splits any).
+    pub n_tracked: usize,
+}
+
+/// The LF-Backscatter reader decoder.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    cfg: DecoderConfig,
+}
+
+impl Decoder {
+    /// Creates a decoder.
+    pub fn new(cfg: DecoderConfig) -> Self {
+        Decoder { cfg }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DecoderConfig {
+        &self.cfg
+    }
+
+    /// Decodes one epoch's IQ capture.
+    ///
+    /// Non-finite samples (NaN/∞ from a misbehaving front end) are
+    /// treated as dropouts and zeroed before processing — one poisoned
+    /// sample must not take down the decode of everyone else's data.
+    pub fn decode(&self, signal: &[Complex]) -> EpochDecode {
+        let cfg = &self.cfg;
+        let sanitized: Option<Vec<Complex>> = if signal.iter().all(|s| s.is_finite()) {
+            None
+        } else {
+            Some(
+                signal
+                    .iter()
+                    .map(|s| if s.is_finite() { *s } else { Complex::ZERO })
+                    .collect(),
+            )
+        };
+        let signal: &[Complex] = sanitized.as_deref().unwrap_or(signal);
+        let edges = detect_edges(signal, cfg);
+        let tracked = find_streams(&edges, signal.len(), cfg);
+        let n_tracked = tracked.len();
+
+        // Edge ownership across all tracked streams: stream k's window
+        // trimming must respect edges matched by the *other* streams but
+        // keep its own orphan companions (see lf_core::slots).
+        let mut owner: Vec<Option<usize>> = vec![None; edges.len()];
+        for (si, ts) in tracked.iter().enumerate() {
+            for m in ts.matched.iter().flatten() {
+                owner[*m] = Some(si);
+            }
+        }
+        let mut streams = Vec::new();
+        for (si, ts) in tracked.iter().enumerate() {
+            let owned_by_others: Vec<bool> = owner
+                .iter()
+                .map(|o| o.is_some_and(|s| s != si))
+                .collect();
+            let diffs = slot_differentials(signal, ts, &edges, &owned_by_others, cfg);
+            let clean = slot_cleanliness(ts, &edges, &owned_by_others, cfg);
+            match analyze_slots(&diffs, &clean, cfg) {
+                StreamAnalysis::Single(fit) => {
+                    let bits = decode_single(&diffs, &fit, cfg);
+                    streams.push(DecodedStream {
+                        rate: ts.rate,
+                        rate_bps: ts.rate_bps,
+                        offset: ts.offset,
+                        period: ts.period_est,
+                        bits,
+                        kind: StreamKind::Single,
+                        edge_vector: fit.e,
+                    });
+                }
+                StreamAnalysis::Collided(fit) => {
+                    for idx in 0..2 {
+                        let obs = fit.member_observations(idx, &diffs);
+                        let e = if idx == 0 { fit.e1 } else { fit.e2 };
+                        let bits =
+                            decode_member(&obs, e, fit.member_emissions(idx), cfg);
+                        streams.push(DecodedStream {
+                            rate: ts.rate,
+                            rate_bps: ts.rate_bps,
+                            offset: ts.offset,
+                            period: ts.period_est,
+                            bits,
+                            kind: StreamKind::CollisionMember,
+                            edge_vector: e,
+                        });
+                    }
+                }
+                StreamAnalysis::Unresolved => {
+                    streams.push(DecodedStream {
+                        rate: ts.rate,
+                        rate_bps: ts.rate_bps,
+                        offset: ts.offset,
+                        period: ts.period_est,
+                        bits: BitVec::new(),
+                        kind: StreamKind::Unresolved,
+                        edge_vector: Complex::ZERO,
+                    });
+                }
+            }
+        }
+        EpochDecode {
+            streams,
+            n_edges: edges.len(),
+            n_tracked,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_channel::air::{synthesize, AirConfig, TagAir};
+    use lf_channel::dynamics::StaticChannel;
+    use lf_tag::clock::ClockModel;
+    use lf_tag::comparator::Comparator;
+    use lf_tag::tag::{LfTag, TagConfig};
+    use lf_types::{RatePlan, SampleRate, TagId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const FS_MSPS: f64 = 1.0;
+    const BASE_BPS: f64 = 100.0;
+
+    fn cfg() -> DecoderConfig {
+        let mut c = DecoderConfig::at_sample_rate(SampleRate::from_msps(FS_MSPS));
+        c.rate_plan =
+            RatePlan::from_bps(BASE_BPS, &[2_000.0, 5_000.0, 10_000.0, 20_000.0]).unwrap();
+        c
+    }
+
+    fn payload(n: usize, seed: u64) -> BitVec {
+        let mut bits = BitVec::with_capacity(n);
+        bits.push(true); // anchor
+        let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        for _ in 1..n {
+            x ^= x >> 13;
+            x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            x ^= x >> 33;
+            bits.push(x & 1 == 1);
+        }
+        bits
+    }
+
+    struct Setup {
+        signal: Vec<Complex>,
+        truth: Vec<(f64, BitVec)>, // (rate_bps, bits) per tag
+    }
+
+    /// Synthesizes an epoch: each entry is (rate_bps, h, comparator,
+    /// drift, bits).
+    fn build(
+        tags: Vec<(f64, Complex, Comparator, f64, BitVec)>,
+        n_samples: usize,
+        noise_sigma: f64,
+    ) -> Setup {
+        let fs = SampleRate::from_msps(FS_MSPS);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut air_tags = Vec::new();
+        let mut truth = Vec::new();
+        for (i, (rate_bps, h, comp, drift, bits)) in tags.into_iter().enumerate() {
+            let tag = LfTag::new(TagConfig {
+                id: TagId(i as u32),
+                rate: BitRate::from_bps(rate_bps, BASE_BPS).unwrap(),
+                clock: ClockModel {
+                    drift,
+                    jitter_std_s: 0.0,
+                },
+                comparator: comp,
+            });
+            let plan = tag.plan_epoch(bits.clone(), fs, BASE_BPS, &mut rng);
+            air_tags.push(TagAir {
+                events: plan.events,
+                initial_level: 0.0,
+                process: Box::new(StaticChannel(h)),
+            });
+            truth.push((rate_bps, bits));
+        }
+        let mut air_cfg = AirConfig::paper_default(n_samples);
+        air_cfg.sample_rate = fs;
+        air_cfg.noise_sigma = noise_sigma;
+        air_cfg.seed = 7;
+        Setup {
+            signal: synthesize(&air_cfg, &air_tags),
+            truth,
+        }
+    }
+
+    /// Checks that each ground-truth bit sequence appears as the prefix of
+    /// some decoded stream of the right rate.
+    fn assert_all_recovered(decode: &EpochDecode, truth: &[(f64, BitVec)]) {
+        for (rate_bps, bits) in truth {
+            let found = decode.streams.iter().any(|s| {
+                s.rate_bps == *rate_bps
+                    && s.bits.len() >= bits.len()
+                    && s.bits.slice(0, bits.len()) == *bits
+            });
+            assert!(
+                found,
+                "stream at {rate_bps} bps with bits {bits} not recovered; got {} streams: {:?}",
+                decode.streams.len(),
+                decode
+                    .streams
+                    .iter()
+                    .map(|s| (s.rate_bps, s.kind, s.bits.len()))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn one_tag_noise_free() {
+        let setup = build(
+            vec![(
+                10_000.0,
+                Complex::new(0.1, 0.05),
+                Comparator::fixed(100e-6),
+                0.0,
+                payload(60, 1),
+            )],
+            10_000,
+            0.0,
+        );
+        let decode = Decoder::new(cfg()).decode(&setup.signal);
+        assert_eq!(decode.streams.len(), 1);
+        assert_all_recovered(&decode, &setup.truth);
+    }
+
+    #[test]
+    fn one_tag_with_noise_and_drift() {
+        let setup = build(
+            vec![(
+                10_000.0,
+                Complex::new(0.1, 0.05),
+                Comparator::fixed(100e-6),
+                150e-6, // the paper's crystal spec
+                payload(80, 2),
+            )],
+            12_000,
+            0.01, // ≈14 dB edge SNR
+        );
+        let decode = Decoder::new(cfg()).decode(&setup.signal);
+        assert_all_recovered(&decode, &setup.truth);
+    }
+
+    #[test]
+    fn four_tags_same_rate_different_offsets() {
+        let hs = [
+            Complex::new(0.10, 0.02),
+            Complex::new(-0.06, 0.08),
+            Complex::new(0.03, -0.09),
+            Complex::new(-0.08, -0.05),
+        ];
+        let tags = (0..4)
+            .map(|i| {
+                (
+                    10_000.0,
+                    hs[i],
+                    Comparator::fixed(40e-6 + i as f64 * 30e-6),
+                    (i as f64 - 1.5) * 80e-6,
+                    payload(60, i as u64 + 10),
+                )
+            })
+            .collect();
+        let setup = build(tags, 10_000, 0.005);
+        let decode = Decoder::new(cfg()).decode(&setup.signal);
+        assert_all_recovered(&decode, &setup.truth);
+    }
+
+    #[test]
+    fn mixed_rates_coexist() {
+        // §5.1's slow-and-fast coexistence, scaled down: 2 kbps + 20 kbps.
+        let tags = vec![
+            (
+                2_000.0,
+                Complex::new(0.09, -0.04),
+                Comparator::fixed(120e-6),
+                100e-6,
+                payload(24, 21),
+            ),
+            (
+                20_000.0,
+                Complex::new(-0.05, 0.09),
+                Comparator::fixed(60e-6),
+                -120e-6,
+                payload(200, 22),
+            ),
+        ];
+        let setup = build(tags, 14_000, 0.005);
+        let decode = Decoder::new(cfg()).decode(&setup.signal);
+        assert_all_recovered(&decode, &setup.truth);
+    }
+
+    #[test]
+    fn forced_full_collision_separated() {
+        // Two tags, same rate, same comparator delay: every edge collides.
+        let tags = vec![
+            (
+                10_000.0,
+                Complex::new(0.1, 0.01),
+                Comparator::fixed(100e-6),
+                0.0,
+                payload(80, 31),
+            ),
+            (
+                10_000.0,
+                Complex::new(-0.03, 0.09),
+                Comparator::fixed(100e-6),
+                0.0,
+                payload(80, 32),
+            ),
+        ];
+        let setup = build(tags, 12_000, 0.002);
+        let decode = Decoder::new(cfg()).decode(&setup.signal);
+        // One tracked stream, two collision members.
+        assert_eq!(decode.n_tracked, 1);
+        assert_eq!(
+            decode
+                .streams
+                .iter()
+                .filter(|s| s.kind == StreamKind::CollisionMember)
+                .count(),
+            2
+        );
+        assert_all_recovered(&decode, &setup.truth);
+    }
+
+    #[test]
+    fn collision_not_separated_without_iq_stage() {
+        let tags = vec![
+            (
+                10_000.0,
+                Complex::new(0.1, 0.01),
+                Comparator::fixed(100e-6),
+                0.0,
+                payload(80, 31),
+            ),
+            (
+                10_000.0,
+                Complex::new(-0.03, 0.09),
+                Comparator::fixed(100e-6),
+                0.0,
+                payload(80, 32),
+            ),
+        ];
+        let setup = build(tags, 12_000, 0.002);
+        let mut c = cfg();
+        c.stages = crate::config::DecodeStages::edge_only();
+        let decode = Decoder::new(c).decode(&setup.signal);
+        // The merged stream is decoded as one (wrong) stream: at most one
+        // of the two truths can survive, and typically neither does.
+        let recovered = setup
+            .truth
+            .iter()
+            .filter(|(rate_bps, bits)| {
+                decode.streams.iter().any(|s| {
+                    s.rate_bps == *rate_bps
+                        && s.bits.len() >= bits.len()
+                        && s.bits.slice(0, bits.len()) == *bits
+                })
+            })
+            .count();
+        assert!(recovered < 2, "edge-only decode cannot separate a collision");
+    }
+
+    #[test]
+    fn empty_signal_decodes_to_nothing() {
+        let decode = Decoder::new(cfg()).decode(&[]);
+        assert!(decode.streams.is_empty());
+        assert_eq!(decode.n_edges, 0);
+    }
+
+    #[test]
+    fn silent_channel_decodes_to_nothing() {
+        let mut air_cfg = AirConfig::paper_default(5_000);
+        air_cfg.sample_rate = SampleRate::from_msps(FS_MSPS);
+        air_cfg.noise_sigma = 0.01;
+        let signal = synthesize(&air_cfg, &[]);
+        let decode = Decoder::new(cfg()).decode(&signal);
+        assert!(decode.streams.is_empty(), "noise alone produced streams");
+    }
+}

@@ -1,0 +1,144 @@
+//! Optional reader-side reliability (§3.6).
+//!
+//! The base protocol is deliberately unreliable to keep tags simple. When
+//! link-layer reliability is wanted, the paper sketches two reader-driven
+//! mechanisms, both broadcast (no per-tag addressing, so tag complexity
+//! stays negligible and stringently constrained tags may simply ignore
+//! them):
+//!
+//! * **Broadcast ACK / retransmit** — "the reader to send a Broadcast ACK
+//!   to the entire network asking them to retransmit data for the next
+//!   epoch. The benefit of this approach is that collision patterns are
+//!   different across epochs".
+//! * **Rate backoff** — "the reader might broadcast a message to reduce
+//!   the maximum bit-rate in the network to reduce collisions", which the
+//!   node-identification protocol of §5.2 uses ("at the end of the epoch,
+//!   the reader can optionally send a command to use a lower bitrate if it
+//!   observes too many collisions").
+
+use lf_types::RatePlan;
+
+/// What the reader broadcasts after an epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReaderCommand {
+    /// All frames arrived; move on to new data.
+    Continue,
+    /// Some frames failed: everyone retransmits next epoch (offsets
+    /// re-randomize naturally via the comparator noise).
+    Retransmit,
+    /// Too many failures: retransmit, and fast tags must cap their rate at
+    /// the given bps.
+    LowerMaxRate(f64),
+}
+
+/// Reader-side reliability controller.
+#[derive(Debug, Clone)]
+pub struct ReaderController {
+    plan: RatePlan,
+    current_max_bps: f64,
+    /// Below this frame-success fraction the max rate is lowered.
+    backoff_threshold: f64,
+    /// Below this frame-success fraction (but above backoff) a plain
+    /// retransmit is requested.
+    retransmit_threshold: f64,
+}
+
+impl ReaderController {
+    /// Creates a controller starting at the plan's fastest rate, with the
+    /// §5.2 behaviour: retransmit below 100 % success, back off below
+    /// 50 %.
+    pub fn new(plan: RatePlan) -> Self {
+        let max = plan.max_bps();
+        ReaderController {
+            plan,
+            current_max_bps: max,
+            backoff_threshold: 0.5,
+            retransmit_threshold: 1.0,
+        }
+    }
+
+    /// The current network-wide maximum rate in bps.
+    pub fn current_max_bps(&self) -> f64 {
+        self.current_max_bps
+    }
+
+    /// Decides the post-epoch broadcast from the epoch's frame outcome.
+    pub fn after_epoch(&mut self, frames_ok: usize, frames_expected: usize) -> ReaderCommand {
+        if frames_expected == 0 {
+            return ReaderCommand::Continue;
+        }
+        let success = frames_ok as f64 / frames_expected as f64;
+        if success < self.backoff_threshold {
+            if let Some(lower) = self.next_lower_rate() {
+                self.current_max_bps = lower;
+                return ReaderCommand::LowerMaxRate(lower);
+            }
+            return ReaderCommand::Retransmit;
+        }
+        if success < self.retransmit_threshold {
+            return ReaderCommand::Retransmit;
+        }
+        ReaderCommand::Continue
+    }
+
+    /// The fastest plan rate strictly below the current maximum.
+    fn next_lower_rate(&self) -> Option<f64> {
+        self.plan
+            .rates()
+            .iter()
+            .map(|r| r.bps(self.plan.base_bps()))
+            .filter(|&bps| bps < self.current_max_bps)
+            .fold(None, |acc: Option<f64>, bps| {
+                Some(acc.map_or(bps, |a| a.max(bps)))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> RatePlan {
+        RatePlan::from_bps(100.0, &[10_000.0, 50_000.0, 100_000.0]).unwrap()
+    }
+
+    #[test]
+    fn all_ok_continues() {
+        let mut c = ReaderController::new(plan());
+        assert_eq!(c.after_epoch(16, 16), ReaderCommand::Continue);
+        assert_eq!(c.current_max_bps(), 100_000.0);
+    }
+
+    #[test]
+    fn partial_loss_retransmits() {
+        let mut c = ReaderController::new(plan());
+        assert_eq!(c.after_epoch(12, 16), ReaderCommand::Retransmit);
+        assert_eq!(c.current_max_bps(), 100_000.0, "rate unchanged");
+    }
+
+    #[test]
+    fn heavy_loss_backs_off_through_the_plan() {
+        let mut c = ReaderController::new(plan());
+        assert_eq!(c.after_epoch(2, 16), ReaderCommand::LowerMaxRate(50_000.0));
+        assert_eq!(c.after_epoch(2, 16), ReaderCommand::LowerMaxRate(10_000.0));
+        // Floor reached: only retransmits remain.
+        assert_eq!(c.after_epoch(2, 16), ReaderCommand::Retransmit);
+        assert_eq!(c.current_max_bps(), 10_000.0);
+    }
+
+    #[test]
+    fn zero_expected_frames_is_a_noop() {
+        let mut c = ReaderController::new(plan());
+        assert_eq!(c.after_epoch(0, 0), ReaderCommand::Continue);
+    }
+
+    #[test]
+    fn recovery_after_backoff_does_not_raise_rate() {
+        // The paper's sketch only lowers the rate; raising it again would
+        // need another protocol round (future work — see DESIGN.md).
+        let mut c = ReaderController::new(plan());
+        let _ = c.after_epoch(0, 16);
+        assert_eq!(c.after_epoch(16, 16), ReaderCommand::Continue);
+        assert_eq!(c.current_max_bps(), 50_000.0);
+    }
+}

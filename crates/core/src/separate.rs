@@ -1,0 +1,409 @@
+//! Stage 4 — IQ-cluster collision detection and separation (§3.3–§3.4).
+//!
+//! A clean stream's slot differentials form 3 clusters (+e, −e, 0); two
+//! fully-colliding tags form 3² = 9 (`a·e1 + b·e2`, a,b ∈ {−1,0,1}).
+//! K-means model selection between 3 and 9 detects the collision; the
+//! parallelogram fit (Fig. 5) recovers `e1`, `e2` *without channel
+//! estimation*; and the anchor bit — slot 0 of a frame is always a rising
+//! edge (for a merged collision, *both* tags rise) — pins the sign
+//! ambiguity that remains.
+
+use crate::config::DecoderConfig;
+use lf_dsp::geometry::{classify_lattice, fit_parallelogram};
+use lf_dsp::kmeans::{kmeans, select_cluster_count};
+use lf_dsp::stats::Gaussian2d;
+use lf_dsp::viterbi::EmissionModel;
+use lf_types::Complex;
+
+/// What the cluster analysis concluded about a tracked stream.
+#[derive(Debug, Clone)]
+pub enum StreamAnalysis {
+    /// A single tag's stream.
+    Single(SingleFit),
+    /// Two tags merged into one tracked stream (same rate, same offset —
+    /// within an edge width).
+    Collided(CollisionFit),
+    /// Neither model fits (3+-tag pile-up or a broken track). The caller
+    /// counts this stream's frames as lost.
+    Unresolved,
+}
+
+/// The 3-cluster fit of a single-tag stream.
+#[derive(Debug, Clone)]
+pub struct SingleFit {
+    /// The edge vector (+e = rising).
+    pub e: Complex,
+    /// Emission Gaussians for the Viterbi stage.
+    pub emissions: EmissionModel,
+    /// Fraction of slots that carry an edge (learned transition prior).
+    pub toggle_prob: f64,
+}
+
+/// The 9-cluster fit of a 2-tag collision.
+#[derive(Debug, Clone)]
+pub struct CollisionFit {
+    /// First tag's edge vector (sign pinned by the anchor).
+    pub e1: Complex,
+    /// Second tag's edge vector.
+    pub e2: Complex,
+    /// Per-slot lattice classification `(a, b)`.
+    pub assignments: Vec<(i8, i8)>,
+    /// Per-axis noise variance estimated from the 9-cluster fit.
+    pub noise_var: f64,
+}
+
+impl CollisionFit {
+    /// The observation sequence for collision member `idx` (0 → e1,
+    /// 1 → e2): the other tag's classified contribution is subtracted from
+    /// each slot differential, preserving the analog residual for the
+    /// Viterbi stage.
+    pub fn member_observations(&self, idx: usize, diffs: &[Complex]) -> Vec<Complex> {
+        assert!(idx < 2);
+        diffs
+            .iter()
+            .zip(&self.assignments)
+            .map(|(&d, &(a, b))| {
+                if idx == 0 {
+                    d - self.e2.scale(b as f64)
+                } else {
+                    d - self.e1.scale(a as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// The emission model for collision member `idx`.
+    pub fn member_emissions(&self, idx: usize) -> EmissionModel {
+        let e = if idx == 0 { self.e1 } else { self.e2 };
+        EmissionModel::for_edge_vector(e, self.noise_var.max(1e-12))
+    }
+}
+
+/// Analyzes one stream's slot differentials.
+///
+/// `clean[k]` marks slots whose differential is uncontaminated by foreign
+/// edges in the guard zone ([`crate::slots::slot_cleanliness`]); only
+/// clean slots drive the cluster-model fitting (a sprinkle of cross-rate
+/// contamination would otherwise read as extra clusters), but every slot
+/// is classified and decoded. Pass all-true when no mask is available.
+///
+/// When `cfg.stages.iq_separation` is off (Fig. 9's "Edge" bar) the
+/// 3-cluster model is fitted unconditionally — a collided stream then
+/// decodes as garbage, which is exactly the throughput loss the ablation
+/// measures.
+pub fn analyze_slots(diffs: &[Complex], clean: &[bool], cfg: &DecoderConfig) -> StreamAnalysis {
+    if diffs.is_empty() {
+        return StreamAnalysis::Unresolved;
+    }
+    // Fitting set: the clean slots — unless too few remain (a genuinely
+    // merged collision whose drift-split edges flag everything), in which
+    // case fall back to all slots.
+    let clean_diffs: Vec<Complex> = diffs
+        .iter()
+        .zip(clean)
+        .filter_map(|(d, &c)| c.then_some(*d))
+        .collect();
+    let sel: &[Complex] = if clean_diffs.len() >= cfg.min_slots_for_collision {
+        &clean_diffs
+    } else {
+        diffs
+    };
+    let check_collision =
+        cfg.stages.iq_separation && sel.len() >= cfg.min_slots_for_collision;
+    let (k, fit) = if check_collision {
+        select_cluster_count(sel, &[3, 9], cfg.kmeans_iters, cfg.collision_improvement)
+    } else {
+        let fit = kmeans(sel, 3, cfg.kmeans_iters);
+        (3, fit)
+    };
+
+    if k <= 3 {
+        return single_fit(diffs, sel, &fit.centroids, &fit.assignments, cfg);
+    }
+
+    // --- 9 clusters: a 2-tag collision. ---
+    let Some(para) = fit_parallelogram(&fit.centroids, 0.2) else {
+        // Nine diffuse clusters without lattice structure: most often a
+        // broken or contaminated track rather than a real collision —
+        // decode it as a single stream best-effort (the CRCs arbitrate).
+        let single = kmeans(sel, 3, cfg.kmeans_iters);
+        return single_fit(diffs, sel, &single.centroids, &single.assignments, cfg);
+    };
+    // Phantom-partner gate: noise outliers around the flat cluster can
+    // pose as a "collision" with a tiny second edge vector (the lattice
+    // {0, ±e, ±δ, ±e±δ} fits whenever δ captures the outliers). A real
+    // collision partner is a physical tag whose edge vector is within the
+    // deployment's amplitude range — not an order of magnitude below its
+    // peer. Reject the fit and decode as single when the vectors are
+    // incommensurate.
+    let (big, small) = (
+        para.e1.abs().max(para.e2.abs()),
+        para.e1.abs().min(para.e2.abs()),
+    );
+    // Near-parallel gate: two almost-collinear edge vectors cannot be
+    // told apart in the IQ plane at all (their lattice degenerates to a
+    // line — the Table 2 failure geometry); a fit that *chose* such a pair
+    // is explaining noise, e.g. e1 ≈ e2 ≈ e with ±(e1−e2) soaking up the
+    // flat cluster's outliers.
+    let cross = (para.e1.re * para.e2.im - para.e1.im * para.e2.re).abs();
+    let sin_angle = cross / (para.e1.abs() * para.e2.abs()).max(1e-30);
+    if small < 0.15 * big || sin_angle < 0.2 {
+        let single = kmeans(sel, 3, cfg.kmeans_iters);
+        return single_fit(diffs, sel, &single.centroids, &single.assignments, cfg);
+    }
+    let (mut e1, mut e2) = (para.e1, para.e2);
+    // Anchor disambiguation: slot 0 is both tags' anchor rise, so it must
+    // classify as (+1, +1). Flip signs to make it so; a 0 component means
+    // the anchor edge was lost — decode proceeds with the fitted sign and
+    // the frame simply fails its CRC if the guess is wrong.
+    let (a0, b0) = classify_lattice(diffs[0], e1, e2);
+    if a0 < 0 {
+        e1 = -e1;
+    }
+    if b0 < 0 {
+        e2 = -e2;
+    }
+    let assignments: Vec<(i8, i8)> =
+        diffs.iter().map(|&d| classify_lattice(d, e1, e2)).collect();
+    // Noise variance: residual of each slot to its lattice point.
+    let residual: f64 = diffs
+        .iter()
+        .zip(&assignments)
+        .map(|(&d, &(a, b))| {
+            d.distance_sqr(e1.scale(a as f64) + e2.scale(b as f64))
+        })
+        .sum::<f64>()
+        / diffs.len() as f64;
+    StreamAnalysis::Collided(CollisionFit {
+        e1,
+        e2,
+        assignments,
+        noise_var: residual / 2.0,
+    })
+}
+
+/// Builds the single-tag fit from a 3-cluster k-means result over the
+/// fitting subset `sel` (`assignments` index into `sel`); `diffs` is the
+/// full slot sequence, used only for the anchor-slot lookup.
+fn single_fit(
+    diffs: &[Complex],
+    sel: &[Complex],
+    centroids: &[Complex],
+    assignments: &[usize],
+    cfg: &DecoderConfig,
+) -> StreamAnalysis {
+    // Flat cluster: centroid nearest the origin.
+    let flat_idx = (0..centroids.len())
+        .min_by(|&a, &b| {
+            centroids[a]
+                .norm_sqr()
+                .partial_cmp(&centroids[b].norm_sqr())
+                .expect("finite centroids")
+        })
+        .expect("at least one centroid");
+    // Rising cluster: the non-flat centroid nearest the anchor slot's
+    // differential (slot 0 is always a rise).
+    let rise_idx = (0..centroids.len())
+        .filter(|&i| i != flat_idx)
+        .min_by(|&a, &b| {
+            centroids[a]
+                .distance_sqr(diffs[0])
+                .partial_cmp(&centroids[b].distance_sqr(diffs[0]))
+                .expect("finite centroids")
+        });
+    let Some(rise_idx) = rise_idx else {
+        // Degenerate: all diffs identical (k-means collapsed). No edges →
+        // nothing decodable.
+        return StreamAnalysis::Unresolved;
+    };
+    let e = centroids[rise_idx];
+    if e.abs() < 1e-12 {
+        return StreamAnalysis::Unresolved;
+    }
+    let _ = flat_idx;
+
+    // With `e` pinned by the anchor, classify the points *physically*
+    // against {+e, −e, 0} rather than trusting the k-means labels — a
+    // single contaminated outlier can capture an entire k-means cluster
+    // (the deterministic farthest-point init seeds on extremes), leaving
+    // e.g. every true falling edge mislabelled "flat".
+    let floor = (0.02 * e.abs()).powi(2).max(1e-15);
+    let mut rise_pts = Vec::new();
+    let mut fall_pts = Vec::new();
+    let mut flat_pts = Vec::new();
+    for &d in sel {
+        let dr = d.distance_sqr(e);
+        let df = d.distance_sqr(-e);
+        let dz = d.norm_sqr();
+        if dr <= df && dr <= dz {
+            rise_pts.push(d);
+        } else if df <= dr && df <= dz {
+            fall_pts.push(d);
+        } else {
+            flat_pts.push(d);
+        }
+    }
+    let _ = assignments;
+    let rise_g = Gaussian2d::fit(&rise_pts, floor);
+    let flat_g = Gaussian2d::fit(&flat_pts, floor);
+    let fall_g = if fall_pts.is_empty() {
+        // No falls observed (possible for very short streams): mirror the
+        // rise cluster.
+        Gaussian2d::new(-e, rise_g.var_i, rise_g.var_q)
+    } else {
+        Gaussian2d::fit(&fall_pts, floor)
+    };
+    let toggle_prob =
+        (rise_pts.len() + fall_pts.len()) as f64 / sel.len().max(1) as f64;
+    let _ = cfg;
+    StreamAnalysis::Single(SingleFit {
+        e,
+        emissions: EmissionModel {
+            rise: rise_g,
+            fall: fall_g,
+            flat: flat_g,
+        },
+        toggle_prob,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_types::SampleRate;
+
+    fn cfg() -> DecoderConfig {
+        DecoderConfig::at_sample_rate(SampleRate::from_msps(1.0))
+    }
+
+    /// Deterministic jitter in [-s, s].
+    fn jit(seed: u64, s: f64) -> Complex {
+        let mut z = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z ^= z >> 29;
+        z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 32;
+        let a = (z & 0xFFFF_FFFF) as f64 / u32::MAX as f64 - 0.5;
+        let b = (z >> 32) as f64 / u32::MAX as f64 - 0.5;
+        Complex::new(2.0 * s * a, 2.0 * s * b)
+    }
+
+    /// Slot diffs of a single stream with `bits` (NRZ, idle-low start).
+    fn diffs_for(bits: &[bool], e: Complex, noise: f64) -> Vec<Complex> {
+        let mut level = false;
+        bits.iter()
+            .enumerate()
+            .map(|(k, &b)| {
+                let d = match (level, b) {
+                    (false, true) => e,
+                    (true, false) => -e,
+                    _ => Complex::ZERO,
+                };
+                level = b;
+                d + jit(k as u64 + 1, noise)
+            })
+            .collect()
+    }
+
+    fn pattern(n: usize) -> Vec<bool> {
+        // Anchor 1, then a mixed payload.
+        (0..n).map(|k| k == 0 || (k * 7 % 5) < 2).collect()
+    }
+
+    #[test]
+    fn single_stream_detected_with_correct_edge_vector() {
+        let e = Complex::new(0.1, 0.04);
+        let diffs = diffs_for(&pattern(100), e, 0.004);
+        match analyze_slots(&diffs, &vec![true; diffs.len()], &cfg()) {
+            StreamAnalysis::Single(fit) => {
+                assert!(fit.e.approx_eq(e, 0.01), "e = {}", fit.e);
+                assert!(fit.toggle_prob > 0.2 && fit.toggle_prob < 0.9);
+            }
+            other => panic!("expected Single, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collision_detected_and_separated() {
+        let e1 = Complex::new(0.1, 0.01);
+        let e2 = Complex::new(-0.03, 0.09);
+        let bits1 = pattern(120);
+        let bits2: Vec<bool> = (0..120).map(|k| k == 0 || (k * 11 % 7) < 3).collect();
+        let d1 = diffs_for(&bits1, e1, 0.0);
+        let d2 = diffs_for(&bits2, e2, 0.0);
+        let merged: Vec<Complex> = d1
+            .iter()
+            .zip(&d2)
+            .enumerate()
+            .map(|(k, (&a, &b))| a + b + jit(k as u64 + 500, 0.003))
+            .collect();
+        match analyze_slots(&merged, &vec![true; merged.len()], &cfg()) {
+            StreamAnalysis::Collided(fit) => {
+                // Anchor pinning: slot 0 must be (+1, +1).
+                assert_eq!(fit.assignments[0], (1, 1));
+                // The recovered pair must match {e1, e2} up to swap.
+                let direct = fit.e1.approx_eq(e1, 0.02) && fit.e2.approx_eq(e2, 0.02);
+                let swapped = fit.e1.approx_eq(e2, 0.02) && fit.e2.approx_eq(e1, 0.02);
+                assert!(direct || swapped, "e1={} e2={}", fit.e1, fit.e2);
+            }
+            other => panic!("expected Collided, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn member_observations_subtract_the_other_tag() {
+        let e1 = Complex::new(0.1, 0.0);
+        let e2 = Complex::new(0.0, 0.1);
+        let fit = CollisionFit {
+            e1,
+            e2,
+            assignments: vec![(1, 1), (0, -1), (-1, 0)],
+            noise_var: 1e-6,
+        };
+        let diffs = vec![e1 + e2, -e2, -e1];
+        let obs1 = fit.member_observations(0, &diffs);
+        assert!(obs1[0].approx_eq(e1, 1e-12));
+        assert!(obs1[1].approx_eq(Complex::ZERO, 1e-12));
+        assert!(obs1[2].approx_eq(-e1, 1e-12));
+        let obs2 = fit.member_observations(1, &diffs);
+        assert!(obs2[0].approx_eq(e2, 1e-12));
+        assert!(obs2[1].approx_eq(-e2, 1e-12));
+        assert!(obs2[2].approx_eq(Complex::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn iq_separation_disabled_forces_single() {
+        let e1 = Complex::new(0.1, 0.01);
+        let e2 = Complex::new(-0.03, 0.09);
+        let d1 = diffs_for(&pattern(100), e1, 0.0);
+        let d2 = diffs_for(&pattern(100), e2, 0.0);
+        let merged: Vec<Complex> = d1.iter().zip(&d2).map(|(&a, &b)| a + b).collect();
+        let mut c = cfg();
+        c.stages.iq_separation = false;
+        assert!(matches!(
+            analyze_slots(&merged, &vec![true; merged.len()], &c),
+            StreamAnalysis::Single(_) | StreamAnalysis::Unresolved
+        ));
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(matches!(analyze_slots(&[], &[], &cfg()), StreamAnalysis::Unresolved));
+        // All-identical (zero) diffs: no edges, nothing decodable.
+        let zeros = vec![Complex::ZERO; 50];
+        assert!(matches!(
+            analyze_slots(&zeros, &vec![true; zeros.len()], &cfg()),
+            StreamAnalysis::Unresolved
+        ));
+    }
+
+    #[test]
+    fn short_streams_skip_collision_analysis() {
+        let e = Complex::new(0.1, 0.0);
+        let diffs = diffs_for(&[true, false, true, false, true], e, 0.001);
+        // 5 slots < min_slots_for_collision → must come back Single.
+        assert!(matches!(
+            analyze_slots(&diffs, &vec![true; diffs.len()], &cfg()),
+            StreamAnalysis::Single(_)
+        ));
+    }
+}

@@ -1,0 +1,283 @@
+//! Stage 3 — per-slot IQ differentials with cross-stream masking.
+//!
+//! §3.1 prescribes averaging "a set of points between the previous edge to
+//! the current edge" on each side of an edge. Once streams are tracked we
+//! know where *every* claimed edge in the epoch sits, so the averaging
+//! windows for one stream's slot can skip samples near other streams'
+//! edges — the one place where the linear-combination cancellation of
+//! §3.1 breaks (a neighbour's edge inside the window shifts the mean).
+//! This is pure reader-side bookkeeping, exactly in the spirit of pushing
+//! all complexity to the reader.
+
+use crate::config::DecoderConfig;
+use crate::edges::{EdgeEvent, PrefixSums};
+use crate::streams::TrackedStream;
+use lf_types::Complex;
+
+/// The slot-differential observations of one stream: `diffs[k]` is the IQ
+/// differential across slot boundary `k` (≈ +e for a rising edge, −e
+/// falling, ~0 for no toggle).
+pub fn slot_differentials(
+    signal: &[Complex],
+    stream: &TrackedStream,
+    all_edges: &[EdgeEvent],
+    owned_by_others: &[bool],
+    cfg: &DecoderConfig,
+) -> Vec<Complex> {
+    let foreign = foreign_edges(stream, all_edges, owned_by_others, cfg);
+    let sums = PrefixSums::new(signal);
+    let guard = cfg.edge_width.ceil() + 1.0;
+    // Â§3.1 averages "a set of points between the previous edge to the
+    // current edge": use (almost) the whole flat half-period on each side
+    // â maximal noise averaging, never straddling the adjacent boundary.
+    // Everything is prefix-sum based, so wide windows cost nothing.
+    let w = ((stream.period_est / 2.0 - 2.0 * guard).floor() as usize).clamp(2, 4096) as f64;
+
+    stream
+        .slot_times
+        .iter()
+        .map(|&t| {
+            let after = sums.mean((t + guard) as isize, (t + guard + w) as isize);
+            let before = sums.mean((t - guard - w) as isize, (t - guard) as isize);
+            let mut diff = after - before;
+            // Foreign-edge cancellation: another tag’s level shift inside
+            // the averaging span contaminates the differential by a known,
+            // position-dependent fraction of that edge’s own measured step
+            // vector — subtract it. (Reader-side successive interference
+            // cancellation; the foreign steps were measured in stage 1.)
+            let lo = t - guard - w;
+            let hi = t + guard + w;
+            let start = foreign.partition_point(|f| f.0 < lo);
+            for &(p, step) in foreign[start..].iter() {
+                if p > hi {
+                    break;
+                }
+                let phi = if p <= t - guard {
+                    1.0 - ((t - guard) - p) / w
+                } else if p < t + guard {
+                    1.0
+                } else {
+                    ((t + guard + w) - p) / w
+                };
+                diff -= step.scale(phi.clamp(0.0, 1.0));
+            }
+            diff
+        })
+        .collect()
+}
+
+/// Per-slot cleanliness: `false` when a *foreign* edge sits so close to
+/// the slot boundary (inside the guard/straddle region) that the
+/// differential carries its full step. Cancellation subtracts the
+/// measured step, but the residual is that measurement’s own error, so
+/// the cluster-model stage still prefers to fit on unaffected slots.
+pub fn slot_cleanliness(
+    stream: &TrackedStream,
+    all_edges: &[EdgeEvent],
+    owned_by_others: &[bool],
+    cfg: &DecoderConfig,
+) -> Vec<bool> {
+    let foreign = foreign_edges(stream, all_edges, owned_by_others, cfg);
+    let radius = cfg.edge_width.ceil() + 1.0 + 2.0 * cfg.edge_width;
+    stream
+        .slot_times
+        .iter()
+        .map(|&t| {
+            let start = foreign.partition_point(|f| f.0 < t - radius);
+            !foreign.get(start).is_some_and(|&(f, _)| f <= t + radius)
+        })
+        .collect()
+}
+
+/// The (time, measured step) of every edge that is *foreign* to a stream
+/// — the ones its differential must cancel:
+///
+/// * edges owned (matched) by **other** accepted streams;
+/// * **orphan** edges (owned by nobody) far from this stream’s slot grid
+///   — unexplained level shifts, cancelled conservatively.
+///
+/// Orphan edges *near* a slot boundary are companions: in a merged
+/// collision only the strongest of the coincident edges is matched, and
+/// the others are the second tag’s half of exactly the transition the
+/// 9-cluster separation wants to see. Cancelling them would reduce the
+/// slot differential to one tag’s edge and destroy the lattice.
+fn foreign_edges(
+    stream: &TrackedStream,
+    all_edges: &[EdgeEvent],
+    owned_by_others: &[bool],
+    cfg: &DecoderConfig,
+) -> Vec<(f64, Complex)> {
+    let own: std::collections::HashSet<usize> =
+        stream.matched.iter().flatten().copied().collect();
+    let companion_radius =
+        (2.0 * cfg.edge_width).max(stream.period_est / 64.0) + cfg.edge_width;
+    all_edges
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| {
+            if own.contains(&i) {
+                return None;
+            }
+            if owned_by_others.get(i).copied().unwrap_or(false) {
+                return Some((e.time, e.diff));
+            }
+            // Orphan: companion if near the slot grid.
+            let idx = stream.slot_times.partition_point(|&t| t < e.time);
+            let near = [idx.wrapping_sub(1), idx]
+                .iter()
+                .filter_map(|&j| stream.slot_times.get(j))
+                .any(|&t| (t - e.time).abs() <= companion_radius);
+            (!near).then_some((e.time, e.diff))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_types::{BitRate, SampleRate};
+
+    fn cfg() -> DecoderConfig {
+        DecoderConfig::at_sample_rate(SampleRate::from_msps(1.0))
+    }
+
+    /// A tracked stream with regular slot boundaries.
+    fn stream(offset: f64, period: f64, n_slots: usize) -> TrackedStream {
+        TrackedStream {
+            rate: BitRate::from_multiple(100).unwrap(),
+            rate_bps: 10_000.0,
+            nominal_period: period,
+            period_est: period,
+            offset,
+            slot_times: (0..n_slots).map(|k| offset + k as f64 * period).collect(),
+            matched: vec![None; n_slots],
+            residual_std: 0.0,
+        }
+    }
+
+    /// NRZ signal of `bits` with instant edges at boundaries (edge width 0
+    /// keeps the expected differentials exact).
+    fn nrz_signal(bits: &[bool], offset: f64, period: f64, h: Complex, n: usize) -> Vec<Complex> {
+        let mut sig = vec![Complex::ZERO; n];
+        for (t, s) in sig.iter_mut().enumerate() {
+            let k = ((t as f64 - offset) / period).floor();
+            let level = if k < 0.0 {
+                false
+            } else {
+                *bits.get(k as usize).unwrap_or(&false)
+            };
+            if level {
+                *s += h;
+            }
+        }
+        sig
+    }
+
+    #[test]
+    fn clean_stream_differentials_form_three_values() {
+        let h = Complex::new(0.1, 0.05);
+        let bits = [true, false, false, true, true, false];
+        let sig = nrz_signal(&bits, 100.0, 100.0, h, 1000);
+        let st = stream(100.0, 100.0, 6);
+        let diffs = slot_differentials(&sig, &st, &[], &[], &cfg());
+        assert_eq!(diffs.len(), 6);
+        // Slot 0: rise (+h); slot 1: fall (−h); slot 2: flat (0);
+        // slot 3: rise; slot 4: flat; slot 5: fall.
+        assert!(diffs[0].approx_eq(h, 1e-9));
+        assert!(diffs[1].approx_eq(-h, 1e-9));
+        assert!(diffs[2].approx_eq(Complex::ZERO, 1e-9));
+        assert!(diffs[3].approx_eq(h, 1e-9));
+        assert!(diffs[4].approx_eq(Complex::ZERO, 1e-9));
+        assert!(diffs[5].approx_eq(-h, 1e-9));
+    }
+
+    #[test]
+    fn foreign_edge_in_window_corrupts_unmasked_but_not_masked() {
+        let h = Complex::new(0.1, 0.0);
+        let hb = Complex::new(0.0, 0.2);
+        // Stream A: flat (no toggle) around boundary t=500.
+        // Tag B toggles at t=485 — inside A's "before" window
+        // ([500−4−25, 500−4] with period 100 → w=25).
+        let mut sig = vec![Complex::ZERO; 1000];
+        for (t, s) in sig.iter_mut().enumerate() {
+            *s += h; // A reflecting throughout (flat slot)
+            if t >= 485 {
+                *s += hb;
+            }
+        }
+        let st = stream(500.0, 100.0, 1);
+        // Without knowledge of B's edge: the differential is pulled toward
+        // hb (the "after" window has full hb, the "before" only part).
+        let unmasked = slot_differentials(&sig, &st, &[], &[], &cfg());
+        assert!(unmasked[0].abs() > 0.03, "expected corruption: {}", unmasked[0]);
+        // With B's edge claimed, masking recovers a near-zero differential.
+        let b_edge = EdgeEvent {
+            time: 485.0,
+            diff: hb,
+            strength: hb.abs(),
+        };
+        let masked = slot_differentials(&sig, &st, &[b_edge], &[true], &cfg());
+        assert!(
+            masked[0].abs() < unmasked[0].abs() / 3.0,
+            "masking did not help: {} vs {}",
+            masked[0],
+            unmasked[0]
+        );
+    }
+
+    #[test]
+    fn cancellation_is_position_weighted() {
+        // A foreign step deep in the before-window contributes only a
+        // fraction of its vector; cancellation must subtract exactly that
+        // fraction, recovering ~0 for a slot with no own transition.
+        let hb = Complex::new(0.0, 0.2);
+        let mut sig = vec![Complex::ZERO; 400];
+        for (t, s) in sig.iter_mut().enumerate() {
+            if t >= 160 {
+                *s += hb; // foreign tag turns on at 160
+            }
+        }
+        let st = stream(200.0, 100.0, 1); // own boundary at 200, no own edge
+        let foreign = [EdgeEvent {
+            time: 160.0,
+            diff: hb,
+            strength: hb.abs(),
+        }];
+        let corrupted = slot_differentials(&sig, &st, &[], &[], &cfg());
+        let cancelled = slot_differentials(&sig, &st, &foreign, &[true], &cfg());
+        assert!(
+            corrupted[0].abs() > 5.0 * cancelled[0].abs().max(1e-6),
+            "cancellation did not help: {} vs {}",
+            corrupted[0],
+            cancelled[0]
+        );
+        assert!(cancelled[0].abs() < 0.02, "residual {}", cancelled[0]);
+    }
+
+    #[test]
+    fn boundary_slots_clamp_to_signal() {
+        let sig = vec![Complex::ONE; 100];
+        let st = stream(0.0, 50.0, 3); // slot at 0 and at 100 touch the ends
+        let diffs = slot_differentials(&sig, &st, &[], &[], &cfg());
+        assert_eq!(diffs.len(), 3);
+        assert!(diffs.iter().all(|d| d.is_finite()));
+    }
+
+    #[test]
+    fn own_edges_are_not_masked() {
+        // The stream's own matched edge at a boundary must not be excluded
+        // from its own differential computation.
+        let h = Complex::new(0.1, 0.0);
+        let bits = [true];
+        let sig = nrz_signal(&bits, 100.0, 100.0, h, 300);
+        let mut st = stream(100.0, 100.0, 1);
+        let own_edge = EdgeEvent {
+            time: 100.0,
+            diff: h,
+            strength: h.abs(),
+        };
+        st.matched = vec![Some(0)];
+        let diffs = slot_differentials(&sig, &st, &[own_edge], &[false], &cfg());
+        assert!(diffs[0].approx_eq(h, 1e-9));
+    }
+}

@@ -1,0 +1,757 @@
+//! Stage 2 — separating edges into streams (§3.2).
+//!
+//! Three mechanisms work together:
+//!
+//! * **Eye-pattern folding** finds `(rate, offset)` candidates: edge times
+//!   are folded at each valid rate's period; a real stream piles its edges
+//!   into one phase bin, noise does not ("such an edge would not have a
+//!   repeating pattern at one of the valid rates"). Folding runs over a
+//!   *drift-safe* prefix window — beyond it a 150 ppm crystal smears its
+//!   own phase bin.
+//! * **Drift tracking** walks each candidate through the whole epoch:
+//!   predict the next slot boundary, match the nearest edge within a
+//!   tolerance, refine the period from the global slope (crystal drift is
+//!   a constant frequency error, so the slope through all matched
+//!   boundaries is the statistically right estimator).
+//! * **Arbitration**: every edge belongs to exactly one tag, so candidate
+//!   tracks from *all* rate hypotheses compete for edges. Candidates are
+//!   ranked by track quality — residual dispersion around the fitted
+//!   period line (a genuine stream: ≲1 sample; a track zigzagging between
+//!   several tags' edges: several samples), with faster rates winning
+//!   ties (a slow hypothesis over a fast stream's edges fits perfectly
+//!   but explains only a subset). Accepted tracks claim their edges; a
+//!   candidate most of whose edges are already claimed is an alias or
+//!   zigzag over better-explained streams and is dropped.
+//!
+//! Structural alias checks run per candidate before arbitration:
+//!
+//! * a majority of matched slots in one residue class mod m means the
+//!   true stream is m× slower (down-alias);
+//! * inter-slot positions full of same-direction unexplained edges mean
+//!   the true stream is m× *faster* (up-alias: a fast stream lands an
+//!   edge on every slot of a slower grid and looks healthy there);
+//! * interleaved same-rate streams masquerading as one faster stream
+//!   betray themselves through collinear per-residue IQ sub-streams
+//!   combined with per-residue timing bands or direction diversity.
+//!
+//! Known limitation: two same-rate tags whose offsets align to half a
+//! period within ~2 samples, whose channel vectors are near-parallel
+//! (≲15°), *and* whose amplitudes match within ~25 % are physically
+//! indistinguishable from one double-rate stream within an epoch — every
+//! tell is blind. Such pairs fuse and their frames fail; the per-epoch
+//! offset re-randomization (§3.2) separates them on the next epoch, which
+//! is how the reliability layer recovers.
+
+use crate::config::DecoderConfig;
+use crate::edges::EdgeEvent;
+use lf_dsp::fold::fold_events;
+use lf_types::BitRate;
+
+/// A stream locked by the folder+tracker.
+#[derive(Debug, Clone)]
+pub struct TrackedStream {
+    /// The stream's rate.
+    pub rate: BitRate,
+    /// Rate in bits/second.
+    pub rate_bps: f64,
+    /// Nominal bit period in samples.
+    pub nominal_period: f64,
+    /// Tracked (drift-corrected) bit period in samples.
+    pub period_est: f64,
+    /// Time of slot boundary 0 (the stream's first edge — the anchor
+    /// rise), in samples.
+    pub offset: f64,
+    /// Boundary time of every slot, slot 0 first.
+    pub slot_times: Vec<f64>,
+    /// For each slot, the index (into the epoch's edge list) of the edge
+    /// matched there, if any.
+    pub matched: Vec<Option<usize>>,
+    /// Residual standard deviation around the fitted period line, in
+    /// samples (the arbitration quality metric).
+    pub residual_std: f64,
+}
+
+impl TrackedStream {
+    /// Number of slots tracked.
+    pub fn n_slots(&self) -> usize {
+        self.slot_times.len()
+    }
+
+    /// Number of slots with a matched edge.
+    pub fn n_matched(&self) -> usize {
+        self.matched.iter().filter(|m| m.is_some()).count()
+    }
+}
+
+/// Finds and tracks all streams in an epoch's edge list. `n_samples` is
+/// the capture length. Edges must be sorted by time (detect_edges output).
+///
+/// Runs gather→arbitrate rounds: each round folds and tracks over the
+/// edges no accepted stream owns yet, then accepts the best candidates.
+/// The re-tracking between rounds matters — a weak stream's round-1
+/// candidate is contaminated by a strong neighbour's edges (no claiming
+/// protects the gather), but once the neighbour is accepted, round 2
+/// re-tracks the weak stream over its own edges cleanly.
+pub fn find_streams(
+    edges: &[EdgeEvent],
+    n_samples: usize,
+    cfg: &DecoderConfig,
+) -> Vec<TrackedStream> {
+    let mut claimed = vec![false; edges.len()];
+    let mut streams: Vec<TrackedStream> = Vec::new();
+    for _round in 0..4 {
+        let mut candidates = Vec::new();
+        for &rate in cfg.rate_plan.rates() {
+            candidates.extend(gather_candidates(edges, &claimed, rate, n_samples, cfg));
+        }
+        // Rank by explanatory power weighted by track quality: matched
+        // edges times a Gaussian penalty on residual dispersion. This puts
+        // a clean 200-edge stream above both a pristine 7-edge fragment (a
+        // slow hypothesis carving a fast stream) and a 270-edge zigzag
+        // with several samples of dispersion. Ties (one stream explained
+        // at its true rate vs. a divisor rate, both clean) go to the
+        // faster rate — the divisor track explains only a subset.
+        let score = |c: &TrackedStream| {
+            let q = (c.residual_std / 3.0).powi(2);
+            c.n_matched() as f64 * (-q).exp()
+        };
+        candidates.sort_by(|a, b| {
+            score(b)
+                .partial_cmp(&score(a))
+                .expect("finite scores")
+                .then(b.rate_bps.partial_cmp(&a.rate_bps).expect("finite rates"))
+        });
+        let mut accepted_any = false;
+        for cand in candidates {
+            let matched: Vec<usize> = cand.matched.iter().flatten().copied().collect();
+            // Within a round, overlapping candidates lose to the better-
+            // ranked one; the next round re-tracks whatever is left.
+            if matched.iter().any(|&i| claimed[i]) {
+                continue;
+            }
+            if std::env::var("LF_DEBUG").is_ok() {
+                eprintln!("accept rate={} offset={:.1} matched={} std={:.2}", cand.rate_bps, cand.offset, matched.len(), cand.residual_std);
+            }
+            for i in matched {
+                claimed[i] = true;
+            }
+            streams.push(cand);
+            accepted_any = true;
+        }
+        if !accepted_any {
+            break;
+        }
+    }
+    streams
+}
+
+/// One gather pass: fold the unclaimed edges at every rate, track each
+/// peak, return all candidates that pass the structural validations.
+fn gather_candidates(
+    edges: &[EdgeEvent],
+    claimed: &[bool],
+    rate: BitRate,
+    n_samples: usize,
+    cfg: &DecoderConfig,
+) -> Vec<TrackedStream> {
+    let mut candidates = Vec::new();
+    let base = cfg.rate_plan.base_bps();
+    {
+        let rate_bps = rate.bps(base);
+        let period = cfg.period_samples(rate_bps);
+        // Need at least a handful of bit periods in the capture to lock.
+        if period * 4.0 > n_samples as f64 {
+            return candidates;
+        }
+        let bin_width = cfg.edge_width.max(period / 256.0);
+        let nbins = ((period / bin_width).round() as usize).clamp(8, 4096);
+        let window_bits = (bin_width / (cfg.drift_tolerance * period)).clamp(8.0, 1e9);
+        let window_samples = (window_bits * period).min(n_samples as f64);
+        let in_window: Vec<(usize, f64)> = edges
+            .iter()
+            .enumerate()
+            .filter(|&(i, e)| !claimed[i] && e.time < window_samples)
+            .map(|(i, e)| (i, e.time))
+            .collect();
+        if in_window.is_empty() {
+            return candidates;
+        }
+        let times: Vec<f64> = in_window.iter().map(|&(_, t)| t).collect();
+        let weights = vec![1.0; times.len()];
+        let hist = fold_events(&times, &weights, period, nbins);
+        let window_bits_actual = window_samples / period;
+        let min_weight = (cfg.min_stream_fill * window_bits_actual * 0.5).max(3.0);
+        for (bin, _) in hist.peaks(min_weight, 2) {
+            let peak_offset = hist.offset_of_bin(bin);
+            // Seed: earliest unclaimed edge in the window whose phase sits
+            // within ±1.5 bins of the peak.
+            let seed = in_window.iter().find(|&&(_, t)| {
+                let phase = t.rem_euclid(period);
+                let mut d = (phase - peak_offset).abs();
+                d = d.min(period - d);
+                d <= 1.5 * bin_width
+            });
+            let Some(&(seed_idx, _)) = seed else { continue };
+            if let Some(tracked) =
+                track_stream(edges, claimed, seed_idx, rate, period, n_samples, cfg)
+            {
+                candidates.push(tracked);
+            }
+        }
+    }
+    candidates
+}
+
+/// Tracks one stream from a seed edge, matching only unclaimed edges.
+/// Returns `None` when the candidate fails the structural validations
+/// (too few matches, rate aliases).
+fn track_stream(
+    edges: &[EdgeEvent],
+    claimed: &[bool],
+    seed_idx: usize,
+    rate: BitRate,
+    nominal_period: f64,
+    n_samples: usize,
+    cfg: &DecoderConfig,
+) -> Option<TrackedStream> {
+    // Matching tolerance: the slot prediction is good to ~a sample right
+    // after a match, but while *coasting* over flat (no-edge) slots the
+    // residual period error compounds — c slots of coasting accumulate up
+    // to c × (drift-tolerance × period) of drift. The window therefore
+    // grows with the coast length and snaps tight again on every match.
+    // (A fixed proportional window — the obvious alternative — is either
+    // too tight for sparse slow streams or so wide it hoovers up
+    // neighbours' edges and turns the track into junk.)
+    let tol_at = |coast: usize| {
+        let base = 2.0 * cfg.edge_width;
+        let growth = 2.5 * cfg.drift_tolerance * nominal_period * coast as f64;
+        let cap = base.max(nominal_period / 64.0);
+        (base + growth).min(cap).max(base)
+    };
+    // The tracked period may deviate from nominal by drift tolerance plus
+    // a little measurement slack.
+    let max_period_dev = nominal_period * (cfg.drift_tolerance * 2.0) + 0.5;
+
+    let t0 = edges[seed_idx].time;
+    let mut period_est = nominal_period;
+    let mut t = t0;
+    let mut slot_times = vec![t0];
+    let mut matched: Vec<Option<usize>> = vec![Some(seed_idx)];
+    let mut taken: Vec<usize> = vec![seed_idx];
+    let mut k = 0usize;
+
+    let mut coast = 1usize;
+    while t + period_est < n_samples as f64 {
+        k += 1;
+        let pred = t + period_est;
+        let tol = tol_at(coast);
+        let best = strongest_edge_in(edges, claimed, &taken, pred - tol, pred + tol);
+        match best {
+            Some(idx) => {
+                let et = edges[idx].time;
+                // Global-slope period refinement, gated to the physically
+                // possible drift range so one mis-association cannot drag
+                // the lock away.
+                if k >= 4 {
+                    let slope = (et - t0) / k as f64;
+                    if (slope - nominal_period).abs() <= max_period_dev {
+                        period_est = slope;
+                    }
+                }
+                // Advance along the fitted line, nudged only fractionally
+                // toward the measured edge: individual edge positions are
+                // noisy (the detection differential's peak jitters at low
+                // SNR), while crystal drift is a *linear* process the
+                // slope absorbs — the line is the better slot-grid
+                // estimate, and full snapping lets one bad association
+                // zigzag the track.
+                t = t0 + k as f64 * period_est + 0.25 * (et - (t0 + k as f64 * period_est));
+                matched.push(Some(idx));
+                taken.push(idx);
+                coast = 1;
+            }
+            None => {
+                t = pred;
+                matched.push(None);
+                coast += 1;
+            }
+        }
+        slot_times.push(t);
+    }
+
+    // --- Validation ---
+    let n_matched = matched.iter().filter(|m| m.is_some()).count();
+    if n_matched < 4 {
+        { if std::env::var("LF_DEBUG").is_ok() { eprintln!("reject rate={} t0={:.1} n={} reason=too_few", rate.bps(cfg.rate_plan.base_bps()), t0, matched.iter().flatten().count()); } return None; }
+    }
+    // Matched density within the active span (frames can end before the
+    // epoch does; trailing silence is fine, sparse matches inside the
+    // active span are not).
+    let last_matched_slot = matched.iter().rposition(|m| m.is_some()).unwrap_or(0);
+    let density = n_matched as f64 / (last_matched_slot + 1) as f64;
+    if density < 0.15 {
+        { if std::env::var("LF_DEBUG").is_ok() { eprintln!("reject rate={} t0={:.1} n={} reason=density", rate.bps(cfg.rate_plan.base_bps()), t0, matched.iter().flatten().count()); } return None; }
+    }
+    // Rate-alias check: when (almost) all matched slot indices fall into
+    // one residue class mod m ≥ 2, the edges are really an m×-slower
+    // stream folded onto this rate's grid. A strict gcd test would be
+    // defeated by a single stray noise match, so require only an 85 %
+    // majority.
+    let matched_slots: Vec<usize> = matched
+        .iter()
+        .enumerate()
+        .filter_map(|(i, m)| m.map(|_| i))
+        .collect();
+    for m in [2usize, 3, 4, 5] {
+        let mut counts = vec![0usize; m];
+        for &s in &matched_slots {
+            counts[s % m] += 1;
+        }
+        let majority = counts.iter().cloned().max().unwrap_or(0);
+        if majority as f64 >= 0.85 * matched_slots.len() as f64 {
+            { if std::env::var("LF_DEBUG").is_ok() { eprintln!("reject rate={} t0={:.1} n={} reason=residue_majority", rate.bps(cfg.rate_plan.base_bps()), t0, matched.iter().flatten().count()); } return None; }
+        }
+    }
+    // Residual dispersion around the fitted line — the arbitration
+    // quality metric.
+    let matched_pairs: Vec<(usize, f64)> = matched
+        .iter()
+        .enumerate()
+        .filter_map(|(i, m)| m.map(|idx| (i, edges[idx].time)))
+        .collect();
+    let residual_of = |&(slot, time): &(usize, f64)| time - (t0 + slot as f64 * period_est);
+    let mean_res =
+        matched_pairs.iter().map(residual_of).sum::<f64>() / matched_pairs.len() as f64;
+    let residual_std = (matched_pairs
+        .iter()
+        .map(|p| {
+            let r = residual_of(p) - mean_res;
+            r * r
+        })
+        .sum::<f64>()
+        / matched_pairs.len() as f64)
+        .sqrt();
+
+    // Super-rate (up-alias) check: a stream at rate m·r lands an edge on
+    // every m-th boundary of the rate-r grid, so a rate-r hypothesis over
+    // it looks perfectly healthy — while explaining only 1/m of the
+    // edges. The tell: the *inter-slot* positions (slot + j·period/m)
+    // hold about as many unexplained edges as the track matched. Reject
+    // and let the faster hypothesis claim the stream whole.
+    for m in [2usize, 3] {
+        let Ok(sup) = BitRate::from_multiple(rate.multiple().saturating_mul(m as u32))
+        else {
+            continue;
+        };
+        if !cfg.rate_plan.contains(sup) {
+            continue;
+        }
+        let sub_period = nominal_period / m as f64;
+        let probe = tol_at(1);
+        let mut between_diffs: Vec<lf_types::Complex> = Vec::new();
+        for &t in &slot_times {
+            for j in 1..m {
+                let pos = t + j as f64 * sub_period;
+                let start = edges.partition_point(|e| e.time < pos - probe);
+                for (i, e) in edges.iter().enumerate().skip(start) {
+                    if e.time > pos + probe {
+                        break;
+                    }
+                    if !claimed[i] && !taken.contains(&i) {
+                        between_diffs.push(e.diff);
+                        break;
+                    }
+                }
+            }
+        }
+        // A genuine up-alias matches essentially every inter-slot
+        // position (the faster stream toggles there about as often as at
+        // the slots this track matched); dense unrelated neighbours light
+        // up only a fraction of the probes.
+        if (between_diffs.len() as f64) < 0.7 * ((m - 1) * n_matched) as f64 {
+            continue;
+        }
+        // The between-edges must be the *same tag's* (one shared edge
+        // vector): an independent same-rate neighbour that happens to sit
+        // half a period away has its own channel vector, and must not
+        // trigger this rejection.
+        let mut union: Vec<lf_types::Complex> = matched
+            .iter()
+            .flatten()
+            .map(|&idx| edges[idx].diff)
+            .collect();
+        union.extend(between_diffs);
+        if collinearity_ratio(&union) < 0.1 {
+            return None;
+        }
+    }
+
+    // Interleave-alias check: m same-rate streams whose offsets sit
+    // roughly period/m apart can track as one m×-rate stream with every
+    // slot matched. The signature that separates a true interleave from a
+    // genuine stream (or from a genuine stream occasionally contaminated
+    // by a cross-rate neighbour) is the *conjunction* of:
+    //
+    //  (a) each slot-residue partition's edge diffs are collinear — each
+    //      partition is one tag's ±e line (a contaminated true stream
+    //      mixes pure and merged vectors inside a partition and fails
+    //      this);
+    //  (b) the partitions differ — either in direction (whole-set
+    //      direction diversity) or in timing (per-residue band means sit
+    //      at the tags' distinct sub-grid offsets).
+    //
+    // Requiring (a) AND (b) catches half-period interleaves with
+    // distinct or near-parallel channel vectors, while leaving mixed-rate
+    // deployments (where a 50 kbps neighbour periodically lands on one
+    // parity of a 100 kbps stream) alone.
+    let ediffs: Vec<(usize, lf_types::Complex)> = matched
+        .iter()
+        .enumerate()
+        .filter_map(|(i, m)| m.map(|idx| (i, edges[idx].diff)))
+        .collect();
+    if ediffs.len() >= 6 && matched_pairs.len() >= 6 {
+        let all: Vec<lf_types::Complex> = ediffs.iter().map(|&(_, d)| d).collect();
+        let whole_diverse = collinearity_ratio(&all) > 0.2;
+        for m in [2usize, 3] {
+            if !rate.multiple().is_multiple_of(m as u32) {
+                continue;
+            }
+            let Ok(sub) = BitRate::from_multiple(rate.multiple() / m as u32) else {
+                continue;
+            };
+            if !cfg.rate_plan.contains(sub) {
+                continue;
+            }
+            // (a) per-partition collinearity.
+            let mut parts: Vec<Vec<lf_types::Complex>> = vec![Vec::new(); m];
+            for &(slot, d) in &ediffs {
+                parts[slot % m].push(d);
+            }
+            let populated = parts.iter().filter(|p| p.len() >= 2).count();
+            let all_collinear = populated >= 2
+                && parts
+                    .iter()
+                    .filter(|p| p.len() >= 2)
+                    .all(|p| collinearity_ratio(p) < 0.1);
+            if !all_collinear {
+                continue;
+            }
+            // (b) timing bands.
+            let mut sums = vec![(0.0f64, 0usize); m];
+            for p in &matched_pairs {
+                let g = p.0 % m;
+                sums[g].0 += residual_of(p);
+                sums[g].1 += 1;
+            }
+            let means: Vec<f64> = sums
+                .iter()
+                .filter(|(_, c)| *c >= 3)
+                .map(|(sum, c)| sum / *c as f64)
+                .collect();
+            let timing_banded = means.len() >= 2 && {
+                let hi = means.iter().cloned().fold(f64::MIN, f64::max);
+                let lo = means.iter().cloned().fold(f64::MAX, f64::min);
+                hi - lo > 2.0
+            };
+            if whole_diverse || timing_banded {
+                { if std::env::var("LF_DEBUG").is_ok() { eprintln!("reject rate={} t0={:.1} n={} reason=interleave", rate.bps(cfg.rate_plan.base_bps()), t0, matched.iter().flatten().count()); } return None; }
+            }
+        }
+    }
+
+    Some(TrackedStream {
+        rate,
+        rate_bps: rate.bps(cfg.rate_plan.base_bps()),
+        nominal_period,
+        period_est,
+        offset: t0,
+        slot_times,
+        matched,
+        residual_std,
+    })
+}
+
+/// Strongest unclaimed edge in `[lo, hi]` not already taken by this
+/// track. Edges are sorted by time, so the window is a binary search.
+fn strongest_edge_in(
+    edges: &[EdgeEvent],
+    claimed: &[bool],
+    taken: &[usize],
+    lo: f64,
+    hi: f64,
+) -> Option<usize> {
+    let start = edges.partition_point(|e| e.time < lo);
+    let mut best: Option<usize> = None;
+    for (i, e) in edges.iter().enumerate().skip(start) {
+        if e.time > hi {
+            break;
+        }
+        if claimed[i] || taken.contains(&i) {
+            continue;
+        }
+        if best.is_none_or(|b| e.strength > edges[b].strength) {
+            best = Some(i);
+        }
+    }
+    best
+}
+
+/// Sign-invariant collinearity of a set of IQ vectors: the ratio λ₂/λ₁ of
+/// the eigenvalues of the outer-product scatter matrix Σ v·vᵀ. Vectors all
+/// along one line (in either direction) give ≈0; two distinct directions
+/// give O(1).
+fn collinearity_ratio(vs: &[lf_types::Complex]) -> f64 {
+    let (mut sxx, mut sxy, mut syy) = (0.0f64, 0.0f64, 0.0f64);
+    for v in vs {
+        // Unit directions: without normalization a strong tag's scatter
+        // drowns a weak orthogonal tag's, and the mix reads "collinear".
+        let n = v.abs();
+        if n < 1e-12 {
+            continue;
+        }
+        let (re, im) = (v.re / n, v.im / n);
+        sxx += re * re;
+        sxy += re * im;
+        syy += im * im;
+    }
+    let trace = sxx + syy;
+    if trace <= 0.0 {
+        return 0.0;
+    }
+    let d = ((sxx - syy).powi(2) + 4.0 * sxy * sxy).sqrt();
+    let l1 = 0.5 * (trace + d);
+    let l2 = 0.5 * (trace - d);
+    if l1 <= 0.0 {
+        0.0
+    } else {
+        (l2 / l1).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_types::{Complex, RatePlan, SampleRate};
+
+    fn cfg() -> DecoderConfig {
+        let mut c = DecoderConfig::at_sample_rate(SampleRate::from_msps(1.0));
+        c.rate_plan =
+            RatePlan::from_bps(100.0, &[5_000.0, 10_000.0, 20_000.0, 40_000.0]).unwrap();
+        c
+    }
+
+    /// Edge events of an NRZ stream with given bits, period, offset.
+    fn stream_edges(bits: &[bool], offset: f64, period: f64, h: Complex) -> Vec<EdgeEvent> {
+        let mut level = false;
+        let mut out = Vec::new();
+        for (k, &b) in bits.iter().enumerate() {
+            if b != level {
+                let diff = if b { h } else { -h };
+                out.push(EdgeEvent {
+                    time: offset + k as f64 * period,
+                    diff,
+                    strength: diff.abs(),
+                });
+                level = b;
+            }
+        }
+        out
+    }
+
+    fn alternating(n: usize) -> Vec<bool> {
+        (0..n).map(|k| k % 2 == 0).collect()
+    }
+
+    fn merge(mut a: Vec<EdgeEvent>, b: Vec<EdgeEvent>) -> Vec<EdgeEvent> {
+        a.extend(b);
+        a.sort_by(|x, y| x.time.partial_cmp(&y.time).unwrap());
+        a
+    }
+
+    #[test]
+    fn single_stream_locked_and_fully_matched() {
+        let c = cfg();
+        let period = 100.0; // 10 kbps at 1 Msps
+        let bits = alternating(200);
+        let edges = stream_edges(&bits, 57.0, period, Complex::new(0.1, 0.05));
+        let streams = find_streams(&edges, 21_000, &c);
+        assert_eq!(streams.len(), 1);
+        let s = &streams[0];
+        assert_eq!(s.rate_bps, 10_000.0);
+        assert!((s.offset - 57.0).abs() < 1.0);
+        assert_eq!(s.n_matched(), edges.len());
+        assert!(s.residual_std < 0.5, "clean stream residual {}", s.residual_std);
+    }
+
+    #[test]
+    fn two_rates_both_locked() {
+        let c = cfg();
+        let fast = stream_edges(&alternating(400), 31.0, 50.0, Complex::new(0.1, 0.0));
+        let slow = stream_edges(&alternating(100), 83.0, 200.0, Complex::new(0.0, 0.1));
+        let n_fast = fast.len();
+        let n_slow = slow.len();
+        let edges = merge(fast, slow);
+        let streams = find_streams(&edges, 21_000, &c);
+        assert_eq!(streams.len(), 2);
+        let mut rates: Vec<f64> = streams.iter().map(|s| s.rate_bps).collect();
+        rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(rates, vec![5_000.0, 20_000.0]);
+        let fast_s = streams.iter().find(|s| s.rate_bps == 20_000.0).unwrap();
+        let slow_s = streams.iter().find(|s| s.rate_bps == 5_000.0).unwrap();
+        assert_eq!(fast_s.n_matched(), n_fast);
+        assert_eq!(slow_s.n_matched(), n_slow);
+    }
+
+    #[test]
+    fn slow_stream_not_claimed_by_fast_hypothesis() {
+        // A 5 kbps stream (period 200) folds perfectly at period 100 and
+        // 50 too; the residue-majority check must push it down to its true
+        // rate.
+        let mut c = cfg();
+        c.rate_plan = RatePlan::from_bps(100.0, &[5_000.0, 10_000.0, 20_000.0]).unwrap();
+        let edges = stream_edges(&alternating(100), 40.0, 200.0, Complex::new(0.1, 0.0));
+        let streams = find_streams(&edges, 21_000, &c);
+        assert_eq!(streams.len(), 1);
+        assert_eq!(streams[0].rate_bps, 5_000.0);
+    }
+
+    #[test]
+    fn fast_stream_not_degraded_to_slow_alias() {
+        // A 10 kbps stream also produces a perfect-quality 5 kbps
+        // candidate (every second edge on the slow grid). Arbitration's
+        // rate tie-break must hand the edges to the fast owner.
+        let c = cfg();
+        let edges = stream_edges(&alternating(200), 40.0, 100.0, Complex::new(0.1, 0.0));
+        let streams = find_streams(&edges, 21_000, &c);
+        assert_eq!(streams.len(), 1);
+        assert_eq!(streams[0].rate_bps, 10_000.0);
+    }
+
+    #[test]
+    fn same_rate_distinct_offsets_are_two_streams() {
+        let c = cfg();
+        let a = stream_edges(&alternating(200), 20.0, 100.0, Complex::new(0.1, 0.0));
+        let b = stream_edges(&alternating(200), 70.0, 100.0, Complex::new(0.0, 0.1));
+        let edges = merge(a, b);
+        let streams = find_streams(&edges, 21_000, &c);
+        assert_eq!(streams.len(), 2);
+        let mut offsets: Vec<f64> = streams.iter().map(|s| s.offset).collect();
+        offsets.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((offsets[0] - 20.0).abs() < 1.0);
+        assert!((offsets[1] - 70.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn half_period_interleave_not_fused_into_double_rate() {
+        // Two 10 kbps streams offset by exactly half a period look like
+        // one 20 kbps stream in time; their non-collinear IQ diffs (or
+        // timing bands) must split them.
+        let c = cfg();
+        let a = stream_edges(&alternating(200), 20.0, 100.0, Complex::new(0.1, 0.0));
+        let b = stream_edges(&alternating(200), 70.0, 100.0, Complex::new(0.0, 0.1));
+        let edges = merge(a, b);
+        let streams = find_streams(&edges, 21_000, &c);
+        assert!(streams.iter().all(|s| s.rate_bps == 10_000.0));
+        assert_eq!(streams.len(), 2);
+    }
+
+    #[test]
+    fn drift_is_tracked_across_the_epoch() {
+        let c = cfg();
+        // 200 ppm fast clock: period 100.02 instead of 100. Over 200 bits
+        // the phase moves 4 samples — more than an edge width.
+        let period = 100.02;
+        let bits = alternating(200);
+        let edges = stream_edges(&bits, 57.0, period, Complex::new(0.1, 0.05));
+        let streams = find_streams(&edges, 21_000, &c);
+        assert_eq!(streams.len(), 1);
+        let s = &streams[0];
+        assert_eq!(s.n_matched(), edges.len(), "drift broke the lock");
+        assert!((s.period_est - period).abs() < 0.01, "period {}", s.period_est);
+    }
+
+    #[test]
+    fn sparse_toggles_still_lock() {
+        // Payload with toggles on ~1/3 of boundaries (but co-prime slot
+        // gaps so the alias check passes).
+        let bits: Vec<bool> = (0..300).map(|k| (k % 7 < 3) ^ (k % 11 < 5)).collect();
+        let edges = stream_edges(&bits, 25.0, 100.0, Complex::new(0.1, 0.0));
+        let streams = find_streams(&edges, 31_000, &cfg());
+        assert_eq!(streams.len(), 1);
+        assert_eq!(streams[0].rate_bps, 10_000.0);
+    }
+
+    #[test]
+    fn noise_edges_do_not_form_streams() {
+        // Pseudo-random edge times with no periodic structure.
+        let mut edges: Vec<EdgeEvent> = (0..60)
+            .map(|k| {
+                let t = ((k as f64 * 997.13).sin().abs() * 20_000.0).max(1.0);
+                EdgeEvent {
+                    time: t,
+                    diff: Complex::new(0.05, 0.0),
+                    strength: 0.05,
+                }
+            })
+            .collect();
+        edges.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap());
+        let streams = find_streams(&edges, 21_000, &cfg());
+        assert!(streams.is_empty(), "noise produced {} streams", streams.len());
+    }
+
+    #[test]
+    fn missed_edges_leave_unmatched_slots() {
+        // Remove every 5th edge: the tracker must coast over the gaps.
+        let bits = alternating(200);
+        let full = stream_edges(&bits, 57.0, 100.0, Complex::new(0.1, 0.05));
+        let total = full.len();
+        let edges: Vec<EdgeEvent> = full
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, e)| (i % 5 != 2).then_some(e))
+            .collect();
+        let streams = find_streams(&edges, 21_000, &cfg());
+        assert_eq!(streams.len(), 1);
+        let s = &streams[0];
+        assert_eq!(s.n_matched(), total - total.div_ceil(5));
+        assert!(s.n_slots() >= 199);
+    }
+
+    #[test]
+    fn merged_pile_tracks_at_true_rate() {
+        // Three tags at the same rate within a few samples of each other:
+        // the pile must be claimed at 10 kbps (one merged track), not at a
+        // faster alias, and not dropped entirely.
+        let c = cfg();
+        let mut all = Vec::new();
+        for (k, off) in [(0u64, 50.0), (1, 54.0), (2, 58.0)] {
+            let bits: Vec<bool> = (0..200)
+                .map(|i| i == 0 || ((i as u64 * 31 + k * 17) % 5) < 2)
+                .collect();
+            let h = Complex::from_polar(0.1, 0.9 * k as f64 + 0.2);
+            all = merge(all, stream_edges(&bits, off, 100.0, h));
+        }
+        let streams = find_streams(&all, 21_000, &c);
+        // The pile's primary claim must be at 10 kbps with its phase.
+        let primary = streams
+            .iter()
+            .max_by_key(|s| s.n_matched())
+            .expect("pile dropped entirely");
+        assert_eq!(primary.rate_bps, 10_000.0, "primary claim at wrong rate");
+        assert!((45.0..65.0).contains(&primary.offset), "offset {}", primary.offset);
+        // Nothing may be claimed at a *faster* rate (zigzag), and the
+        // primary must own the majority of the pile's edges. Leftover
+        // companion edges may form slower phantom streams — those fail
+        // their CRCs downstream and are a documented false-positive mode.
+        assert!(streams.iter().all(|s| s.rate_bps <= 10_000.0));
+        assert!(primary.n_matched() * 2 >= all.len() / 3);
+    }
+
+    #[test]
+    fn residual_std_reported() {
+        let edges = stream_edges(&alternating(100), 20.0, 100.0, Complex::new(0.1, 0.0));
+        let streams = find_streams(&edges, 11_000, &cfg());
+        assert_eq!(streams.len(), 1);
+        assert!(streams[0].residual_std < 0.1);
+    }
+}

@@ -1,0 +1,243 @@
+//! IQ-plane geometry: collinearity and the 2-collision parallelogram fit.
+//!
+//! §3.4: when two tags' edges collide, the 9 cluster centroids are
+//! `a·e1 + b·e2` with `a, b ∈ {−1, 0, 1}` — a 3×3 lattice whose outer 8
+//! points form a parallelogram with the single-edge vectors ±e1, ±e2 at the
+//! midpoints of its sides (Fig. 5). Recovering `e1`, `e2` from the centroids
+//! separates the collision *without channel estimation*, which is the
+//! paper's key robustness argument against Buzz.
+//!
+//! The paper finds the side midpoints by locating collinear triples of
+//! centroids. We implement that test ([`are_collinear`]) and a more robust
+//! variant of the same idea ([`fit_parallelogram`]): exhaustively try pairs
+//! of non-origin centroids as (e1, e2) and score how well the implied 3×3
+//! lattice explains all nine centroids. With only 8 candidate points this
+//! is 28 pairs — negligible work, and immune to the degenerate-collinearity
+//! corner cases of the midpoint search (e.g. when e1 ≈ ±e2 the "sides"
+//! blur together).
+
+use lf_types::Complex;
+
+/// True when three IQ points are collinear within `tol` (normalized by the
+/// span of the points, so the test is scale-free).
+pub fn are_collinear(a: Complex, b: Complex, c: Complex, tol: f64) -> bool {
+    // Cross product of (b-a) and (c-a), normalized by span².
+    let ab = b - a;
+    let ac = c - a;
+    let cross = (ab.re * ac.im - ab.im * ac.re).abs();
+    let span = ab.abs().max(ac.abs()).max((c - b).abs());
+    if span == 0.0 {
+        return true;
+    }
+    cross / (span * span) <= tol
+}
+
+/// The result of fitting a 2-collision lattice to cluster centroids.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelogramFit {
+    /// First recovered edge vector.
+    pub e1: Complex,
+    /// Second recovered edge vector.
+    pub e2: Complex,
+    /// Mean distance between the predicted lattice and the matched
+    /// centroids, normalized by the edge-vector scale (lower is better).
+    pub residual: f64,
+}
+
+/// The nine lattice points `a·e1 + b·e2`, `a, b ∈ {−1, 0, 1}`, in row-major
+/// (a, b) order.
+pub fn lattice9(e1: Complex, e2: Complex) -> [Complex; 9] {
+    let mut out = [Complex::ZERO; 9];
+    let mut idx = 0;
+    for a in [-1.0, 0.0, 1.0] {
+        for b in [-1.0, 0.0, 1.0] {
+            out[idx] = e1.scale(a) + e2.scale(b);
+            idx += 1;
+        }
+    }
+    out
+}
+
+/// Fits the 2-collision lattice to a set of (ideally 9) centroids.
+///
+/// Returns `None` when fewer than 5 centroids are provided (the lattice is
+/// under-determined), when every pairing leaves a large residual (the
+/// constellation is not a 2-collision — e.g. a 3-tag pile-up), or when the
+/// two recovered edge vectors are nearly parallel (the collision is
+/// geometrically inseparable; §5.1's Table 2 accuracy losses come from
+/// exactly these cases).
+///
+/// The returned `(e1, e2)` is one representative of the 8-fold
+/// sign/swap-symmetric family; the caller disambiguates signs with the
+/// anchor bit (§3.4) and the swap by stream identity.
+pub fn fit_parallelogram(centroids: &[Complex], tol: f64) -> Option<ParallelogramFit> {
+    if centroids.len() < 5 {
+        return None;
+    }
+    // The origin cluster is the centroid closest to 0; use it to correct a
+    // small DC offset left over from imperfect differential averaging.
+    let origin = centroids
+        .iter()
+        .copied()
+        .min_by(|a, b| a.norm_sqr().partial_cmp(&b.norm_sqr()).expect("finite"))?;
+    let pts: Vec<Complex> = centroids.iter().map(|&c| c - origin).collect();
+    // Candidate edge vectors: all non-origin centroids.
+    let scale = pts.iter().map(|p| p.abs()).fold(0.0_f64, f64::max);
+    if scale == 0.0 {
+        return None;
+    }
+    let candidates: Vec<Complex> = pts.iter().copied().filter(|p| p.abs() > 0.2 * scale).collect();
+
+    let mut best: Option<ParallelogramFit> = None;
+    for i in 0..candidates.len() {
+        for j in (i + 1)..candidates.len() {
+            let (u, v) = (candidates[i], candidates[j]);
+            // Skip (anti-)parallel pairs: u, -u cannot span the lattice.
+            let cross = (u.re * v.im - u.im * v.re).abs();
+            if cross < 1e-3 * u.abs() * v.abs() {
+                continue;
+            }
+            let lattice = lattice9(u, v);
+            // Score: every centroid must be near some lattice point, and
+            // every lattice point should be claimed by a near centroid.
+            let mut total = 0.0;
+            let mut worst = 0.0_f64;
+            for p in &pts {
+                let d = lattice
+                    .iter()
+                    .map(|l| l.distance(*p))
+                    .fold(f64::INFINITY, f64::min);
+                total += d;
+                worst = worst.max(d);
+            }
+            let residual = total / (pts.len() as f64 * scale);
+            if worst / scale > tol * 3.0 {
+                continue;
+            }
+            if residual <= tol && best.as_ref().is_none_or(|b| residual < b.residual) {
+                best = Some(ParallelogramFit {
+                    e1: u,
+                    e2: v,
+                    residual,
+                });
+            }
+        }
+    }
+    best
+}
+
+/// Classifies a point to the nearest lattice cell of `(e1, e2)`, returning
+/// the `(a, b)` direction coefficients in `{−1, 0, 1}` (Eq. 4's `ai`, `bi`).
+pub fn classify_lattice(p: Complex, e1: Complex, e2: Complex) -> (i8, i8) {
+    let mut best = (0i8, 0i8);
+    let mut best_d = f64::INFINITY;
+    for a in [-1i8, 0, 1] {
+        for b in [-1i8, 0, 1] {
+            let l = e1.scale(a as f64) + e2.scale(b as f64);
+            let d = l.distance_sqr(p);
+            if d < best_d {
+                best_d = d;
+                best = (a, b);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collinear_basic() {
+        let a = Complex::new(0.0, 0.0);
+        let b = Complex::new(1.0, 1.0);
+        let c = Complex::new(2.0, 2.0);
+        assert!(are_collinear(a, b, c, 1e-9));
+        assert!(!are_collinear(a, b, Complex::new(2.0, 2.5), 1e-3));
+        // Degenerate: identical points are collinear.
+        assert!(are_collinear(a, a, a, 0.0));
+    }
+
+    #[test]
+    fn lattice_has_expected_structure() {
+        let e1 = Complex::new(1.0, 0.0);
+        let e2 = Complex::new(0.0, 1.0);
+        let l = lattice9(e1, e2);
+        assert_eq!(l.len(), 9);
+        assert!(l.contains(&Complex::ZERO));
+        assert!(l.contains(&Complex::new(1.0, 1.0)));
+        assert!(l.contains(&Complex::new(-1.0, 1.0)));
+    }
+
+    #[test]
+    fn fit_recovers_exact_lattice() {
+        let e1 = Complex::new(0.07, 0.02);
+        let e2 = Complex::new(-0.01, 0.09);
+        let centroids = lattice9(e1, e2).to_vec();
+        let fit = fit_parallelogram(&centroids, 0.05).expect("exact lattice must fit");
+        // Recovered pair must span the same lattice (up to sign/swap):
+        let rec = lattice9(fit.e1, fit.e2);
+        for c in &centroids {
+            let d = rec.iter().map(|l| l.distance(*c)).fold(f64::INFINITY, f64::min);
+            assert!(d < 1e-9, "centroid {c} unexplained");
+        }
+        assert!(fit.residual < 1e-9);
+    }
+
+    #[test]
+    fn fit_tolerates_noise_and_offset() {
+        let e1 = Complex::new(0.06, -0.03);
+        let e2 = Complex::new(0.02, 0.08);
+        let offset = Complex::new(0.004, -0.002);
+        let noise = [
+            (0.001, -0.0005),
+            (-0.0008, 0.0012),
+            (0.0005, 0.0009),
+            (-0.0011, -0.0003),
+            (0.0002, -0.0012),
+            (0.0009, 0.0004),
+            (-0.0006, 0.0007),
+            (0.0012, -0.0009),
+            (-0.0004, 0.0002),
+        ];
+        let centroids: Vec<Complex> = lattice9(e1, e2)
+            .iter()
+            .zip(noise)
+            .map(|(l, (ni, nq))| *l + offset + Complex::new(ni, nq))
+            .collect();
+        let fit = fit_parallelogram(&centroids, 0.08).expect("noisy lattice must fit");
+        let rec = lattice9(fit.e1, fit.e2);
+        for c in lattice9(e1, e2) {
+            let d = rec.iter().map(|l| l.distance(c)).fold(f64::INFINITY, f64::min);
+            assert!(d < 0.01, "lattice point {c} missed by {d}");
+        }
+    }
+
+    #[test]
+    fn fit_rejects_non_lattice() {
+        // 9 points on a circle — not a 2-collision constellation.
+        let pts: Vec<Complex> = (0..9)
+            .map(|k| Complex::from_polar(1.0, k as f64 * 0.698))
+            .collect();
+        assert!(fit_parallelogram(&pts, 0.02).is_none());
+    }
+
+    #[test]
+    fn fit_rejects_underdetermined() {
+        let pts = vec![Complex::ZERO, Complex::new(1.0, 0.0)];
+        assert!(fit_parallelogram(&pts, 0.05).is_none());
+    }
+
+    #[test]
+    fn classification_matches_construction() {
+        let e1 = Complex::new(0.9, 0.1);
+        let e2 = Complex::new(-0.2, 0.8);
+        for a in [-1i8, 0, 1] {
+            for b in [-1i8, 0, 1] {
+                let p = e1.scale(a as f64) + e2.scale(b as f64) + Complex::new(0.02, -0.015);
+                assert_eq!(classify_lattice(p, e1, e2), (a, b));
+            }
+        }
+    }
+}

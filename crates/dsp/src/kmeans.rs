@@ -1,0 +1,318 @@
+//! K-means clustering over IQ points with model selection.
+//!
+//! §3.3: "we can detect if collisions are present by performing k-means
+//! clustering and determining the best fit in terms of number of clusters.
+//! If three clusters is not a good fit, then a collision is likely to have
+//! occurred." A single tag's edge differentials form 3 clusters
+//! (rising/falling/constant); k colliding tags form 3^k.
+//!
+//! Initialization is the deterministic farthest-point ("k-means‖"-style)
+//! variant of k-means++: the first centre is the point farthest from the
+//! data mean and each subsequent centre is the point farthest from all
+//! chosen centres. This removes the RNG from the decode path entirely, so a
+//! given capture always decodes identically — a property the integration
+//! tests rely on and a reasonable choice for a reference implementation.
+
+use lf_types::Complex;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centroids, `k` of them.
+    pub centroids: Vec<Complex>,
+    /// For each input point, the index of its centroid.
+    pub assignments: Vec<usize>,
+    /// Within-cluster sum of squared distances (the k-means objective).
+    pub inertia: f64,
+    /// Number of Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Number of points assigned to each cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centroids.len()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+
+    /// The points belonging to cluster `c`.
+    pub fn members(&self, points: &[Complex], c: usize) -> Vec<Complex> {
+        points
+            .iter()
+            .zip(&self.assignments)
+            .filter_map(|(p, &a)| (a == c).then_some(*p))
+            .collect()
+    }
+}
+
+/// Deterministic farthest-point initialization.
+fn init_centroids(points: &[Complex], k: usize) -> Vec<Complex> {
+    let mean = Complex::mean(points);
+    let mut centroids = Vec::with_capacity(k);
+    // First centre: farthest point from the mean — for edge-differential
+    // data this lands on an extreme corner of the constellation, which is a
+    // real cluster, unlike the mean itself (which may fall between
+    // clusters).
+    let first = points
+        .iter()
+        .copied()
+        .max_by(|a, b| {
+            a.distance_sqr(mean)
+                .partial_cmp(&b.distance_sqr(mean))
+                .expect("finite points")
+        })
+        .expect("non-empty points");
+    centroids.push(first);
+    let mut dist: Vec<f64> = points.iter().map(|p| p.distance_sqr(first)).collect();
+    while centroids.len() < k {
+        let (idx, _) = dist
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite distances"))
+            .expect("non-empty points");
+        let c = points[idx];
+        centroids.push(c);
+        for (d, p) in dist.iter_mut().zip(points) {
+            *d = d.min(p.distance_sqr(c));
+        }
+    }
+    centroids
+}
+
+/// Runs Lloyd's algorithm with deterministic farthest-point initialization.
+///
+/// `k` is clamped to the number of points. Panics if `points` is empty or
+/// `k` is zero — callers gate on having data first.
+pub fn kmeans(points: &[Complex], k: usize, max_iters: usize) -> KMeansResult {
+    assert!(!points.is_empty(), "kmeans needs at least one point");
+    assert!(k > 0, "kmeans needs k >= 1");
+    let k = k.min(points.len());
+    let mut centroids = init_centroids(points, k);
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        iterations += 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let (best, _) = centroids
+                .iter()
+                .enumerate()
+                .map(|(c, ctr)| (c, p.distance_sqr(*ctr)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                .expect("k >= 1");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![Complex::ZERO; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            sums[a] += *p;
+            counts[a] += 1;
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                centroids[c] = sums[c].scale(1.0 / counts[c] as f64);
+            }
+            // Empty clusters keep their old centre; with farthest-point init
+            // this only happens on duplicate-heavy data and is harmless.
+        }
+        if !changed && iterations > 1 {
+            break;
+        }
+    }
+    let inertia = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| p.distance_sqr(centroids[a]))
+        .sum();
+    KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
+}
+
+/// Fits k-means for each candidate `k` (ascending) and returns
+/// `(best_k, best_fit)` under an inertia-ratio criterion: a larger model is
+/// accepted only when it shrinks the within-cluster sum of squares by more
+/// than `min_improvement`×.
+///
+/// This is the paper's collision detector ("determining the best fit in
+/// terms of number of clusters", §3.3), specialized to its constellation
+/// geometry: splitting a genuinely 3-cluster stream into 9 clusters only
+/// buys the generic ≈k-fold inertia reduction of over-partitioning a blob
+/// (≈3×), while a true 2-tag collision forced into 3 clusters leaves
+/// entire lattice cells merged, so moving to 9 clusters shrinks inertia by
+/// the squared separation-to-noise ratio — orders of magnitude. A ratio
+/// threshold (default 8) separates the two regimes across the whole SNR
+/// range of Table 2, where an absolute (BIC-style) penalty does not: the
+/// over-partitioning gain grows with the point count, so any fixed penalty
+/// eventually loses to it.
+pub fn select_cluster_count(
+    points: &[Complex],
+    candidates: &[usize],
+    max_iters: usize,
+    min_improvement: f64,
+) -> (usize, KMeansResult) {
+    assert!(!candidates.is_empty(), "need at least one candidate k");
+    let mut sorted: Vec<usize> = candidates.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut best_k = sorted[0].min(points.len().max(1));
+    let mut best = kmeans(points, sorted[0], max_iters);
+    // Total scatter of the data; a fit whose residual is a negligible
+    // fraction of it is already perfect, and ratios of numerical dust
+    // (e.g. 1e-28 vs 1e-32 on noise-free input) must not promote a larger
+    // model.
+    let scatter: f64 = points.iter().map(|p| p.norm_sqr()).sum();
+    for &k in &sorted[1..] {
+        if best.inertia <= 1e-9 * scatter {
+            break;
+        }
+        let fit = kmeans(points, k, max_iters);
+        // A perfect (zero-inertia) smaller fit cannot be improved upon.
+        let improvement = if fit.inertia > 0.0 {
+            best.inertia / fit.inertia
+        } else if best.inertia > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        };
+        if improvement > min_improvement {
+            best_k = k.min(points.len());
+            best = fit;
+        }
+    }
+    (best_k, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-noise in [-1,1) from an integer, for building
+    /// test constellations without an RNG.
+    fn jitter(seed: u64) -> f64 {
+        let mut z = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z ^= z >> 29;
+        z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 32;
+        (z as f64 / u64::MAX as f64) * 2.0 - 1.0
+    }
+
+    fn blob(center: Complex, n: usize, spread: f64, seed: u64) -> Vec<Complex> {
+        (0..n)
+            .map(|i| {
+                center
+                    + Complex::new(
+                        jitter(seed + 2 * i as u64) * spread,
+                        jitter(seed + 2 * i as u64 + 1) * spread,
+                    )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn three_well_separated_blobs() {
+        let mut pts = blob(Complex::new(0.0, 0.0), 40, 0.05, 1);
+        pts.extend(blob(Complex::new(1.0, 1.0), 40, 0.05, 100));
+        pts.extend(blob(Complex::new(-1.0, 1.0), 40, 0.05, 200));
+        let fit = kmeans(&pts, 3, 50);
+        assert_eq!(fit.centroids.len(), 3);
+        let sizes = fit.cluster_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 120);
+        for s in sizes {
+            assert_eq!(s, 40, "each blob should be its own cluster");
+        }
+        // Every centroid lands near a true centre.
+        for truth in [
+            Complex::new(0.0, 0.0),
+            Complex::new(1.0, 1.0),
+            Complex::new(-1.0, 1.0),
+        ] {
+            assert!(
+                fit.centroids.iter().any(|c| c.distance(truth) < 0.1),
+                "no centroid near {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = vec![Complex::new(1.0, 0.0), Complex::new(-1.0, 0.0)];
+        let fit = kmeans(&pts, 5, 10);
+        assert_eq!(fit.centroids.len(), 2);
+        assert!(fit.inertia < 1e-20);
+    }
+
+    #[test]
+    fn identical_points_converge() {
+        let pts = vec![Complex::new(0.5, 0.5); 20];
+        let fit = kmeans(&pts, 3, 10);
+        assert!(fit.inertia < 1e-20);
+    }
+
+    #[test]
+    fn determinism() {
+        let mut pts = blob(Complex::new(0.3, -0.2), 30, 0.1, 7);
+        pts.extend(blob(Complex::new(-0.4, 0.6), 30, 0.1, 77));
+        let a = kmeans(&pts, 2, 50);
+        let b = kmeans(&pts, 2, 50);
+        assert_eq!(a.assignments, b.assignments);
+        for (x, y) in a.centroids.iter().zip(&b.centroids) {
+            assert!(x.approx_eq(*y, 0.0));
+        }
+    }
+
+    #[test]
+    fn model_selection_prefers_true_k_3() {
+        // 3 clusters of a non-collided stream: 0, +e, -e.
+        let e = Complex::new(0.8, 0.3);
+        let mut pts = blob(Complex::ZERO, 60, 0.03, 1);
+        pts.extend(blob(e, 60, 0.03, 2));
+        pts.extend(blob(-e, 60, 0.03, 3));
+        let (k, _) = select_cluster_count(&pts, &[3, 9], 50, 8.0);
+        assert_eq!(k, 3);
+    }
+
+    #[test]
+    fn model_selection_prefers_true_k_9() {
+        // 9 clusters of a 2-tag collision: a·e1 + b·e2, a,b ∈ {-1,0,1}.
+        let e1 = Complex::new(0.9, 0.1);
+        let e2 = Complex::new(-0.2, 0.7);
+        let mut pts = Vec::new();
+        let mut seed = 10;
+        for a in [-1.0, 0.0, 1.0] {
+            for b in [-1.0, 0.0, 1.0] {
+                pts.extend(blob(e1.scale(a) + e2.scale(b), 25, 0.02, seed));
+                seed += 1000;
+            }
+        }
+        let (k, fit) = select_cluster_count(&pts, &[3, 9], 50, 8.0);
+        assert_eq!(k, 9);
+        assert_eq!(fit.centroids.len(), 9);
+    }
+
+    #[test]
+    fn members_partition_points() {
+        let mut pts = blob(Complex::new(1.0, 0.0), 10, 0.01, 4);
+        pts.extend(blob(Complex::new(-1.0, 0.0), 15, 0.01, 5));
+        let fit = kmeans(&pts, 2, 20);
+        let total: usize = (0..2).map(|c| fit.members(&pts, c).len()).sum();
+        assert_eq!(total, pts.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_input_panics() {
+        let _ = kmeans(&[], 3, 10);
+    }
+}

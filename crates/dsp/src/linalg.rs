@@ -1,0 +1,280 @@
+//! Small dense real matrices and least squares.
+//!
+//! The Buzz baseline (§2.2, Eq. 1) decodes lock-step transmissions by
+//! inverting `y = d·h·b`. Our Buzz reproduction stacks the real and
+//! imaginary parts of the measurement into one real system and solves it in
+//! the least-squares sense; the systems involved are tiny (tens of rows and
+//! columns), so a plain Gaussian elimination over the normal equations is
+//! both adequate and dependency-free.
+
+use lf_types::{Error, Result};
+
+/// A dense row-major real matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a row-major data vector. Panics if the data
+    /// length does not match.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product. Panics on dimension mismatch.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in mul");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out[(r, c)] += a * rhs[(k, c)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product. Panics on dimension mismatch.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "dimension mismatch in mul_vec");
+        (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self[(r, c)] * v[c]).sum())
+            .collect()
+    }
+
+    /// Solves the square system `self · x = b` by Gaussian elimination with
+    /// partial pivoting. Returns [`Error::SingularSystem`] when a pivot
+    /// collapses.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve needs a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let n = self.rows;
+        // Augmented working copy.
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot = col;
+            for r in (col + 1)..n {
+                if a[r * n + col].abs() > a[pivot * n + col].abs() {
+                    pivot = r;
+                }
+            }
+            if a[pivot * n + col].abs() < 1e-12 {
+                return Err(Error::SingularSystem { rows: n, cols: n });
+            }
+            if pivot != col {
+                for c in 0..n {
+                    a.swap(col * n + c, pivot * n + c);
+                }
+                x.swap(col, pivot);
+            }
+            let inv = 1.0 / a[col * n + col];
+            for r in (col + 1)..n {
+                let f = a[r * n + col] * inv;
+                if f == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    a[r * n + c] -= f * a[col * n + c];
+                }
+                x[r] -= f * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut v = x[col];
+            for c in (col + 1)..n {
+                v -= a[col * n + c] * x[c];
+            }
+            x[col] = v / a[col * n + col];
+        }
+        Ok(x)
+    }
+
+    /// Solves `self · x ≈ b` in the least-squares sense via the normal
+    /// equations `(AᵀA + λI) x = Aᵀb`. A small Tikhonov `ridge` keeps the
+    /// system well-posed when measurements are nearly collinear (Buzz with
+    /// near-field-coupled tags produces exactly that).
+    pub fn least_squares(&self, b: &[f64], ridge: f64) -> Result<Vec<f64>> {
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        if self.rows < self.cols {
+            return Err(Error::SingularSystem {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let at = self.transpose();
+        let mut ata = at.mul(self);
+        for i in 0..self.cols {
+            ata[(i, i)] += ridge;
+        }
+        let atb = at.mul_vec(b);
+        ata.solve(&atb)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_indexing() {
+        let i3 = Matrix::identity(3);
+        assert_eq!(i3[(0, 0)], 1.0);
+        assert_eq!(i3[(0, 1)], 0.0);
+        let v = i3.mul_vec(&[1.0, 2.0, 3.0]);
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(0, 1)], 4.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn mul_known_product() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_rows(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let p = a.mul(&b);
+        assert_eq!(p, Matrix::from_rows(2, 2, vec![19.0, 22.0, 43.0, 50.0]));
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // x + 2y = 5; 3x - y = 1 → x = 1, y = 2.
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, -1.0]);
+        let x = a.solve(&[5.0, 1.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = a.solve(&[3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![4.0, 3.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(Error::SingularSystem { .. })
+        ));
+    }
+
+    #[test]
+    fn least_squares_overdetermined() {
+        // Fit y = 2x + 1 from noisy-free samples; 4 equations, 2 unknowns.
+        let a = Matrix::from_rows(4, 2, vec![0.0, 1.0, 1.0, 1.0, 2.0, 1.0, 3.0, 1.0]);
+        let b = [1.0, 3.0, 5.0, 7.0];
+        let x = a.least_squares(&b, 0.0).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_underdetermined_rejected() {
+        let a = Matrix::from_rows(1, 2, vec![1.0, 1.0]);
+        assert!(a.least_squares(&[1.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn ridge_stabilizes_collinear_columns() {
+        // Two identical columns: plain normal equations are singular; the
+        // ridge makes them solvable.
+        let a = Matrix::from_rows(3, 2, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+        assert!(a.least_squares(&[2.0, 4.0, 6.0], 0.0).is_err());
+        let x = a.least_squares(&[2.0, 4.0, 6.0], 1e-6).unwrap();
+        assert!((x[0] + x[1] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn solve_larger_random_like_system() {
+        // Deterministic well-conditioned 6x6 system: A = I*5 + small values.
+        let n = 6;
+        let mut a = Matrix::identity(n);
+        for r in 0..n {
+            for c in 0..n {
+                a[(r, c)] += ((r * 7 + c * 3) % 5) as f64 * 0.1;
+                if r == c {
+                    a[(r, c)] += 4.0;
+                }
+            }
+        }
+        let truth: Vec<f64> = (0..n).map(|i| i as f64 - 2.5).collect();
+        let b = a.mul_vec(&truth);
+        let x = a.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&truth) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+}

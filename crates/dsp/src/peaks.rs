@@ -1,0 +1,171 @@
+//! Local-maximum detection with threshold and dead zone.
+//!
+//! Edge extraction (§3.1) turns the IQ-differential magnitude series into a
+//! sparse list of candidate edge positions: a sample is an edge candidate
+//! when it is a local maximum, exceeds a noise-derived threshold, and no
+//! stronger candidate lies within the edge width (the dead zone prevents a
+//! single 3-sample-wide edge from being reported three times).
+
+/// A detected peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    /// Sample index of the peak.
+    pub index: usize,
+    /// Value at the peak.
+    pub value: f64,
+}
+
+/// Finds local maxima of `series` that are `>= threshold`, enforcing that
+/// peaks are at least `min_distance` samples apart (stronger peaks win).
+/// Returned peaks are sorted by index.
+pub fn find_peaks(series: &[f64], threshold: f64, min_distance: usize) -> Vec<Peak> {
+    let n = series.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Collect strict-or-plateau local maxima above threshold.
+    let mut candidates: Vec<Peak> = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let v = series[i];
+        if v < threshold {
+            i += 1;
+            continue;
+        }
+        // Plateau handling: advance to the end of a run of equal values and
+        // report its centre.
+        let start = i;
+        while i + 1 < n && series[i + 1] == v {
+            i += 1;
+        }
+        let left_ok = start == 0 || series[start - 1] < v;
+        let right_ok = i + 1 == n || series[i + 1] < v;
+        if left_ok && right_ok {
+            candidates.push(Peak {
+                index: (start + i) / 2,
+                value: v,
+            });
+        }
+        i += 1;
+    }
+    if min_distance <= 1 || candidates.len() <= 1 {
+        return candidates;
+    }
+    // Dead-zone suppression: keep strongest first.
+    let mut by_strength: Vec<usize> = (0..candidates.len()).collect();
+    by_strength.sort_by(|&a, &b| {
+        candidates[b]
+            .value
+            .partial_cmp(&candidates[a].value)
+            .expect("finite peak values")
+    });
+    let mut kept = vec![false; candidates.len()];
+    let mut kept_indices: Vec<usize> = Vec::new();
+    for &c in &by_strength {
+        let idx = candidates[c].index;
+        if kept_indices
+            .iter()
+            .all(|&k| idx.abs_diff(k) >= min_distance)
+        {
+            kept[c] = true;
+            kept_indices.push(idx);
+        }
+    }
+    let mut out: Vec<Peak> = candidates
+        .into_iter()
+        .zip(kept)
+        .filter_map(|(p, k)| k.then_some(p))
+        .collect();
+    out.sort_by_key(|p| p.index);
+    out
+}
+
+/// Estimates a detection threshold from a series as
+/// `median + k · MAD·1.4826` (a robust sigma estimate). Robust statistics
+/// matter here: the series *is* mostly noise punctuated by large edges, and
+/// a mean/σ threshold would be dragged up by the very edges we want to
+/// detect.
+pub fn robust_threshold(series: &[f64], k: f64) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    let med = crate::stats::median(series);
+    let deviations: Vec<f64> = series.iter().map(|x| (x - med).abs()).collect();
+    let mad = crate::stats::median(&deviations);
+    med + k * mad * 1.4826
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_peak() {
+        let s = [0.0, 0.1, 1.0, 0.1, 0.0];
+        let p = find_peaks(&s, 0.5, 1);
+        assert_eq!(p, vec![Peak { index: 2, value: 1.0 }]);
+    }
+
+    #[test]
+    fn threshold_filters() {
+        let s = [0.0, 0.4, 0.0, 0.9, 0.0];
+        let p = find_peaks(&s, 0.5, 1);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].index, 3);
+    }
+
+    #[test]
+    fn plateau_reports_centre_once() {
+        let s = [0.0, 1.0, 1.0, 1.0, 0.0];
+        let p = find_peaks(&s, 0.5, 1);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].index, 2);
+    }
+
+    #[test]
+    fn dead_zone_keeps_strongest() {
+        let s = [0.0, 0.8, 0.0, 1.0, 0.0, 0.7, 0.0];
+        // min_distance 3: peaks at 1, 3, 5; 3 is strongest, suppresses both.
+        let p = find_peaks(&s, 0.5, 3);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].index, 3);
+        // min_distance 2: 3 wins, 1 and 5 are exactly 2 away → kept.
+        let p = find_peaks(&s, 0.5, 2);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn edges_of_series_can_peak() {
+        let s = [1.0, 0.5, 0.0, 0.5, 1.0];
+        let p = find_peaks(&s, 0.5, 1);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].index, 0);
+        assert_eq!(p[1].index, 4);
+    }
+
+    #[test]
+    fn empty_series() {
+        assert!(find_peaks(&[], 0.0, 1).is_empty());
+    }
+
+    #[test]
+    fn robust_threshold_ignores_sparse_spikes() {
+        // Mostly small noise with a few huge spikes: threshold must stay
+        // near the noise floor, not be dragged up by spikes.
+        let mut s = vec![0.1; 1000];
+        for k in 0..10 {
+            s[k * 100] = 50.0;
+        }
+        let th = robust_threshold(&s, 6.0);
+        assert!(th < 1.0, "threshold {th} dragged up by spikes");
+        assert!(th >= 0.1);
+    }
+
+    #[test]
+    fn peaks_sorted_by_index() {
+        let s = [0.0, 0.9, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.8, 0.0];
+        let p = find_peaks(&s, 0.5, 2);
+        let idx: Vec<usize> = p.iter().map(|p| p.index).collect();
+        assert_eq!(idx, vec![1, 5, 8]);
+    }
+}

@@ -1,0 +1,277 @@
+//! Statistics: running moments, 2-D Gaussians, and the Gaussian Q-function.
+//!
+//! The Viterbi stage (§3.5) fits "the IQ values that are empirically
+//! observed to a two dimensional normal distribution
+//! (Vi, Vq) ∼ N(µi, µq, σi, σq, r)" and uses it as the emission probability.
+//! [`Gaussian2d`] is that distribution. The Q-function backs the analytic
+//! ASK BER reference used to sanity-check the Fig. 14 Monte Carlo.
+
+use lf_types::Complex;
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The population variance (0 with fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// The population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// An axis-aligned 2-D Gaussian over the IQ plane.
+///
+/// The correlation term `r` in the paper's N(µi, µq, σi, σq, r) is dominated
+/// by receiver noise, which is circularly symmetric, so we fit the
+/// axis-aligned form; the Viterbi decoder only needs relative likelihoods.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian2d {
+    /// Mean of the in-phase component.
+    pub mean_i: f64,
+    /// Mean of the quadrature component.
+    pub mean_q: f64,
+    /// Variance of the in-phase component.
+    pub var_i: f64,
+    /// Variance of the quadrature component.
+    pub var_q: f64,
+}
+
+impl Gaussian2d {
+    /// Fits a Gaussian to a set of IQ points. `floor` is a variance floor
+    /// that prevents a degenerate (zero-variance) fit when a cluster holds
+    /// few or identical points — without it the log-pdf blows up and a
+    /// single cluster can veto the Viterbi path.
+    pub fn fit(points: &[Complex], floor: f64) -> Self {
+        let mut si = RunningStats::new();
+        let mut sq = RunningStats::new();
+        for p in points {
+            si.push(p.re);
+            sq.push(p.im);
+        }
+        Gaussian2d {
+            mean_i: si.mean(),
+            mean_q: sq.mean(),
+            var_i: si.variance().max(floor),
+            var_q: sq.variance().max(floor),
+        }
+    }
+
+    /// Constructs a Gaussian from explicit parameters.
+    pub fn new(mean: Complex, var_i: f64, var_q: f64) -> Self {
+        Gaussian2d {
+            mean_i: mean.re,
+            mean_q: mean.im,
+            var_i,
+            var_q,
+        }
+    }
+
+    /// The mean as an IQ point.
+    pub fn mean(&self) -> Complex {
+        Complex::new(self.mean_i, self.mean_q)
+    }
+
+    /// Log probability density at `p` (up to the same additive constant for
+    /// all Gaussians with equal variances — fine for ML path comparison,
+    /// and we keep the per-Gaussian normalization term so unequal variances
+    /// are compared correctly too).
+    pub fn log_pdf(&self, p: Complex) -> f64 {
+        let di = p.re - self.mean_i;
+        let dq = p.im - self.mean_q;
+        -0.5 * (di * di / self.var_i + dq * dq / self.var_q)
+            - 0.5 * (self.var_i.ln() + self.var_q.ln())
+    }
+}
+
+/// The Gaussian Q-function Q(x) = P(N(0,1) > x), via `erfc`.
+pub fn q_function(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function. Rust's std lacks `erfc`; this is the
+/// Numerical-Recipes rational Chebyshev approximation, accurate to ~1.2e-7
+/// everywhere — far below the Monte-Carlo noise of the BER experiments.
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Mean of a slice (0 if empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance of a slice (0 if fewer than 2 elements).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Median of a slice (0 if empty). Does not require pre-sorted input.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in median input"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        0.5 * (v[mid - 1] + v[mid])
+    }
+}
+
+/// Percentile (0–100) of a slice via nearest-rank; 0 if empty.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in percentile input"));
+    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    v[rank.min(v.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut rs = RunningStats::new();
+        for &x in &xs {
+            rs.push(x);
+        }
+        assert_eq!(rs.count(), 8);
+        assert!((rs.mean() - 5.0).abs() < 1e-12);
+        assert!((rs.variance() - 4.0).abs() < 1e-12);
+        assert!((rs.std_dev() - 2.0).abs() < 1e-12);
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let rs = RunningStats::new();
+        assert_eq!(rs.mean(), 0.0);
+        assert_eq!(rs.variance(), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn gaussian_fit_recovers_moments() {
+        let pts: Vec<Complex> = (0..100)
+            .map(|k| Complex::new(1.0 + (k % 5) as f64 * 0.1, -2.0 + (k % 3) as f64 * 0.2))
+            .collect();
+        let g = Gaussian2d::fit(&pts, 1e-12);
+        assert!((g.mean_i - 1.2).abs() < 1e-9);
+        assert!((g.mean_q + 1.8).abs() < 0.02);
+        assert!(g.var_i > 0.0 && g.var_q > 0.0);
+    }
+
+    #[test]
+    fn gaussian_floor_prevents_degeneracy() {
+        let pts = vec![Complex::new(1.0, 1.0); 10];
+        let g = Gaussian2d::fit(&pts, 1e-6);
+        assert_eq!(g.var_i, 1e-6);
+        assert!(g.log_pdf(Complex::new(1.0, 1.0)).is_finite());
+    }
+
+    #[test]
+    fn log_pdf_peaks_at_mean() {
+        let g = Gaussian2d::new(Complex::new(0.5, -0.5), 0.01, 0.02);
+        let at_mean = g.log_pdf(Complex::new(0.5, -0.5));
+        assert!(at_mean > g.log_pdf(Complex::new(0.6, -0.5)));
+        assert!(at_mean > g.log_pdf(Complex::new(0.5, -0.3)));
+    }
+
+    #[test]
+    fn q_function_reference_values() {
+        // Q(0)=0.5, Q(1)≈0.158655, Q(2)≈0.022750, Q(3)≈1.3499e-3.
+        assert!((q_function(0.0) - 0.5).abs() < 1e-7);
+        assert!((q_function(1.0) - 0.158655).abs() < 1e-5);
+        assert!((q_function(2.0) - 0.0227501).abs() < 1e-5);
+        assert!((q_function(3.0) - 1.3499e-3).abs() < 1e-6);
+        // Symmetry: Q(-x) = 1 - Q(x).
+        assert!((q_function(-1.5) - (1.0 - q_function(1.5))).abs() < 1e-7);
+    }
+
+    #[test]
+    fn erfc_bounds() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!(erfc(5.0) < 1e-10);
+        assert!((erfc(-5.0) - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn median_and_percentile() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(median(&xs), 3.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+    }
+}

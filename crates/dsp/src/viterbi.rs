@@ -1,0 +1,370 @@
+//! The 4-state edge-constraint Viterbi decoder (§3.5, Fig. 6).
+//!
+//! "We simply leverage the fact that certain sequences are just not
+//! possible. For example, a rising edge followed by a rising edge is
+//! obviously an error. To correct for such errors, we use a Viterbi decoder
+//! with four states: ↑ (positive edge), ↓ (negative edge), −+ (no edge
+//! found but previous edge is a positive one) and −− (no edge but previous
+//! edge is negative)."
+//!
+//! The observation at each bit slot is the complex edge differential
+//! measured there; emissions are the 2-D Gaussians fitted to the three IQ
+//! clusters (rising / falling / constant). The decoded bit for a slot is
+//! the antenna *level after* the slot boundary: 1 after ↑ or −+, 0 after ↓
+//! or −−, matching the NRZ level coding of Table 1.
+
+use crate::stats::Gaussian2d;
+use lf_types::{BitVec, Complex};
+
+/// The four trellis states of Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeState {
+    /// ↑ — a positive (rising) edge at this slot boundary.
+    Rise,
+    /// ↓ — a negative (falling) edge at this slot boundary.
+    Fall,
+    /// −+ — no edge at this boundary; the level remains high.
+    FlatHigh,
+    /// −− — no edge at this boundary; the level remains low.
+    FlatLow,
+}
+
+impl EdgeState {
+    /// All states, indexable by [`EdgeState::index`].
+    pub const ALL: [EdgeState; 4] = [
+        EdgeState::Rise,
+        EdgeState::Fall,
+        EdgeState::FlatHigh,
+        EdgeState::FlatLow,
+    ];
+
+    /// Dense index of the state.
+    pub fn index(self) -> usize {
+        match self {
+            EdgeState::Rise => 0,
+            EdgeState::Fall => 1,
+            EdgeState::FlatHigh => 2,
+            EdgeState::FlatLow => 3,
+        }
+    }
+
+    /// The antenna level *after* this slot boundary.
+    pub fn level(self) -> bool {
+        matches!(self, EdgeState::Rise | EdgeState::FlatHigh)
+    }
+
+    /// The physically valid successor states: the next boundary either
+    /// toggles the level (an edge in the opposite direction) or keeps it
+    /// (the matching flat state). Two rising edges can never be adjacent.
+    pub fn successors(self) -> [EdgeState; 2] {
+        if self.level() {
+            [EdgeState::Fall, EdgeState::FlatHigh]
+        } else {
+            [EdgeState::Rise, EdgeState::FlatLow]
+        }
+    }
+}
+
+/// Emission model: one Gaussian per physical edge class. `Rise` emits from
+/// `rise`, `Fall` from `fall`, and both flat states from `flat`.
+#[derive(Debug, Clone, Copy)]
+pub struct EmissionModel {
+    /// Gaussian of the rising-edge differential cluster (+e).
+    pub rise: Gaussian2d,
+    /// Gaussian of the falling-edge differential cluster (−e).
+    pub fall: Gaussian2d,
+    /// Gaussian of the no-edge cluster (origin).
+    pub flat: Gaussian2d,
+}
+
+impl EmissionModel {
+    /// Builds the natural model for edge vector `e` with per-axis noise
+    /// variance `var`: clusters at +e, −e, and 0.
+    pub fn for_edge_vector(e: Complex, var: f64) -> Self {
+        EmissionModel {
+            rise: Gaussian2d::new(e, var, var),
+            fall: Gaussian2d::new(-e, var, var),
+            flat: Gaussian2d::new(Complex::ZERO, var, var),
+        }
+    }
+
+    fn log_pdf(&self, state: EdgeState, obs: Complex) -> f64 {
+        match state {
+            EdgeState::Rise => self.rise.log_pdf(obs),
+            EdgeState::Fall => self.fall.log_pdf(obs),
+            EdgeState::FlatHigh | EdgeState::FlatLow => self.flat.log_pdf(obs),
+        }
+    }
+}
+
+/// The Viterbi decoder over the 4-state edge trellis.
+#[derive(Debug, Clone)]
+pub struct ViterbiDecoder {
+    emissions: EmissionModel,
+    /// log P(edge) at a boundary given the level may toggle; the complement
+    /// is log P(stay flat). §3.5: "We learn state transition probabilities"
+    /// — for random payload bits this is 0.5, the default.
+    log_p_toggle: f64,
+    log_p_stay: f64,
+}
+
+impl ViterbiDecoder {
+    /// Creates a decoder with equiprobable toggle/stay transitions.
+    pub fn new(emissions: EmissionModel) -> Self {
+        ViterbiDecoder::with_toggle_prob(emissions, 0.5)
+    }
+
+    /// Creates a decoder with a learned toggle probability (the fraction of
+    /// bit boundaries that carry an edge). Clamped away from {0,1} so both
+    /// branches stay reachable.
+    pub fn with_toggle_prob(emissions: EmissionModel, p_toggle: f64) -> Self {
+        let p = p_toggle.clamp(0.01, 0.99);
+        ViterbiDecoder {
+            emissions,
+            log_p_toggle: p.ln(),
+            log_p_stay: (1.0 - p).ln(),
+        }
+    }
+
+    fn transition_cost(&self, to: EdgeState) -> f64 {
+        match to {
+            EdgeState::Rise | EdgeState::Fall => self.log_p_toggle,
+            EdgeState::FlatHigh | EdgeState::FlatLow => self.log_p_stay,
+        }
+    }
+
+    /// Decodes a sequence of per-slot edge differentials into the ML state
+    /// path. `initial_level` is the known antenna level *before* the first
+    /// slot (tags idle low before the frame, so frame decoding passes
+    /// `false`; `None` allows any start).
+    pub fn decode_states(&self, observations: &[Complex], initial_level: Option<bool>) -> Vec<EdgeState> {
+        let n = observations.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        const NEG_INF: f64 = f64::NEG_INFINITY;
+        let mut score = [NEG_INF; 4];
+        // First slot: allowed states depend on the level before it.
+        for s in EdgeState::ALL {
+            let allowed = match initial_level {
+                None => true,
+                // Coming from level `l`, the first boundary may toggle to the
+                // opposite edge or stay flat at `l`.
+                Some(l) => {
+                    if l {
+                        matches!(s, EdgeState::Fall | EdgeState::FlatHigh)
+                    } else {
+                        matches!(s, EdgeState::Rise | EdgeState::FlatLow)
+                    }
+                }
+            };
+            if allowed {
+                score[s.index()] =
+                    self.transition_cost(s) + self.emissions.log_pdf(s, observations[0]);
+            }
+        }
+        let mut backptr: Vec<[usize; 4]> = Vec::with_capacity(n);
+        backptr.push([usize::MAX; 4]);
+        for &obs in &observations[1..] {
+            let mut next = [NEG_INF; 4];
+            let mut bp = [usize::MAX; 4];
+            for from in EdgeState::ALL {
+                let base = score[from.index()];
+                if base == NEG_INF {
+                    continue;
+                }
+                for to in from.successors() {
+                    let cand =
+                        base + self.transition_cost(to) + self.emissions.log_pdf(to, obs);
+                    if cand > next[to.index()] {
+                        next[to.index()] = cand;
+                        bp[to.index()] = from.index();
+                    }
+                }
+            }
+            score = next;
+            backptr.push(bp);
+        }
+        // Backtrack from the best final state.
+        let mut best = 0;
+        for i in 1..4 {
+            if score[i] > score[best] {
+                best = i;
+            }
+        }
+        let mut path = vec![EdgeState::ALL[best]; n];
+        let mut cur = best;
+        for t in (1..n).rev() {
+            cur = backptr[t][cur];
+            path[t - 1] = EdgeState::ALL[cur];
+        }
+        path
+    }
+
+    /// Decodes observations straight to bits (the level after each slot).
+    pub fn decode_bits(&self, observations: &[Complex], initial_level: Option<bool>) -> BitVec {
+        self.decode_states(observations, initial_level)
+            .into_iter()
+            .map(|s| s.level())
+            .collect()
+    }
+}
+
+/// Hard-decision decoding (nearest cluster, no sequence constraint): the
+/// baseline the Fig. 9 "Edge+IQ" stage uses before error correction is
+/// enabled. Exposed so the ablation can compare the two on identical
+/// observations.
+pub fn hard_decode_bits(
+    observations: &[Complex],
+    e: Complex,
+    initial_level: bool,
+) -> BitVec {
+    let mut level = initial_level;
+    observations
+        .iter()
+        .map(|&obs| {
+            let d_rise = obs.distance_sqr(e);
+            let d_fall = obs.distance_sqr(-e);
+            let d_flat = obs.norm_sqr();
+            if d_rise <= d_fall && d_rise <= d_flat {
+                level = true;
+            } else if d_fall <= d_rise && d_fall <= d_flat {
+                level = false;
+            }
+            // Flat keeps the current level.
+            level
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const E: Complex = Complex { re: 1.0, im: 0.5 };
+
+    fn observations_for_bits(bits: &[bool]) -> Vec<Complex> {
+        let mut level = false;
+        bits.iter()
+            .map(|&b| {
+                let obs = match (level, b) {
+                    (false, true) => E,
+                    (true, false) => -E,
+                    _ => Complex::ZERO,
+                };
+                level = b;
+                obs
+            })
+            .collect()
+    }
+
+    fn decoder() -> ViterbiDecoder {
+        ViterbiDecoder::new(EmissionModel::for_edge_vector(E, 0.05))
+    }
+
+    #[test]
+    fn clean_sequence_decodes_exactly() {
+        // Table 1's example: 1 0 0 0 0 1 1 0 1 0.
+        let bits = [true, false, false, false, false, true, true, false, true, false];
+        let obs = observations_for_bits(&bits);
+        let decoded = decoder().decode_bits(&obs, Some(false));
+        assert_eq!(decoded.as_slice(), &bits);
+    }
+
+    #[test]
+    fn state_path_respects_constraints() {
+        let bits = [true, true, false, true, false, false];
+        let obs = observations_for_bits(&bits);
+        let states = decoder().decode_states(&obs, Some(false));
+        for w in states.windows(2) {
+            assert!(
+                w[0].successors().contains(&w[1]),
+                "illegal transition {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn corrects_a_missed_edge() {
+        // Bits 1,0 produce ↑ then ↓; zero out the second observation (a
+        // missed falling edge). Hard decision holds the level high forever;
+        // Viterbi must still prefer ↓ or at least produce a legal path.
+        let bits = [true, false, true, false, true, false];
+        let mut obs = observations_for_bits(&bits);
+        obs[1] = Complex::new(0.1, 0.05); // nearly flat — missed edge
+        let decoded = decoder().decode_bits(&obs, Some(false));
+        // The remaining strong edges force the sequence back on track: the
+        // later rises are only legal if the level fell in between.
+        assert_eq!(decoded.as_slice()[2..], bits[2..]);
+    }
+
+    #[test]
+    fn corrects_a_spurious_double_rise() {
+        // Observations claim ↑ ↑ (physically impossible). The decoder must
+        // output a legal sequence, flipping one of them.
+        let obs = vec![E, E, -E];
+        let states = decoder().decode_states(&obs, Some(false));
+        for w in states.windows(2) {
+            assert!(w[0].successors().contains(&w[1]));
+        }
+        // Exactly one of the two claimed rises survives (which one is a
+        // legitimate tie — both explanations drop one observation), and the
+        // final strong falling edge is decoded as such.
+        let rises = states[..2]
+            .iter()
+            .filter(|&&s| s == EdgeState::Rise)
+            .count();
+        assert_eq!(rises, 1);
+        assert_eq!(states[2], EdgeState::Fall);
+    }
+
+    #[test]
+    fn initial_level_constrains_first_slot() {
+        // A falling edge cannot be the first event when we start low.
+        let obs = vec![-E, E];
+        let states = decoder().decode_states(&obs, Some(false));
+        assert_ne!(states[0], EdgeState::Fall);
+        // Starting high it is the natural decode.
+        let states = decoder().decode_states(&obs, Some(true));
+        assert_eq!(states[0], EdgeState::Fall);
+        assert_eq!(states[1], EdgeState::Rise);
+    }
+
+    #[test]
+    fn noisy_sequence_beats_hard_decision() {
+        // With moderate noise the Viterbi leverage over per-slot decisions
+        // shows up as fewer bit errors on a constraint-violating stream.
+        let bits: Vec<bool> = (0..200).map(|k| (k * 7 % 3) == 0).collect();
+        let mut obs = observations_for_bits(&bits);
+        // Corrupt every 17th observation toward the wrong cluster.
+        for (k, o) in obs.iter_mut().enumerate() {
+            if k % 17 == 3 {
+                *o = Complex::ZERO; // erase edges
+            }
+        }
+        let vit = decoder().decode_bits(&obs, Some(false));
+        let hard = hard_decode_bits(&obs, E, false);
+        let truth: BitVec = bits.iter().copied().collect();
+        assert!(
+            truth.hamming_distance(&vit) <= truth.hamming_distance(&hard),
+            "viterbi ({}) should not be worse than hard decision ({})",
+            truth.hamming_distance(&vit),
+            truth.hamming_distance(&hard)
+        );
+    }
+
+    #[test]
+    fn empty_observations() {
+        assert!(decoder().decode_bits(&[], Some(false)).is_empty());
+    }
+
+    #[test]
+    fn hard_decode_basic() {
+        let bits = [true, false, true, true, false];
+        let obs = observations_for_bits(&bits);
+        let decoded = hard_decode_bits(&obs, E, false);
+        assert_eq!(decoded.as_slice(), &bits);
+    }
+}

@@ -1,0 +1,131 @@
+//! Moving averages and windowed reductions over sample streams.
+//!
+//! Edge extraction (§3.1) averages "a set of points between the previous
+//! edge to the current edge" on each side of a candidate edge to beat down
+//! noise before taking the IQ differential; these helpers implement that
+//! averaging for both real and complex series.
+
+use lf_types::Complex;
+
+/// Centred boxcar moving average of width `window` (clamped at the ends).
+/// `window` must be ≥ 1; even widths are biased half a sample late, which
+/// is irrelevant for our use (thresholding a magnitude series).
+pub fn moving_average(series: &[f64], window: usize) -> Vec<f64> {
+    assert!(window >= 1, "window must be >= 1");
+    let n = series.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let half = window / 2;
+    // Prefix sums for O(n).
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    for &v in series {
+        prefix.push(prefix.last().unwrap() + v);
+    }
+    (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + window - half).min(n);
+            (prefix[hi] - prefix[lo]) / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// Mean of `series[lo..hi]` with the bounds clamped to the series; returns
+/// zero for an empty intersection.
+pub fn mean_range(series: &[Complex], lo: isize, hi: isize) -> Complex {
+    let n = series.len() as isize;
+    let lo = lo.clamp(0, n) as usize;
+    let hi = hi.clamp(0, n) as usize;
+    if lo >= hi {
+        return Complex::ZERO;
+    }
+    Complex::mean(&series[lo..hi])
+}
+
+/// Magnitude of the first difference of a complex series, at a `gap`:
+/// `|s[t+gap] − s[t]|` for every valid `t`. The raw material for edge
+/// candidate detection: an antenna toggle with an `gap`-sample rise time
+/// shows as a localized bump in this series.
+pub fn diff_magnitude(series: &[Complex], gap: usize) -> Vec<f64> {
+    assert!(gap >= 1, "gap must be >= 1");
+    if series.len() <= gap {
+        return Vec::new();
+    }
+    (0..series.len() - gap)
+        .map(|t| (series[t + gap] - series[t]).abs())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_flat_series() {
+        let s = vec![2.0; 10];
+        assert_eq!(moving_average(&s, 3), vec![2.0; 10]);
+    }
+
+    #[test]
+    fn moving_average_smooths_impulse() {
+        let mut s = vec![0.0; 9];
+        s[4] = 3.0;
+        let m = moving_average(&s, 3);
+        assert!((m[3] - 1.0).abs() < 1e-12);
+        assert!((m[4] - 1.0).abs() < 1e-12);
+        assert!((m[5] - 1.0).abs() < 1e-12);
+        assert_eq!(m[0], 0.0);
+    }
+
+    #[test]
+    fn moving_average_window_one_is_identity() {
+        let s = [1.0, -2.0, 3.5];
+        assert_eq!(moving_average(&s, 1), s.to_vec());
+    }
+
+    #[test]
+    fn moving_average_edges_clamp() {
+        let s = [1.0, 2.0, 3.0];
+        let m = moving_average(&s, 5);
+        // Every window covers the full series at len 3 with window 5 clamped.
+        assert!((m[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_range_clamps_and_handles_empty() {
+        let s = [
+            Complex::new(1.0, 0.0),
+            Complex::new(2.0, 0.0),
+            Complex::new(3.0, 0.0),
+        ];
+        assert!(mean_range(&s, -5, 2).approx_eq(Complex::new(1.5, 0.0), 1e-12));
+        assert!(mean_range(&s, 1, 100).approx_eq(Complex::new(2.5, 0.0), 1e-12));
+        assert_eq!(mean_range(&s, 2, 2), Complex::ZERO);
+        assert_eq!(mean_range(&s, 3, 1), Complex::ZERO);
+    }
+
+    #[test]
+    fn diff_magnitude_detects_step() {
+        let mut s = vec![Complex::ZERO; 10];
+        for z in s.iter_mut().skip(5) {
+            *z = Complex::new(1.0, 1.0);
+        }
+        let d = diff_magnitude(&s, 1);
+        assert_eq!(d.len(), 9);
+        let peak = d
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert_eq!(peak.0, 4);
+        assert!((peak.1 - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_magnitude_short_series() {
+        assert!(diff_magnitude(&[Complex::ONE], 1).is_empty());
+        assert!(diff_magnitude(&[], 3).is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests over the DSP primitives.
+
+use lf_dsp::crc::{Crc16Ccitt, Crc5};
+use lf_dsp::fold::fold_events;
+use lf_dsp::kmeans::kmeans;
+use lf_dsp::linalg::Matrix;
+use lf_dsp::peaks::find_peaks;
+use lf_types::{BitVec, Complex};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CRC framing round-trips for arbitrary payloads, both widths.
+    #[test]
+    fn crc_round_trips(bits in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let payload: BitVec = bits.into_iter().collect();
+        prop_assert_eq!(Crc5::verify(&Crc5::append(&payload)), Some(payload.clone()));
+        prop_assert_eq!(
+            Crc16Ccitt::verify(&Crc16Ccitt::append(&payload)),
+            Some(payload)
+        );
+    }
+
+    /// K-means invariants: assignments in range, every point's centroid
+    /// is its nearest, inertia is non-negative and consistent.
+    #[test]
+    fn kmeans_invariants(
+        pts in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 1..120),
+        k in 1usize..6,
+    ) {
+        let points: Vec<Complex> = pts.into_iter().map(|(a, b)| Complex::new(a, b)).collect();
+        let fit = kmeans(&points, k, 40);
+        prop_assert!(fit.centroids.len() <= k.max(1));
+        prop_assert_eq!(fit.assignments.len(), points.len());
+        let mut inertia = 0.0;
+        for (p, &a) in points.iter().zip(&fit.assignments) {
+            prop_assert!(a < fit.centroids.len());
+            let own = p.distance_sqr(fit.centroids[a]);
+            for c in &fit.centroids {
+                prop_assert!(own <= p.distance_sqr(*c) + 1e-9);
+            }
+            inertia += own;
+        }
+        prop_assert!((inertia - fit.inertia).abs() < 1e-6 * (1.0 + inertia));
+    }
+
+    /// Folding conserves total weight and count.
+    #[test]
+    fn folding_conserves_mass(
+        times in proptest::collection::vec(0.0f64..100_000.0, 1..200),
+        period in 10.0f64..5_000.0,
+    ) {
+        let weights = vec![1.0; times.len()];
+        let h = fold_events(&times, &weights, period, 64);
+        let total: f64 = h.bins.iter().sum();
+        prop_assert!((total - times.len() as f64).abs() < 1e-9);
+        prop_assert_eq!(h.counts.iter().sum::<usize>(), times.len());
+    }
+
+    /// Peak finding returns sorted, in-bounds indices above threshold,
+    /// respecting the dead zone.
+    #[test]
+    fn peaks_invariants(
+        series in proptest::collection::vec(0.0f64..10.0, 1..200),
+        threshold in 0.0f64..10.0,
+        min_dist in 1usize..10,
+    ) {
+        let peaks = find_peaks(&series, threshold, min_dist);
+        for w in peaks.windows(2) {
+            prop_assert!(w[1].index > w[0].index);
+            prop_assert!(w[1].index - w[0].index >= min_dist);
+        }
+        for p in &peaks {
+            prop_assert!(p.index < series.len());
+            prop_assert!(p.value >= threshold);
+            prop_assert_eq!(p.value, series[p.index]);
+        }
+    }
+
+    /// Least squares actually minimizes: perturbing the solution never
+    /// reduces the residual.
+    #[test]
+    fn least_squares_is_a_minimum(
+        rows in 3usize..8,
+        data in proptest::collection::vec(-5.0f64..5.0, 16),
+        rhs in proptest::collection::vec(-5.0f64..5.0, 8),
+    ) {
+        let cols = 2;
+        let a = Matrix::from_rows(rows, cols, data[..rows * cols].to_vec());
+        let b = &rhs[..rows];
+        let Ok(x) = a.least_squares(b, 1e-9) else {
+            // Singular: acceptable outcome for random matrices.
+            return Ok(());
+        };
+        let residual = |x: &[f64]| -> f64 {
+            let ax = a.mul_vec(x);
+            ax.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum()
+        };
+        let r0 = residual(&x);
+        for d in 0..cols {
+            for step in [1e-3, -1e-3] {
+                let mut y = x.clone();
+                y[d] += step;
+                prop_assert!(residual(&y) + 1e-12 >= r0);
+            }
+        }
+    }
+}

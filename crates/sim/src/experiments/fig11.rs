@@ -1,0 +1,167 @@
+//! Figure 11 — coexistence of slow and fast tags.
+//!
+//! "One of the key benefits of LF-Backscatter is that it can support
+//! widely different bitrates": pairs of tags transmit at each of the
+//! rates 0.5, 1, 2, 5, 10, 50, 100 kbps concurrently, and "the slow nodes
+//! are not adversely impacted by the fast nodes, and have a loss rate of
+//! zero". Per-node throughput is plotted against its upper bound on a log
+//! axis.
+//!
+//! Slow tags here carry small (16-bit) sensor payloads — the §1 motivating
+//! temperature sensor — so several of their frames fit in an epoch; the
+//! fast tags stream the usual 96-bit frames.
+
+use super::common::ThroughputParams;
+use super::Scale;
+use crate::report::{fmt, Table};
+use crate::scenario::{Scenario, ScenarioTag};
+use crate::simulate::simulate_epoch;
+use lf_core::config::DecodeStages;
+use lf_types::RatePlan;
+
+/// One node's result.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig11Row {
+    /// Node index (paired: 2k and 2k+1 share a rate).
+    pub node: usize,
+    /// The node's rate, bps.
+    pub rate_bps: f64,
+    /// Achieved goodput, bps.
+    pub achieved_bps: f64,
+    /// Upper bound (payload fraction × rate), bps.
+    pub upper_bound_bps: f64,
+    /// Frame loss rate.
+    pub loss_rate: f64,
+}
+
+/// Experiment result.
+#[derive(Debug, Clone)]
+pub struct Fig11 {
+    /// One row per node.
+    pub rows: Vec<Fig11Row>,
+}
+
+/// Runs the mixed-rate experiment.
+pub fn run(scale: Scale, seed: u64) -> Fig11 {
+    let p = ThroughputParams::for_scale(scale);
+    // Rate pairs, slow to fast. The epoch must hold at least one slow-tag
+    // frame: 0.5 kbps × 34-bit frame = 68 ms (Paper) — 1.7 M samples at
+    // 25 Msps.
+    let (rates, epoch_samples, plan): (&[f64], usize, RatePlan) = match scale {
+        Scale::Paper => (
+            &[500.0, 1_000.0, 2_000.0, 5_000.0, 10_000.0, 50_000.0, 100_000.0],
+            2_500_000, // 100 ms
+            RatePlan::paper_default(),
+        ),
+        Scale::Quick => (
+            &[500.0, 2_000.0, 10_000.0],
+            250_000, // 100 ms at 2.5 Msps
+            RatePlan::from_bps(100.0, &[500.0, 2_000.0, 10_000.0]).unwrap(),
+        ),
+    };
+    let mut tags = Vec::new();
+    for (i, &rate) in rates.iter().enumerate() {
+        for j in 0..2 {
+            // Slow sensors report 16-bit samples; fast ones stream 96-bit
+            // frames.
+            let payload = if rate < 5_000.0 { 16 } else { 96 };
+            tags.push(
+                ScenarioTag::sensor(rate)
+                    .with_payload_bits(payload)
+                    .at_distance(1.6 + 0.1 * (2 * i + j) as f64),
+            );
+        }
+    }
+    let mut sc = Scenario::paper_default(tags, epoch_samples).at_sample_rate(p.sample_rate);
+    sc.rate_plan = plan;
+    sc.seed = seed;
+
+    let out = simulate_epoch(&sc, DecodeStages::full(), 0);
+    let rows = out
+        .scores
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let st = &sc.tags[i];
+            let frame_len = 1 + st.payload_bits + 16;
+            let upper = st.rate_bps * st.payload_bits as f64 / frame_len as f64;
+            Fig11Row {
+                node: i,
+                rate_bps: st.rate_bps,
+                achieved_bps: s.payload_bits_correct as f64 / out.epoch_secs,
+                upper_bound_bps: upper,
+                loss_rate: if s.frames_sent == 0 {
+                    0.0
+                } else {
+                    1.0 - s.frames_ok as f64 / s.frames_sent as f64
+                },
+            }
+        })
+        .collect();
+    Fig11 { rows }
+}
+
+/// Renders the figure.
+pub fn table(f: &Fig11) -> Table {
+    let mut t = Table::new(
+        "Figure 11: per-node throughput with mixed rates (bps, log-scale in the paper)",
+        &["node", "rate", "achieved", "upper bound", "loss"],
+    );
+    for r in &f.rows {
+        t.row(vec![
+            r.node.to_string(),
+            fmt(r.rate_bps, 0),
+            fmt(r.achieved_bps, 0),
+            fmt(r.upper_bound_bps, 0),
+            format!("{:.0}%", r.loss_rate * 100.0),
+        ]);
+    }
+    t.note("paper: slow nodes see zero loss despite fast nodes chattering");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_nodes_unharmed_by_fast_nodes() {
+        let f = run(Scale::Quick, 31);
+        for r in f.rows.iter().filter(|r| r.rate_bps < 5_000.0) {
+            assert_eq!(
+                r.loss_rate, 0.0,
+                "slow node {} at {} bps lost frames",
+                r.node, r.rate_bps
+            );
+        }
+    }
+
+    #[test]
+    fn all_nodes_near_their_upper_bound() {
+        let f = run(Scale::Quick, 31);
+        for r in &f.rows {
+            assert!(
+                r.achieved_bps > 0.5 * r.upper_bound_bps,
+                "node {} at {} bps achieved {} of bound {}",
+                r.node,
+                r.rate_bps,
+                r.achieved_bps,
+                r.upper_bound_bps
+            );
+        }
+    }
+
+    #[test]
+    fn paired_nodes_share_rates() {
+        let f = run(Scale::Quick, 32);
+        for pair in f.rows.chunks(2) {
+            assert_eq!(pair[0].rate_bps, pair[1].rate_bps);
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let s = table(&run(Scale::Quick, 33)).render();
+        assert!(s.contains("upper bound"));
+    }
+}

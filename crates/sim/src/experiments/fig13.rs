@@ -1,0 +1,134 @@
+//! Figure 13 — energy efficiency (bits/µJ) of the three tag designs.
+//!
+//! Efficiency = useful bits delivered per µJ of tag energy. The paper
+//! obtains power from SPICE on its Verilog implementations; we use the
+//! calibrated switched-capacitance model of `lf_tag::energy` (anchored to
+//! Table 3's transistor counts) and the goodputs of the Fig. 8 pipeline:
+//! LF lands ≈20× above Buzz and ≈2 orders above EPC Gen 2.
+
+use super::common::{buzz_goodput, lf_goodput_avg, ThroughputParams};
+use super::Scale;
+use crate::report::{fmt, Table};
+use lf_baselines::tdma::{Gen2Config, TdmaSchedule};
+use lf_core::config::DecodeStages;
+use lf_tag::energy::{PowerModel, Protocol};
+
+/// One population point.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig13Row {
+    /// Number of tags.
+    pub n: usize,
+    /// TDMA/Gen 2 efficiency, bits/µJ.
+    pub tdma: f64,
+    /// Buzz efficiency, bits/µJ.
+    pub buzz: f64,
+    /// LF-Backscatter efficiency, bits/µJ.
+    pub lf: f64,
+}
+
+/// Experiment result.
+#[derive(Debug, Clone)]
+pub struct Fig13 {
+    /// One row per population size.
+    pub rows: Vec<Fig13Row>,
+}
+
+/// Runs the efficiency comparison: network efficiency is aggregate
+/// goodput divided by the summed power of all tags (every tag's radio
+/// clocks at the link rate while the network operates).
+pub fn run(scale: Scale, seed: u64) -> Fig13 {
+    let p = ThroughputParams::for_scale(scale);
+    let model = PowerModel::default();
+    let ns: &[usize] = match scale {
+        Scale::Paper => &[1, 4, 8, 12, 16],
+        Scale::Quick => &[1, 8],
+    };
+    let mut tdma_cfg = Gen2Config::paper_default();
+    tdma_cfg.bitrate_bps = p.rate_bps;
+
+    let rows = ns
+        .iter()
+        .map(|&n| {
+            let lf_bps =
+                lf_goodput_avg(&p, n, p.rate_bps, DecodeStages::full(), seed + n as u64, 3);
+            let buzz_bps = buzz_goodput(n, 96, p.rate_bps, 2, seed + 500 + n as u64);
+            let tdma_bps = TdmaSchedule::new(tdma_cfg, n).aggregate_goodput_bps();
+
+            let eff = |protocol: Protocol, goodput_bps: f64| {
+                let total_power_w =
+                    n as f64 * model.tag_power_w(protocol, p.rate_bps);
+                goodput_bps / (total_power_w * 1e6)
+            };
+            Fig13Row {
+                n,
+                tdma: eff(Protocol::EpcGen2, tdma_bps),
+                buzz: eff(Protocol::Buzz, buzz_bps),
+                lf: eff(Protocol::LfBackscatter, lf_bps),
+            }
+        })
+        .collect();
+    Fig13 { rows }
+}
+
+/// Renders the figure.
+pub fn table(f: &Fig13) -> Table {
+    let mut t = Table::new(
+        "Figure 13: energy efficiency (bits/uJ)",
+        &["n", "TDMA", "Buzz", "LF-Backscatter", "LF/Buzz", "LF/TDMA"],
+    );
+    for r in &f.rows {
+        t.row(vec![
+            r.n.to_string(),
+            fmt(r.tdma, 1),
+            fmt(r.buzz, 1),
+            fmt(r.lf, 1),
+            format!("{:.0}x", r.lf / r.buzz),
+            format!("{:.0}x", r.lf / r.tdma),
+        ]);
+    }
+    t.note("paper: LF ~20x over Buzz, ~2 orders over EPC Gen 2 (power model calibrated, DESIGN.md §6)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_paper() {
+        let f = run(Scale::Quick, 61);
+        for r in &f.rows {
+            assert!(r.lf > r.buzz && r.buzz > r.tdma, "row {r:?}");
+        }
+    }
+
+    #[test]
+    fn ratios_in_paper_band() {
+        let f = run(Scale::Quick, 62);
+        let r = f.rows.last().unwrap();
+        let vs_buzz = r.lf / r.buzz;
+        let vs_tdma = r.lf / r.tdma;
+        assert!(
+            (8.0..80.0).contains(&vs_buzz),
+            "LF/Buzz {vs_buzz} far from paper's ~20x"
+        );
+        assert!(
+            (40.0..500.0).contains(&vs_tdma),
+            "LF/TDMA {vs_tdma} far from paper's ~100x"
+        );
+    }
+
+    #[test]
+    fn lf_absolute_level_matches_paper_scale() {
+        // Fig. 13 shows LF around 3000 bits/µJ.
+        let f = run(Scale::Quick, 63);
+        let r = f.rows.last().unwrap();
+        assert!((1_000.0..5_000.0).contains(&r.lf), "LF level {}", r.lf);
+    }
+
+    #[test]
+    fn table_renders() {
+        let s = table(&run(Scale::Quick, 64)).render();
+        assert!(s.contains("bits/uJ"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Figure 2 — IQ cluster structure: QAM vs unstructured tag clusters.
+//!
+//! (a) 16-QAM's designed constellation (clusters placed as far apart as
+//! possible); (b) the 4 unstructured clusters of 2 concurrent tags;
+//! (c) the 64-cluster mush of 6 tags, where "separating the signal by
+//! classifying clusters is challenging". The quantitative handle is the
+//! minimum inter-cluster distance, which collapses exponentially with the
+//! population — the §2.3 argument for why pure cluster separation cannot
+//! scale.
+
+use crate::report::Table;
+use lf_baselines::cluster_only::{constellation, min_distance};
+use lf_types::Complex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// (a) the 16-QAM reference constellation.
+    pub qam16: Vec<Complex>,
+    /// (b) received samples from 2 concurrent tags (4 clusters + noise).
+    pub two_tag_samples: Vec<Complex>,
+    /// (c) received samples from 6 concurrent tags (64 clusters + noise).
+    pub six_tag_samples: Vec<Complex>,
+    /// Minimum inter-cluster distance, 2 tags.
+    pub min_dist_2: f64,
+    /// Minimum inter-cluster distance, 6 tags.
+    pub min_dist_6: f64,
+    /// Minimum inter-cluster distance of 16-QAM at unit average power.
+    pub min_dist_qam: f64,
+}
+
+/// Generates the figure's data.
+pub fn run(seed: u64, samples_per_case: usize) -> Fig2 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // (a) 16-QAM, normalized to unit average power.
+    let mut qam16 = Vec::with_capacity(16);
+    for i in [-3.0, -1.0, 1.0, 3.0] {
+        for q in [-3.0, -1.0, 1.0, 3.0] {
+            qam16.push(Complex::new(i, q));
+        }
+    }
+    let avg_pow: f64 =
+        qam16.iter().map(|p| p.norm_sqr()).sum::<f64>() / qam16.len() as f64;
+    let scale = avg_pow.sqrt();
+    for p in &mut qam16 {
+        *p /= scale;
+    }
+    let min_dist_qam = min_distance(&qam16);
+
+    let mut tag_case = |n: usize| -> (Vec<Complex>, f64) {
+        let h: Vec<Complex> = (0..n)
+            .map(|_| {
+                Complex::from_polar(
+                    rng.gen_range(0.07..0.13),
+                    rng.gen_range(0.0..std::f64::consts::TAU),
+                )
+            })
+            .collect();
+        let points = constellation(&h);
+        let md = min_distance(&points);
+        let sigma = 0.003;
+        let samples = (0..samples_per_case)
+            .map(|_| {
+                let p = points[rng.gen_range(0..points.len())];
+                p + Complex::new(
+                    sigma * std_normal(&mut rng),
+                    sigma * std_normal(&mut rng),
+                )
+            })
+            .collect();
+        (samples, md)
+    };
+    let (two_tag_samples, min_dist_2) = tag_case(2);
+    let (six_tag_samples, min_dist_6) = tag_case(6);
+
+    Fig2 {
+        qam16,
+        two_tag_samples,
+        six_tag_samples,
+        min_dist_2,
+        min_dist_6,
+        min_dist_qam,
+    }
+}
+
+fn std_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    (-2.0 * u1.ln()).sqrt() * u2.cos()
+}
+
+/// Summary table.
+pub fn table(fig: &Fig2) -> Table {
+    let mut t = Table::new(
+        "Figure 2: IQ cluster structure (minimum inter-cluster distance)",
+        &["case", "clusters", "min distance"],
+    );
+    t.row(vec![
+        "16-QAM (designed)".into(),
+        "16".into(),
+        format!("{:.4}", fig.min_dist_qam),
+    ]);
+    t.row(vec![
+        "2 tags (unstructured)".into(),
+        "4".into(),
+        format!("{:.4}", fig.min_dist_2),
+    ]);
+    t.row(vec![
+        "6 tags (unstructured)".into(),
+        "64".into(),
+        format!("{:.4}", fig.min_dist_6),
+    ]);
+    t.note("6-tag clusters crowd together — cluster-only separation cannot scale (§2.3)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qam_reference_is_normalized_and_structured() {
+        let f = run(1, 100);
+        assert_eq!(f.qam16.len(), 16);
+        let avg: f64 =
+            f.qam16.iter().map(|p| p.norm_sqr()).sum::<f64>() / 16.0;
+        assert!((avg - 1.0).abs() < 1e-9);
+        // Unit-power 16-QAM min distance = 2/√10 ≈ 0.632.
+        assert!((f.min_dist_qam - 0.6325).abs() < 1e-3);
+    }
+
+    #[test]
+    fn six_tags_crowd_far_more_than_two() {
+        let f = run(1, 100);
+        assert!(
+            f.min_dist_6 < f.min_dist_2 / 3.0,
+            "2-tag {} vs 6-tag {}",
+            f.min_dist_2,
+            f.min_dist_6
+        );
+    }
+
+    #[test]
+    fn sample_counts_respected() {
+        let f = run(2, 500);
+        assert_eq!(f.two_tag_samples.len(), 500);
+        assert_eq!(f.six_tag_samples.len(), 500);
+    }
+
+    #[test]
+    fn table_renders() {
+        let s = table(&run(1, 50)).render();
+        assert!(s.contains("16-QAM"));
+        assert!(s.contains("64"));
+    }
+}

@@ -1,0 +1,40 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Every experiment supports two scales:
+//!
+//! * [`Scale::Quick`] — scaled-down sample rates, populations, and trial
+//!   counts; runs in debug builds in seconds. The *shape* assertions in
+//!   each module's tests run at this scale.
+//! * [`Scale::Paper`] — the paper's parameters (25 Msps, 100 kbps,
+//!   4–16 tags, full trial counts). The `repro` binary and the Criterion
+//!   benches run at this scale; EXPERIMENTS.md records the output.
+//!
+//! See DESIGN.md §4 for the experiment-to-module index.
+
+pub mod ablations;
+pub mod collision_prob;
+pub mod common;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig2;
+pub mod fig5;
+pub mod fig8;
+pub mod fig9;
+pub mod range;
+pub mod reliability;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-friendly: reduced sample rate / population / trials.
+    Quick,
+    /// The paper's parameters.
+    Paper,
+}

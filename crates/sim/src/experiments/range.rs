@@ -1,0 +1,67 @@
+//! §5.4's range analysis: what the Fig. 14 SNR gap costs in distance.
+//!
+//! Under the radar equation's d⁻⁴ law, a ΔdB SNR penalty shrinks range by
+//! 10^(Δ/40). The paper's worked examples: 10 ft (ASK) ≙ 8.1 ft (LF),
+//! 30 ft ≙ 23.7 ft.
+
+use crate::report::{fmt, Table};
+use lf_channel::linkbudget::LinkBudget;
+
+/// One range conversion.
+#[derive(Debug, Clone, Copy)]
+pub struct RangeRow {
+    /// ASK working range, feet.
+    pub ask_ft: f64,
+    /// Equivalent LF-Backscatter range, feet.
+    pub lf_ft: f64,
+}
+
+/// Computes the table for a measured SNR gap.
+pub fn run(gap_db: f64) -> Vec<RangeRow> {
+    [10.0, 20.0, 30.0, 50.0]
+        .iter()
+        .map(|&ask_ft| RangeRow {
+            ask_ft,
+            lf_ft: LinkBudget::equivalent_range_feet(ask_ft, gap_db),
+        })
+        .collect()
+}
+
+/// Renders the analysis.
+pub fn table(rows: &[RangeRow], gap_db: f64) -> Table {
+    let mut t = Table::new(
+        format!("§5.4: equivalent working range at a {gap_db:.1} dB SNR gap"),
+        &["ASK range (ft)", "LF range (ft)"],
+    );
+    for r in rows {
+        t.row(vec![fmt(r.ask_ft, 0), fmt(r.lf_ft, 1)]);
+    }
+    t.note("paper (4 dB): 10 ft -> 8.1 ft, 30 ft -> 23.7 ft");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples_at_4db() {
+        let rows = run(4.0);
+        assert!((rows[0].lf_ft - 8.1).abs() < 0.2, "10 ft -> {}", rows[0].lf_ft);
+        assert!((rows[2].lf_ft - 23.7).abs() < 0.3, "30 ft -> {}", rows[2].lf_ft);
+    }
+
+    #[test]
+    fn zero_gap_is_identity() {
+        let rows = run(0.0);
+        for r in &rows {
+            assert_eq!(r.ask_ft, r.lf_ft);
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let s = table(&run(4.0), 4.0).render();
+        assert!(s.contains("ASK range"));
+    }
+}

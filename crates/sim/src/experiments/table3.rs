@@ -1,0 +1,68 @@
+//! Table 3 — tag hardware complexity (transistor counts).
+//!
+//! Rendered straight from `lf_tag::hardware`'s component inventories,
+//! which reproduce the paper's counts exactly (including the recoverable
+//! 12 T/bit FIFO constant — see DESIGN.md §6).
+
+use crate::report::Table;
+use lf_tag::hardware::HardwareInventory;
+
+/// Renders Table 3 plus the per-component breakdown.
+pub fn table() -> Table {
+    let designs = [
+        HardwareInventory::epc_gen2(),
+        HardwareInventory::buzz(),
+        HardwareInventory::lf_backscatter(),
+    ];
+    let mut t = Table::new(
+        "Table 3: tag hardware complexity (transistors)",
+        &["design", "w/o FIFO", "with 1k FIFO"],
+    );
+    for d in &designs {
+        t.row(vec![
+            d.design.to_string(),
+            d.logic_transistors().to_string(),
+            d.total_transistors().to_string(),
+        ]);
+    }
+    t.note("paper: RFID 22704/34992, Buzz 1792/14080, LF 176/176");
+    t
+}
+
+/// Renders the component breakdown of one design.
+pub fn component_table(inv: &HardwareInventory) -> Table {
+    let mut t = Table::new(
+        format!("{} component inventory", inv.design),
+        &["component", "transistors"],
+    );
+    for c in &inv.components {
+        t.row(vec![c.name.to_string(), c.transistors.to_string()]);
+    }
+    if inv.fifo_bits > 0 {
+        t.row(vec![
+            format!("FIFO ({} bits @ 12 T/bit)", inv.fifo_bits),
+            lf_tag::hardware::fifo_transistors(inv.fifo_bits).to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_contains_paper_numbers() {
+        let s = table().render();
+        for v in ["22704", "34992", "1792", "14080", "176"] {
+            assert!(s.contains(v), "missing {v} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn component_breakdown_renders() {
+        let s = component_table(&HardwareInventory::buzz()).render();
+        assert!(s.contains("FIFO"));
+        assert!(s.contains("PN-sequence"));
+    }
+}

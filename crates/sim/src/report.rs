@@ -1,0 +1,118 @@
+//! Fixed-width table and series printing for the `repro` harness.
+//!
+//! Every experiment renders to a [`Table`], so the harness output reads
+//! like the paper's tables/figure captions and EXPERIMENTS.md can quote it
+//! verbatim.
+
+use std::fmt::Write as _;
+
+/// A printable result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Title line, e.g. "Figure 8: aggregate throughput (kbps)".
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form note lines printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    /// Renders the table as fixed-width text.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut s = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                let _ = write!(s, "{:>width$}", cell, width = widths[i]);
+            }
+            let _ = writeln!(out, "{}", s.trim_end());
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  {n}");
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimals.
+pub fn fmt(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Formats a ratio as "12.3x".
+pub fn fmt_ratio(v: f64) -> String {
+    format!("{v:.1}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Demo", &["n", "value"]);
+        t.row(vec!["4".into(), "1.50".into()]);
+        t.row(vec!["16".into(), "12.25".into()]);
+        t.note("a note");
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("a note"));
+        // Right-aligned: the 4 sits above the 16's 6.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_rejected() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt_ratio(16.44), "16.4x");
+    }
+}

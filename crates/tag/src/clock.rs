@@ -1,0 +1,143 @@
+//! The tag bit clock: drift and jitter.
+//!
+//! §4.1: "Our decoding method can tolerate roughly 200 ppm of clock drift,
+//! so we need to use an external low-drift crystal oscillator rather than
+//! the built-in internal DCO on the Moo which has a typical drift of
+//! 40,000 ppm … The clock we use has a typical drift of 150 ppm."
+//!
+//! Drift matters because it accumulates: at 100 kbps a 150 ppm fast crystal
+//! gains 1.5 bit periods every 10 000 bits, so the reader cannot decode by
+//! folding alone — it must *track* each stream's period (lf-core does).
+
+use rand::Rng;
+
+/// A tag's bit-clock error model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockModel {
+    /// Fractional frequency error: the actual bit period is
+    /// `nominal · (1 + drift)`. Drawn once per crystal (a physical part
+    /// property), typically within ±150e-6.
+    pub drift: f64,
+    /// Standard deviation of white per-edge timing jitter, in seconds.
+    pub jitter_std_s: f64,
+}
+
+impl ClockModel {
+    /// An ideal clock (tests and analytic baselines).
+    pub fn ideal() -> Self {
+        ClockModel {
+            drift: 0.0,
+            jitter_std_s: 0.0,
+        }
+    }
+
+    /// Draws a crystal matching the paper's external oscillator: drift
+    /// uniform in ±`ppm`·1e-6 (150 ppm default part) and ~2 ns rms edge
+    /// jitter.
+    pub fn crystal<R: Rng>(ppm: f64, rng: &mut R) -> Self {
+        ClockModel {
+            drift: rng.gen_range(-ppm..=ppm) * 1e-6,
+            jitter_std_s: 2e-9,
+        }
+    }
+
+    /// The Moo's internal DCO (40 000 ppm class) — included to demonstrate
+    /// *why* the paper required the external crystal: streams decoded with
+    /// this clock fall apart (see lf-core's drift-tolerance tests).
+    pub fn internal_dco<R: Rng>(rng: &mut R) -> Self {
+        ClockModel {
+            drift: rng.gen_range(-40_000.0..=40_000.0) * 1e-6,
+            jitter_std_s: 50e-9,
+        }
+    }
+
+    /// The actual bit period in samples for a nominal period.
+    pub fn actual_period(&self, nominal_period_samples: f64) -> f64 {
+        nominal_period_samples * (1.0 + self.drift)
+    }
+
+    /// Cumulative timing error at bit boundary `k`, in samples, for a
+    /// nominal period and sample rate: linear drift accumulation plus white
+    /// jitter. `jitter_draw` is a standard-normal variate supplied by the
+    /// caller (so the caller controls seeding).
+    pub fn timing_error_samples(
+        &self,
+        k: usize,
+        nominal_period_samples: f64,
+        sample_rate_sps: f64,
+        jitter_draw: f64,
+    ) -> f64 {
+        self.drift * k as f64 * nominal_period_samples
+            + jitter_draw * self.jitter_std_s * sample_rate_sps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_clock_has_no_error() {
+        let c = ClockModel::ideal();
+        assert_eq!(c.actual_period(250.0), 250.0);
+        assert_eq!(c.timing_error_samples(1000, 250.0, 25e6, 0.0), 0.0);
+    }
+
+    #[test]
+    fn drift_accumulates_linearly() {
+        let c = ClockModel {
+            drift: 150e-6,
+            jitter_std_s: 0.0,
+        };
+        // After 10 000 bits of 250 samples: 150e-6 · 2.5e6 = 375 samples
+        // (1.5 bit periods) — the §4.1 headache, reproduced.
+        let err = c.timing_error_samples(10_000, 250.0, 25e6, 0.0);
+        assert!((err - 375.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crystal_draw_within_spec() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let c = ClockModel::crystal(150.0, &mut rng);
+            assert!(c.drift.abs() <= 150e-6);
+        }
+    }
+
+    #[test]
+    fn dco_is_orders_of_magnitude_worse() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let worst_crystal = 150e-6;
+        let mut saw_large = false;
+        for _ in 0..50 {
+            let c = ClockModel::internal_dco(&mut rng);
+            assert!(c.drift.abs() <= 40e-3);
+            if c.drift.abs() > 10.0 * worst_crystal {
+                saw_large = true;
+            }
+        }
+        assert!(saw_large, "DCO draws should usually dwarf crystal drift");
+    }
+
+    #[test]
+    fn jitter_scales_with_sample_rate() {
+        let c = ClockModel {
+            drift: 0.0,
+            jitter_std_s: 2e-9,
+        };
+        // 2 ns at 25 Msps = 0.05 samples per unit normal draw.
+        let err = c.timing_error_samples(0, 250.0, 25e6, 1.0);
+        assert!((err - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn actual_period_reflects_drift() {
+        let c = ClockModel {
+            drift: -100e-6,
+            jitter_std_s: 0.0,
+        };
+        assert!((c.actual_period(250.0) - 249.975).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,167 @@
+//! The carrier-detect comparator: the paper's free random-offset source.
+//!
+//! §3.2 ("Selecting fine-grained offsets"): a tag cannot *choose* a
+//! fine-grained offset — it has no fine clock. Instead, "the energy from
+//! the incoming signal charges up a tiny receive capacitor, which in turn
+//! triggers a comparator when the voltage reaches a threshold". Three
+//! randomness sources set when that happens (Fig. 4):
+//!
+//! 1. incident energy (placement/orientation) — sets the asymptotic
+//!    voltage `V∞` and thus how deep into the charging curve the threshold
+//!    sits;
+//! 2. capacitor tolerance (±20 % is typical) — scales the RC constant,
+//!    fixed per physical tag;
+//! 3. charging noise — small oscillations on the curve, redrawn every
+//!    epoch.
+//!
+//! The per-tag spread (sources 1–2) separates different tags' offsets by
+//! many samples; the per-epoch noise (source 3) re-randomizes residual
+//! collisions across epochs — "even if edges did collide in an epoch, they
+//! are likely to separate the next epoch".
+
+use rand::Rng;
+
+/// A tag's carrier-detect start-time model: fires at
+/// `t = −RC·ln(1 − Vth/V∞)` after the carrier rises.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparator {
+    /// The realized RC constant in seconds (nominal × tolerance draw).
+    pub rc_s: f64,
+    /// The realized threshold-to-asymptote ratio `Vth/V∞ ∈ (0, 1)`,
+    /// set by incident energy at this tag's placement.
+    pub threshold_ratio: f64,
+    /// Fractional per-epoch noise on the charging time (charging-curve
+    /// oscillations), e.g. 0.01 = 1 % rms.
+    pub epoch_noise: f64,
+}
+
+impl Comparator {
+    /// Nominal RC of the receive capacitor circuit: 50 µs. Large enough
+    /// that ±20 % part tolerance spreads tag start times across several
+    /// bit periods at 100 kbps.
+    pub const NOMINAL_RC_S: f64 = 50e-6;
+
+    /// Draws a physical comparator: RC within ±`rc_tolerance` of nominal
+    /// (capacitors: 0.2), threshold ratio uniform in [0.3, 0.7] (a ±3 dB
+    /// spread of incident power around the firing point), 1 % epoch noise.
+    pub fn draw<R: Rng>(rc_tolerance: f64, rng: &mut R) -> Self {
+        Comparator {
+            rc_s: Self::NOMINAL_RC_S * (1.0 + rng.gen_range(-rc_tolerance..=rc_tolerance)),
+            threshold_ratio: rng.gen_range(0.3..=0.7),
+            epoch_noise: 0.01,
+        }
+    }
+
+    /// A deterministic comparator that fires at exactly `offset_s`
+    /// (testing and controlled experiments that need forced collisions).
+    pub fn fixed(offset_s: f64) -> Self {
+        // Invert the charging equation with ratio 1−1/e so ln term = 1.
+        Comparator {
+            rc_s: offset_s,
+            threshold_ratio: 1.0 - (-1.0f64).exp(),
+            epoch_noise: 0.0,
+        }
+    }
+
+    /// The nominal (noise-free) firing delay after carrier-on, seconds.
+    pub fn nominal_delay_s(&self) -> f64 {
+        -self.rc_s * (1.0 - self.threshold_ratio).ln()
+    }
+
+    /// The firing delay for one epoch, with charging noise drawn from
+    /// `rng`, in seconds.
+    pub fn epoch_delay_s<R: Rng>(&self, rng: &mut R) -> f64 {
+        let noise = if self.epoch_noise > 0.0 {
+            1.0 + rng.gen_range(-self.epoch_noise..=self.epoch_noise) * 3.0_f64.sqrt()
+        } else {
+            1.0
+        };
+        (self.nominal_delay_s() * noise).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_comparator_fires_exactly() {
+        let c = Comparator::fixed(12e-6);
+        assert!((c.nominal_delay_s() - 12e-6).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!((c.epoch_delay_s(&mut rng) - 12e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charging_equation_shape() {
+        // Higher threshold ratio → later firing; larger RC → later firing.
+        let base = Comparator {
+            rc_s: 50e-6,
+            threshold_ratio: 0.5,
+            epoch_noise: 0.0,
+        };
+        let hot = Comparator {
+            threshold_ratio: 0.3, // more incident power ⇒ fires earlier
+            ..base
+        };
+        let slow = Comparator { rc_s: 60e-6, ..base };
+        assert!(hot.nominal_delay_s() < base.nominal_delay_s());
+        assert!(slow.nominal_delay_s() > base.nominal_delay_s());
+    }
+
+    #[test]
+    fn tags_spread_across_many_samples() {
+        // The §3.2 claim: natural variation yields fine-grained offsets.
+        // At 25 Msps, the spread across tags must span ≫ the 3-sample edge
+        // width (otherwise all tags would collide).
+        let mut rng = StdRng::seed_from_u64(3);
+        let delays: Vec<f64> = (0..16)
+            .map(|_| Comparator::draw(0.2, &mut rng).nominal_delay_s() * 25e6)
+            .collect();
+        let min = delays.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = delays.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min > 100.0, "spread {} samples too small", max - min);
+    }
+
+    #[test]
+    fn epoch_noise_rerandomizes_offsets() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = Comparator::draw(0.2, &mut rng);
+        let a = c.epoch_delay_s(&mut rng);
+        let b = c.epoch_delay_s(&mut rng);
+        assert!(a != b);
+        // ... but stays near the nominal delay (1 % class noise).
+        assert!((a - c.nominal_delay_s()).abs() < 0.05 * c.nominal_delay_s());
+    }
+
+    #[test]
+    fn epoch_noise_moves_offsets_by_several_samples() {
+        // For collision re-randomization to work, epoch-to-epoch movement
+        // must exceed the edge width (3 samples at 25 Msps).
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = Comparator::draw(0.2, &mut rng);
+        let samples: Vec<f64> = (0..64)
+            .map(|_| c.epoch_delay_s(&mut rng) * 25e6)
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let std = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64)
+            .sqrt();
+        assert!(std > 3.0, "epoch offset std {std} samples too small");
+    }
+
+    #[test]
+    fn delay_never_negative() {
+        let c = Comparator {
+            rc_s: 1e-9,
+            threshold_ratio: 0.01,
+            epoch_noise: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            assert!(c.epoch_delay_s(&mut rng) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Epoch frames: anchor bit, payload, CRC.
+//!
+//! §3.4: "Since every epoch starts with a header from each tag, we embed a
+//! single anchor bit at a known location, which helps us disambiguate
+//! between the rising vs falling edge clusters." The anchor is the first
+//! bit of every frame and is always 1: starting from the idle (absorbing)
+//! antenna state, the first edge of a frame is therefore always a *rising*
+//! edge, which pins the sign of the edge vector.
+//!
+//! Two frame kinds cover the paper's experiments:
+//! * [`FrameKind::Identification`] — the §5.2 inventory frame: 96-bit EPC +
+//!   CRC-5 ("96 bits + 5 bit CRC").
+//! * [`FrameKind::SensorData`] — throughput-experiment frames: arbitrary
+//!   payload + CRC-16 (a 5-bit check is too weak for goodput accounting on
+//!   ~100-bit payloads).
+
+use lf_dsp::crc::{Crc16Ccitt, Crc5};
+use lf_types::{BitVec, Epc96};
+
+/// Which check trails the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// EPC identifier frame: payload must be 96 bits; CRC-5.
+    Identification,
+    /// Sensor-data frame: any payload; CRC-16/CCITT.
+    SensorData,
+}
+
+/// A framed transmission unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    kind: FrameKind,
+    payload: BitVec,
+}
+
+impl Frame {
+    /// The anchor prefix of every frame (a single 1 bit).
+    pub const ANCHOR_BITS: usize = 1;
+
+    /// Builds a sensor-data frame around an arbitrary payload.
+    pub fn sensor(payload: BitVec) -> Self {
+        Frame {
+            kind: FrameKind::SensorData,
+            payload,
+        }
+    }
+
+    /// Builds an identification frame around an EPC.
+    pub fn identification(epc: Epc96) -> Self {
+        Frame {
+            kind: FrameKind::Identification,
+            payload: epc.to_bits(),
+        }
+    }
+
+    /// The frame kind.
+    pub fn kind(&self) -> FrameKind {
+        self.kind
+    }
+
+    /// The payload bits (no anchor, no CRC).
+    pub fn payload(&self) -> &BitVec {
+        &self.payload
+    }
+
+    /// Serializes to on-air bits: anchor ++ payload ++ CRC.
+    pub fn to_bits(&self) -> BitVec {
+        let mut bits = BitVec::with_capacity(self.on_air_len());
+        bits.push(true); // anchor
+        let protected = match self.kind {
+            FrameKind::Identification => Crc5::append(&self.payload),
+            FrameKind::SensorData => Crc16Ccitt::append(&self.payload),
+        };
+        bits.extend_from(&protected);
+        bits
+    }
+
+    /// Total on-air length in bits.
+    pub fn on_air_len(&self) -> usize {
+        Frame::ANCHOR_BITS
+            + self.payload.len()
+            + match self.kind {
+                FrameKind::Identification => 5,
+                FrameKind::SensorData => 16,
+            }
+    }
+
+    /// Attempts to parse on-air bits back into a frame: checks the anchor
+    /// and verifies the CRC of `kind`. Returns `None` on any mismatch —
+    /// the decoder uses this as its goodput criterion.
+    pub fn from_bits(bits: &BitVec, kind: FrameKind) -> Option<Frame> {
+        if bits.is_empty() || !bits[0] {
+            return None; // anchor must be 1
+        }
+        let body = bits.slice(1, bits.len());
+        let payload = match kind {
+            FrameKind::Identification => {
+                let p = Crc5::verify(&body)?;
+                if p.len() != 96 {
+                    return None;
+                }
+                p
+            }
+            FrameKind::SensorData => Crc16Ccitt::verify(&body)?,
+        };
+        Some(Frame { kind, payload })
+    }
+
+    /// For identification frames: the decoded EPC.
+    pub fn epc(&self) -> Option<Epc96> {
+        (self.kind == FrameKind::Identification)
+            .then(|| Epc96::from_bits(&self.payload))
+            .flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensor_frame_round_trip() {
+        let payload = BitVec::from_str_binary("101100111000111100001010");
+        let f = Frame::sensor(payload.clone());
+        let bits = f.to_bits();
+        assert_eq!(bits.len(), 1 + 24 + 16);
+        assert!(bits[0], "anchor must be 1");
+        let parsed = Frame::from_bits(&bits, FrameKind::SensorData).unwrap();
+        assert_eq!(parsed.payload(), &payload);
+    }
+
+    #[test]
+    fn identification_frame_round_trip() {
+        let epc = Epc96::for_tag(7);
+        let f = Frame::identification(epc);
+        let bits = f.to_bits();
+        assert_eq!(bits.len(), 1 + 96 + 5, "96-bit EPC + 5-bit CRC + anchor");
+        let parsed = Frame::from_bits(&bits, FrameKind::Identification).unwrap();
+        assert_eq!(parsed.epc(), Some(epc));
+    }
+
+    #[test]
+    fn corrupted_frames_rejected() {
+        let f = Frame::sensor(BitVec::from_u64(0xABCD, 16));
+        let bits = f.to_bits();
+        for i in 0..bits.len() {
+            let mut bad: Vec<bool> = bits.iter().collect();
+            bad[i] = !bad[i];
+            let bad: BitVec = bad.into_iter().collect();
+            assert!(
+                Frame::from_bits(&bad, FrameKind::SensorData).is_none(),
+                "single-bit error at {i} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn anchor_zero_rejected() {
+        let f = Frame::sensor(BitVec::from_u64(0xF0, 8));
+        let mut bits: Vec<bool> = f.to_bits().iter().collect();
+        bits[0] = false;
+        let bits: BitVec = bits.into_iter().collect();
+        assert!(Frame::from_bits(&bits, FrameKind::SensorData).is_none());
+    }
+
+    #[test]
+    fn wrong_kind_rejected() {
+        let f = Frame::identification(Epc96::for_tag(1));
+        let bits = f.to_bits();
+        assert!(Frame::from_bits(&bits, FrameKind::SensorData).is_none());
+    }
+
+    #[test]
+    fn empty_bits_rejected() {
+        assert!(Frame::from_bits(&BitVec::new(), FrameKind::SensorData).is_none());
+    }
+
+    #[test]
+    fn epc_on_sensor_frame_is_none() {
+        let f = Frame::sensor(Epc96::for_tag(1).to_bits());
+        assert_eq!(f.epc(), None);
+    }
+}

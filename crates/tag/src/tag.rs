@@ -1,0 +1,283 @@
+//! The laissez-faire tag: blind, bufferless, clock-driven transmission.
+//!
+//! §1's design target: "an extremely low-power tag that is virtually free
+//! of any computational logic — it senses and immediately transmits the
+//! digitized signal oblivious to any other wireless traffic. Such a design
+//! would need no decoding, no MAC, no packet buffers, and no high-speed RF
+//! oscillators."
+//!
+//! Per epoch the tag: (1) waits for its comparator to fire after the
+//! carrier rises (the natural random offset, [`crate::comparator`]);
+//! (2) clocks its frame bits out at its own rate — a multiple of the base
+//! rate, with its crystal's drift and jitter ([`crate::clock`]); (3) goes
+//! quiet. The output is the toggle-event stream the air synthesizer
+//! ([`lf_channel::air`]) consumes, plus the ground truth the experiment
+//! harness scores against.
+
+use crate::clock::ClockModel;
+use crate::comparator::Comparator;
+use crate::frame::Frame;
+use lf_channel::air::{nrz_events, ToggleEvent};
+use lf_types::{BitRate, BitVec, SampleRate, TagId};
+use rand::Rng;
+
+/// Static configuration of one physical tag.
+#[derive(Debug, Clone)]
+pub struct TagConfig {
+    /// The simulator-internal identity.
+    pub id: TagId,
+    /// The tag's transmit rate (a multiple of the deployment base rate,
+    /// §3.2's one restriction).
+    pub rate: BitRate,
+    /// The tag's crystal.
+    pub clock: ClockModel,
+    /// The tag's carrier-detect circuit.
+    pub comparator: Comparator,
+}
+
+impl TagConfig {
+    /// Draws a physical tag: crystal within `ppm` (paper part: 150),
+    /// comparator with ±20 % RC tolerance.
+    pub fn draw<R: Rng>(id: TagId, rate: BitRate, ppm: f64, rng: &mut R) -> Self {
+        TagConfig {
+            id,
+            rate,
+            clock: ClockModel::crystal(ppm, rng),
+            comparator: Comparator::draw(0.2, rng),
+        }
+    }
+}
+
+/// One epoch's realized transmission.
+#[derive(Debug, Clone)]
+pub struct EpochPlan {
+    /// Which tag this plan belongs to.
+    pub id: TagId,
+    /// Start offset in samples after the carrier rose.
+    pub offset_samples: f64,
+    /// The nominal bit period in samples (what the reader's rate plan
+    /// implies).
+    pub nominal_period_samples: f64,
+    /// The actual bit period in samples (nominal × (1 + drift)).
+    pub actual_period_samples: f64,
+    /// The bits clocked out, in order (ground truth for scoring).
+    pub bits: BitVec,
+    /// The antenna toggle events.
+    pub events: Vec<ToggleEvent>,
+}
+
+/// A laissez-faire tag.
+#[derive(Debug, Clone)]
+pub struct LfTag {
+    config: TagConfig,
+}
+
+impl LfTag {
+    /// Wraps a configuration.
+    pub fn new(config: TagConfig) -> Self {
+        LfTag { config }
+    }
+
+    /// The tag's configuration.
+    pub fn config(&self) -> &TagConfig {
+        &self.config
+    }
+
+    /// Plans one epoch transmitting exactly `bits` (already framed).
+    ///
+    /// `base_bps` is the deployment base rate; the epoch's carrier is
+    /// assumed to rise at sample 0 of the capture.
+    pub fn plan_epoch<R: Rng>(
+        &self,
+        bits: BitVec,
+        sample_rate: SampleRate,
+        base_bps: f64,
+        rng: &mut R,
+    ) -> EpochPlan {
+        let cfg = &self.config;
+        let nominal_period = sample_rate.samples_per_bit(cfg.rate.bps(base_bps));
+        let actual_period = cfg.clock.actual_period(nominal_period);
+        let offset = cfg.comparator.epoch_delay_s(rng) * sample_rate.sps();
+        let clock = cfg.clock;
+        let sps = sample_rate.sps();
+        // Pre-draw jitter for every potential boundary so the closure is
+        // pure (nrz_events may evaluate boundaries in any pattern).
+        let jitter: Vec<f64> = (0..=bits.len())
+            .map(|_| std_normal(rng))
+            .collect();
+        let bools: Vec<bool> = bits.iter().collect();
+        let events = nrz_events(&bools, offset, nominal_period, |k| {
+            clock.timing_error_samples(k, nominal_period, sps, jitter[k])
+        });
+        EpochPlan {
+            id: cfg.id,
+            offset_samples: offset,
+            nominal_period_samples: nominal_period,
+            actual_period_samples: actual_period,
+            bits,
+            events,
+        }
+    }
+
+    /// Plans an epoch that streams `frame` repeatedly for the whole epoch
+    /// (`epoch_samples` long): the data-rich-sensor mode of the throughput
+    /// experiments. Returns the plan and the number of complete frames
+    /// that fit.
+    pub fn plan_streaming_epoch<R: Rng>(
+        &self,
+        frame: &Frame,
+        epoch_samples: usize,
+        sample_rate: SampleRate,
+        base_bps: f64,
+        rng: &mut R,
+    ) -> (EpochPlan, usize) {
+        let cfg = &self.config;
+        let period = sample_rate.samples_per_bit(cfg.rate.bps(base_bps));
+        let offset_estimate = cfg.comparator.nominal_delay_s() * sample_rate.sps();
+        let budget_bits =
+            ((epoch_samples as f64 - offset_estimate) / period).floor().max(0.0) as usize;
+        let frame_bits = frame.to_bits();
+        let n_frames = budget_bits / frame_bits.len();
+        let mut bits = BitVec::with_capacity(n_frames * frame_bits.len());
+        for _ in 0..n_frames {
+            bits.extend_from(&frame_bits);
+        }
+        (
+            self.plan_epoch(bits, sample_rate, base_bps, rng),
+            n_frames,
+        )
+    }
+}
+
+/// Standard normal variate via Box–Muller (uncached; jitter draws are not
+/// on a hot path).
+fn std_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    (-2.0 * u1.ln()).sqrt() * u2.cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_types::Epc96;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_tag(rate_multiple: u32) -> LfTag {
+        LfTag::new(TagConfig {
+            id: TagId(0),
+            rate: BitRate::from_multiple(rate_multiple).unwrap(),
+            clock: ClockModel::ideal(),
+            comparator: Comparator::fixed(10e-6),
+        })
+    }
+
+    #[test]
+    fn plan_epoch_basic_timing() {
+        let tag = test_tag(1000); // 100 kbps at base 100
+        let mut rng = StdRng::seed_from_u64(1);
+        let bits = BitVec::from_str_binary("1010");
+        let plan = tag.plan_epoch(bits, SampleRate::USRP_N210, 100.0, &mut rng);
+        assert_eq!(plan.nominal_period_samples, 250.0);
+        assert_eq!(plan.actual_period_samples, 250.0);
+        // Offset = 10 µs · 25 Msps = 250 samples.
+        assert!((plan.offset_samples - 250.0).abs() < 1e-9);
+        // Bits 1010: rise@250, fall@500, rise@750, fall@1000.
+        let times: Vec<f64> = plan.events.iter().map(|e| e.time).collect();
+        let expected = [250.0, 500.0, 750.0, 1000.0];
+        assert_eq!(times.len(), expected.len());
+        for (t, e) in times.iter().zip(expected) {
+            assert!((t - e).abs() < 1e-9, "edge at {t}, expected {e}");
+        }
+    }
+
+    #[test]
+    fn drift_shifts_edge_times() {
+        let mut cfg = test_tag(1000).config().clone();
+        cfg.clock = ClockModel {
+            drift: 1e-3, // exaggerated for visibility
+            jitter_std_s: 0.0,
+        };
+        let tag = LfTag::new(cfg);
+        let mut rng = StdRng::seed_from_u64(1);
+        let bits: BitVec = (0..100).map(|k| k % 2 == 0).collect();
+        let plan = tag.plan_epoch(bits, SampleRate::USRP_N210, 100.0, &mut rng);
+        // Bits alternate 1,0,… and end in 0, so the final edge is the fall
+        // at boundary k=99. It drifts by k·P·1e-3 = 24.75 samples.
+        let last = plan.events.last().unwrap().time;
+        let expected = 250.0 + 99.0 * 250.0 + 24.75;
+        assert!((last - expected).abs() < 1e-6, "last edge {last} vs {expected}");
+    }
+
+    #[test]
+    fn streaming_epoch_fills_with_frames() {
+        let tag = test_tag(1000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let frame = Frame::identification(Epc96::for_tag(0));
+        // 1 ms epoch at 25 Msps = 25 000 samples = 100 bits minus offset.
+        let (plan, n_frames) =
+            tag.plan_streaming_epoch(&frame, 200_000, SampleRate::USRP_N210, 100.0, &mut rng);
+        // 200 000 samples = 800 bit slots − 1 offset bit = 799 → 7 frames
+        // of 102 bits.
+        assert_eq!(n_frames, 7);
+        assert_eq!(plan.bits.len(), 7 * frame.to_bits().len());
+    }
+
+    #[test]
+    fn streaming_epoch_too_short_for_any_frame() {
+        let tag = test_tag(1000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let frame = Frame::identification(Epc96::for_tag(0));
+        let (plan, n_frames) =
+            tag.plan_streaming_epoch(&frame, 1000, SampleRate::USRP_N210, 100.0, &mut rng);
+        assert_eq!(n_frames, 0);
+        assert!(plan.bits.is_empty());
+        assert!(plan.events.is_empty());
+    }
+
+    #[test]
+    fn drawn_tags_have_distinct_offsets() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut offsets = Vec::new();
+        for n in 0..8 {
+            let cfg = TagConfig::draw(
+                TagId(n),
+                BitRate::from_multiple(1000).unwrap(),
+                150.0,
+                &mut rng,
+            );
+            let tag = LfTag::new(cfg);
+            let plan = tag.plan_epoch(
+                BitVec::from_str_binary("1"),
+                SampleRate::USRP_N210,
+                100.0,
+                &mut rng,
+            );
+            offsets.push(plan.offset_samples);
+        }
+        offsets.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // All 8 tags separated by more than an edge width.
+        for w in offsets.windows(2) {
+            assert!(w[1] - w[0] > 3.0, "offsets too close: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn events_are_sorted() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = TagConfig::draw(
+            TagId(0),
+            BitRate::from_multiple(1000).unwrap(),
+            150.0,
+            &mut rng,
+        );
+        let tag = LfTag::new(cfg);
+        let bits: BitVec = (0..500).map(|k| (k * 13 % 7) < 3).collect();
+        let plan = tag.plan_epoch(bits, SampleRate::USRP_N210, 100.0, &mut rng);
+        assert!(plan
+            .events
+            .windows(2)
+            .all(|w| w[0].time <= w[1].time));
+    }
+}

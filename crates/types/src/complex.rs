@@ -1,0 +1,353 @@
+//! Complex baseband (IQ) samples.
+//!
+//! The reader in the paper captures the backscatter channel as in-phase (I)
+//! and quadrature (Q) components (§3.1). We implement our own small complex
+//! type instead of pulling in `num-complex`: the decode pipeline needs only
+//! a handful of operations and keeping the workspace dependency-light is a
+//! design goal (see DESIGN.md §3).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number / IQ sample: `re` is the in-phase (I) channel, `im` the
+/// quadrature (Q) channel.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// In-phase component.
+    pub re: f64,
+    /// Quadrature component.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero (origin of the IQ plane).
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// Unity (1 + 0i).
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit (0 + 1i).
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a complex number from polar coordinates
+    /// (`magnitude`·e^(i·`phase`)).
+    #[inline]
+    pub fn from_polar(magnitude: f64, phase: f64) -> Self {
+        Complex {
+            re: magnitude * phase.cos(),
+            im: magnitude * phase.sin(),
+        }
+    }
+
+    /// Magnitude (Euclidean norm) |z|.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude |z|² — cheaper than [`Complex::abs`]; the decoder's
+    /// inner loops use this to avoid square roots.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Phase angle in radians, in (−π, π].
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// Distance to another point in the IQ plane.
+    #[inline]
+    pub fn distance(self, other: Complex) -> f64 {
+        (self - other).abs()
+    }
+
+    /// Squared distance to another point in the IQ plane.
+    #[inline]
+    pub fn distance_sqr(self, other: Complex) -> f64 {
+        (self - other).norm_sqr()
+    }
+
+    /// True when both components are finite (rejects NaN/∞ samples, which
+    /// would poison k-means and the Viterbi metrics downstream).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Approximate equality within an absolute tolerance on each component.
+    #[inline]
+    pub fn approx_eq(self, other: Complex, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+
+    /// Arithmetic mean of a slice of points. Returns [`Complex::ZERO`] for an
+    /// empty slice.
+    pub fn mean(points: &[Complex]) -> Complex {
+        if points.is_empty() {
+            return Complex::ZERO;
+        }
+        let sum: Complex = points.iter().copied().sum();
+        sum.scale(1.0 / points.len() as f64)
+    }
+}
+
+impl fmt::Debug for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.6}{:+.6}i", self.re, self.im)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.4}{:+.4}i", self.re, self.im)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sqr();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl DivAssign<f64> for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: f64) {
+        self.re /= rhs;
+        self.im /= rhs;
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |acc, z| acc + z)
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Complex {
+        Complex::new(re, 0.0)
+    }
+}
+
+impl From<(f64, f64)> for Complex {
+    #[inline]
+    fn from((re, im): (f64, f64)) -> Complex {
+        Complex::new(re, im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn construction_and_accessors() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z.re, 3.0);
+        assert_eq!(z.im, -4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+    }
+
+    #[test]
+    fn from_polar_round_trips() {
+        let z = Complex::from_polar(2.0, PI / 3.0);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - PI / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polar_axes() {
+        assert!(Complex::from_polar(1.0, 0.0).approx_eq(Complex::ONE, 1e-12));
+        assert!(Complex::from_polar(1.0, FRAC_PI_2).approx_eq(Complex::I, 1e-12));
+        assert!(Complex::from_polar(1.0, PI).approx_eq(-Complex::ONE, 1e-12));
+    }
+
+    #[test]
+    fn field_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        assert_eq!(a + b, Complex::new(-2.0, 2.5));
+        assert_eq!(a - b, Complex::new(4.0, 1.5));
+        // (1+2i)(-3+0.5i) = -3 + 0.5i - 6i + i² = -4 - 5.5i
+        assert_eq!(a * b, Complex::new(-4.0, -5.5));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(1.25, -0.75);
+        let b = Complex::new(-0.5, 2.0);
+        let q = (a * b) / b;
+        assert!(q.approx_eq(a, 1e-12));
+    }
+
+    #[test]
+    fn conjugate_multiplication_is_norm() {
+        let z = Complex::new(3.0, 4.0);
+        let p = z * z.conj();
+        assert!(p.approx_eq(Complex::new(25.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn scale_and_div_scalar() {
+        let z = Complex::new(2.0, -6.0);
+        assert_eq!(z.scale(0.5), Complex::new(1.0, -3.0));
+        assert_eq!(z * 0.5, Complex::new(1.0, -3.0));
+        assert_eq!(0.5 * z, Complex::new(1.0, -3.0));
+        assert_eq!(z / 2.0, Complex::new(1.0, -3.0));
+    }
+
+    #[test]
+    fn mean_of_points() {
+        let pts = [
+            Complex::new(1.0, 1.0),
+            Complex::new(3.0, -1.0),
+            Complex::new(2.0, 0.0),
+        ];
+        assert!(Complex::mean(&pts).approx_eq(Complex::new(2.0, 0.0), 1e-12));
+        assert_eq!(Complex::mean(&[]), Complex::ZERO);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Complex::new(0.0, 0.0);
+        let b = Complex::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(b.distance(a), 5.0);
+        assert_eq!(a.distance_sqr(b), 25.0);
+    }
+
+    #[test]
+    fn finiteness_detects_nan() {
+        assert!(Complex::new(1.0, 2.0).is_finite());
+        assert!(!Complex::new(f64::NAN, 0.0).is_finite());
+        assert!(!Complex::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Complex = (0..4).map(|k| Complex::new(k as f64, 1.0)).sum();
+        assert_eq!(total, Complex::new(6.0, 4.0));
+    }
+
+    #[test]
+    fn negation() {
+        assert_eq!(-Complex::new(1.0, -2.0), Complex::new(-1.0, 2.0));
+    }
+}

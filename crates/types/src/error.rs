@@ -1,0 +1,111 @@
+//! Workspace error type.
+//!
+//! Kept small deliberately: most of the pipeline is infallible DSP over
+//! owned buffers, so errors only arise at configuration boundaries and when
+//! a decode stage cannot produce a usable result.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the LF-Backscatter workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A bitrate was requested that is not a positive multiple of the base
+    /// rate (§3.2's restriction).
+    InvalidRate {
+        /// The offending rate in bits/second.
+        requested_bps: f64,
+        /// The base rate it must be a multiple of.
+        base_bps: f64,
+    },
+    /// A configuration value was out of its valid domain.
+    InvalidConfig {
+        /// Which parameter was invalid.
+        what: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The input signal is too short for the requested operation.
+    SignalTooShort {
+        /// Samples required.
+        needed: usize,
+        /// Samples available.
+        got: usize,
+    },
+    /// A decode stage could not produce a result (e.g. k-means given no
+    /// points, collision separation without a parallelogram fit).
+    DecodeFailed {
+        /// Which stage failed.
+        stage: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A linear system was singular / under-determined (Buzz decoding).
+    SingularSystem {
+        /// Rows of the system.
+        rows: usize,
+        /// Columns of the system.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidRate {
+                requested_bps,
+                base_bps,
+            } => write!(
+                f,
+                "invalid bitrate {requested_bps} bps: must be a positive multiple of the \
+                 base rate {base_bps} bps"
+            ),
+            Error::InvalidConfig { what, detail } => {
+                write!(f, "invalid configuration for {what}: {detail}")
+            }
+            Error::SignalTooShort { needed, got } => {
+                write!(f, "signal too short: need {needed} samples, got {got}")
+            }
+            Error::DecodeFailed { stage, detail } => {
+                write!(f, "decode stage '{stage}' failed: {detail}")
+            }
+            Error::SingularSystem { rows, cols } => {
+                write!(f, "singular/under-determined linear system ({rows}x{cols})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::InvalidRate {
+            requested_bps: 150.0,
+            base_bps: 100.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("150") && msg.contains("100"));
+
+        let e = Error::SignalTooShort { needed: 10, got: 3 };
+        assert!(e.to_string().contains("10") && e.to_string().contains('3'));
+
+        let e = Error::DecodeFailed {
+            stage: "kmeans",
+            detail: "no points".into(),
+        };
+        assert!(e.to_string().contains("kmeans"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_std_error(_: &dyn std::error::Error) {}
+        takes_std_error(&Error::SingularSystem { rows: 2, cols: 3 });
+    }
+}

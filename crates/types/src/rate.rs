@@ -1,0 +1,185 @@
+//! Bitrates restricted to multiples of a base rate.
+//!
+//! §3.2: "we assume that the rate selected by the sensor is not arbitrary,
+//! but it is a multiple of a base rate (e.g. in our system, the base rate is
+//! 100 bps, and any multiple of that is a valid data rate)". This is the
+//! *one* restriction LF-Backscatter imposes on tags: it makes collisions
+//! periodic (hence separable) and lets the reader reject spurious edges that
+//! do not repeat at a valid rate.
+
+use crate::error::{Error, Result};
+
+/// The paper's base rate: 100 bps.
+pub const PAPER_BASE_RATE_BPS: f64 = 100.0;
+
+/// A tag bitrate, expressed as an integer multiple of a base rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BitRate {
+    /// Multiplier over the base rate.
+    multiple: u32,
+}
+
+impl BitRate {
+    /// Creates a bitrate that is `multiple` × base rate. `multiple` must be
+    /// at least 1.
+    pub fn from_multiple(multiple: u32) -> Result<Self> {
+        if multiple == 0 {
+            return Err(Error::InvalidRate {
+                requested_bps: 0.0,
+                base_bps: PAPER_BASE_RATE_BPS,
+            });
+        }
+        Ok(BitRate { multiple })
+    }
+
+    /// Creates a bitrate from bits/second given a base rate, requiring it to
+    /// be an exact multiple (within floating-point tolerance).
+    pub fn from_bps(bps: f64, base_bps: f64) -> Result<Self> {
+        let multiple = bps / base_bps;
+        let rounded = multiple.round();
+        if rounded < 1.0 || (multiple - rounded).abs() > 1e-6 * rounded.max(1.0) {
+            return Err(Error::InvalidRate {
+                requested_bps: bps,
+                base_bps,
+            });
+        }
+        Ok(BitRate {
+            multiple: rounded as u32,
+        })
+    }
+
+    /// The multiplier over the base rate.
+    pub fn multiple(self) -> u32 {
+        self.multiple
+    }
+
+    /// The rate in bits/second given the base rate in force.
+    pub fn bps(self, base_bps: f64) -> f64 {
+        self.multiple as f64 * base_bps
+    }
+
+    /// The bit period in seconds given the base rate in force.
+    pub fn bit_period_secs(self, base_bps: f64) -> f64 {
+        1.0 / self.bps(base_bps)
+    }
+}
+
+/// The rate plan of a deployment: the base rate plus the set of rates the
+/// reader will search for when folding edge streams (§3.2). Restricting the
+/// search set keeps decoding cheap and mirrors how a deployment would
+/// provision its sensors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatePlan {
+    base_bps: f64,
+    rates: Vec<BitRate>,
+}
+
+impl RatePlan {
+    /// Creates a rate plan. `rates` are deduplicated and sorted descending
+    /// (the stream folder claims fast streams first — a slow tag cannot
+    /// masquerade as a fast one, but the reverse folding is ambiguous).
+    pub fn new(base_bps: f64, mut rates: Vec<BitRate>) -> Result<Self> {
+        if !(base_bps.is_finite() && base_bps > 0.0) || rates.is_empty() {
+            return Err(Error::InvalidRate {
+                requested_bps: base_bps,
+                base_bps,
+            });
+        }
+        rates.sort_unstable_by(|a, b| b.multiple.cmp(&a.multiple));
+        rates.dedup();
+        Ok(RatePlan { base_bps, rates })
+    }
+
+    /// Convenience: builds a plan straight from bps values.
+    pub fn from_bps(base_bps: f64, rates_bps: &[f64]) -> Result<Self> {
+        let rates = rates_bps
+            .iter()
+            .map(|&bps| BitRate::from_bps(bps, base_bps))
+            .collect::<Result<Vec<_>>>()?;
+        RatePlan::new(base_bps, rates)
+    }
+
+    /// The paper's deployment: base 100 bps, rates from 500 bps to 250 kbps
+    /// covering every rate used in the evaluation (Figs. 8–12).
+    pub fn paper_default() -> Self {
+        RatePlan::from_bps(
+            PAPER_BASE_RATE_BPS,
+            &[
+                500.0, 1_000.0, 2_000.0, 5_000.0, 10_000.0, 50_000.0, 100_000.0, 150_000.0,
+                200_000.0, 250_000.0, 300_000.0,
+            ],
+        )
+        .expect("paper defaults are valid")
+    }
+
+    /// The base rate in bps.
+    pub fn base_bps(&self) -> f64 {
+        self.base_bps
+    }
+
+    /// The valid rates, sorted fastest-first.
+    pub fn rates(&self) -> &[BitRate] {
+        &self.rates
+    }
+
+    /// The fastest rate in the plan, in bps.
+    pub fn max_bps(&self) -> f64 {
+        self.rates[0].bps(self.base_bps)
+    }
+
+    /// The slowest rate in the plan, in bps.
+    pub fn min_bps(&self) -> f64 {
+        self.rates[self.rates.len() - 1].bps(self.base_bps)
+    }
+
+    /// Whether `rate` is part of this plan.
+    pub fn contains(&self, rate: BitRate) -> bool {
+        self.rates.contains(&rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_multiples_accepted() {
+        let r = BitRate::from_bps(100_000.0, 100.0).unwrap();
+        assert_eq!(r.multiple(), 1000);
+        assert_eq!(r.bps(100.0), 100_000.0);
+        assert!((r.bit_period_secs(100.0) - 10e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn non_multiples_rejected() {
+        assert!(BitRate::from_bps(150.0, 100.0).is_err());
+        assert!(BitRate::from_bps(99.9, 100.0).is_err());
+        assert!(BitRate::from_bps(0.0, 100.0).is_err());
+        assert!(BitRate::from_multiple(0).is_err());
+    }
+
+    #[test]
+    fn plan_sorts_fastest_first_and_dedups() {
+        let plan = RatePlan::from_bps(100.0, &[1000.0, 100_000.0, 1000.0, 10_000.0]).unwrap();
+        let multiples: Vec<u32> = plan.rates().iter().map(|r| r.multiple()).collect();
+        assert_eq!(multiples, vec![1000, 100, 10]);
+        assert_eq!(plan.max_bps(), 100_000.0);
+        assert_eq!(plan.min_bps(), 1000.0);
+    }
+
+    #[test]
+    fn paper_default_covers_eval_rates() {
+        let plan = RatePlan::paper_default();
+        assert_eq!(plan.base_bps(), 100.0);
+        for bps in [500.0, 10_000.0, 100_000.0, 250_000.0] {
+            let r = BitRate::from_bps(bps, 100.0).unwrap();
+            assert!(plan.contains(r), "missing {bps} bps");
+        }
+    }
+
+    #[test]
+    fn empty_plan_rejected() {
+        assert!(RatePlan::new(100.0, vec![]).is_err());
+        assert!(RatePlan::from_bps(0.0, &[100.0]).is_err());
+    }
+}

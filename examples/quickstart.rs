@@ -1,0 +1,64 @@
+//! Quickstart: two blind tags, one reader, zero coordination.
+//!
+//! Builds the smallest end-to-end LF-Backscatter scenario: two sensors at
+//! different bitrates transmit the moment the carrier appears, the air
+//! combines their reflections (plus noise), and the reader pipeline
+//! separates and decodes both streams.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lf_backscatter::prelude::*;
+
+fn main() {
+    // Two tags: a 10 kbps sensor and a 5 kbps sensor, both with 32-bit
+    // payloads per frame, 2 m from the reader. They share nothing — no
+    // slots, no codes, no clock.
+    let tags = vec![
+        ScenarioTag::sensor(10_000.0).with_payload_bits(32),
+        ScenarioTag::sensor(5_000.0).with_payload_bits(32).at_distance(2.4),
+    ];
+    // 16 ms epoch at a 2.5 Msps reader (the paper's USRP runs 25 Msps;
+    // the pipeline is rate-agnostic).
+    let mut scenario =
+        Scenario::paper_default(tags, 40_000).at_sample_rate(SampleRate::from_msps(2.5));
+    scenario.rate_plan = RatePlan::from_bps(100.0, &[5_000.0, 10_000.0]).unwrap();
+
+    println!("simulating one epoch: {} tags, {:.1} ms, {} IQ samples",
+        scenario.tags.len(),
+        scenario.epoch_secs() * 1e3,
+        scenario.epoch_samples,
+    );
+
+    let outcome = simulate_epoch(&scenario, DecodeStages::full(), 0);
+
+    println!(
+        "reader: {} edges detected, {} streams tracked",
+        outcome.decode.n_edges, outcome.decode.n_tracked
+    );
+    for s in &outcome.decode.streams {
+        println!(
+            "  stream @ {:>6.0} bps, offset {:>6.0} samples, {:?}: {} bits",
+            s.rate_bps,
+            s.offset,
+            s.kind,
+            s.bits.len()
+        );
+    }
+    for (i, (truth, score)) in outcome.truths.iter().zip(&outcome.scores).enumerate() {
+        println!(
+            "tag {i} @ {:>6.0} bps: {}/{} frames recovered bit-exact, {} payload bits correct",
+            truth.rate_bps, score.frames_ok, score.frames_sent, score.payload_bits_correct
+        );
+    }
+    println!(
+        "aggregate goodput: {:.1} kbps (frame success rate {:.0}%)",
+        outcome.aggregate_goodput_bps() / 1e3,
+        outcome.frame_success_rate() * 100.0
+    );
+
+    assert!(
+        outcome.frame_success_rate() > 0.9,
+        "expected a clean decode in this small scenario"
+    );
+    println!("ok: both blind transmitters decoded concurrently.");
+}

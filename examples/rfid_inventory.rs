@@ -1,0 +1,65 @@
+//! RFID inventory: identify every tag in range, fast (§5.2 / Fig. 12).
+//!
+//! Each tag blindly transmits its 96-bit EPC (+ CRC-5) once per epoch at
+//! a random natural offset; the reader opens epochs until every tag has
+//! been heard, and compares against the Q-algorithm slotted-ALOHA
+//! inventory a stripped EPC Gen 2 reader would run.
+//!
+//! Run with: `cargo run --release --example rfid_inventory`
+
+use lf_backscatter::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n_tags = 8;
+    let rate_bps = 10_000.0;
+    let fs = SampleRate::from_msps(2.5);
+
+    // --- LF-Backscatter inventory ---
+    let frame_samples = 102.0 * fs.samples_per_bit(rate_bps);
+    let epoch_samples = (frame_samples + 2_500.0) as usize;
+    let tags = (0..n_tags)
+        .map(|i| {
+            ScenarioTag::identification(rate_bps).at_distance(1.5 + i as f64 / n_tags as f64)
+        })
+        .collect();
+    let mut scenario = Scenario::paper_default(tags, epoch_samples).at_sample_rate(fs);
+    scenario.rate_plan = RatePlan::from_bps(100.0, &[rate_bps]).unwrap();
+    scenario.seed = 2026;
+
+    let epoch_secs = scenario.epoch_secs() * 1.1; // + carrier-off gap
+    let mut identified = vec![false; n_tags];
+    let mut epochs = 0u64;
+    while identified.iter().any(|x| !x) && epochs < 20 {
+        let outcome = simulate_epoch(&scenario, DecodeStages::full(), epochs);
+        for (i, ok) in outcome.fully_recovered().iter().enumerate() {
+            if *ok && !identified[i] {
+                println!(
+                    "epoch {epochs}: identified tag {i} -> EPC {}",
+                    Epc96::for_tag(i as u32)
+                );
+                identified[i] = true;
+            }
+        }
+        epochs += 1;
+    }
+    let lf_ms = epochs as f64 * epoch_secs * 1e3;
+    println!(
+        "LF-Backscatter: all {n_tags} tags identified in {epochs} epoch(s) = {lf_ms:.1} ms"
+    );
+
+    // --- Stripped EPC Gen 2 (Q-algorithm) baseline ---
+    let mut cfg = Gen2Config::paper_default();
+    cfg.bitrate_bps = rate_bps;
+    let mut rng = StdRng::seed_from_u64(7);
+    let tdma_ms =
+        Gen2Inventory::new(cfg).mean_duration_secs(n_tags, 100, &mut rng) * 1e3;
+    println!("EPC Gen 2 TDMA: mean inventory time {tdma_ms:.1} ms");
+    println!(
+        "speedup: {:.1}x (paper reports up to 17x at 16 tags/100 kbps)",
+        tdma_ms / lf_ms
+    );
+    assert!(identified.iter().all(|&x| x), "inventory must complete");
+    assert!(lf_ms < tdma_ms, "LF must beat TDMA");
+}

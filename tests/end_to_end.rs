@@ -1,0 +1,151 @@
+//! End-to-end integration tests through the public API (the `prelude`):
+//! tags → air → decoder → scores, exercising the paths a downstream user
+//! would take.
+
+use lf_backscatter::prelude::*;
+
+fn quick_scenario(tags: Vec<ScenarioTag>, epoch_samples: usize, rates: &[f64]) -> Scenario {
+    let mut sc =
+        Scenario::paper_default(tags, epoch_samples).at_sample_rate(SampleRate::from_msps(2.5));
+    sc.rate_plan = RatePlan::from_bps(100.0, rates).unwrap();
+    sc.seed = 0x0ddba11;
+    sc
+}
+
+#[test]
+fn concurrent_streams_decode_through_public_api() {
+    let sc = quick_scenario(
+        vec![
+            ScenarioTag::sensor(10_000.0).with_payload_bits(48),
+            ScenarioTag::sensor(10_000.0).with_payload_bits(48).at_distance(2.2),
+            ScenarioTag::sensor(5_000.0).with_payload_bits(48).at_distance(1.8),
+        ],
+        60_000,
+        &[5_000.0, 10_000.0],
+    );
+    let out = simulate_epoch(&sc, DecodeStages::full(), 0);
+    assert!(out.frame_success_rate() > 0.9, "rate {}", out.frame_success_rate());
+    assert!(out.aggregate_goodput_bps() > 10_000.0);
+}
+
+#[test]
+fn raw_capture_and_custom_decoder() {
+    // A user can take the raw IQ capture and run their own decoder
+    // configuration over it.
+    let sc = quick_scenario(
+        vec![ScenarioTag::sensor(10_000.0).with_payload_bits(32)],
+        40_000,
+        &[10_000.0],
+    );
+    let (signal, truths) = synthesize_epoch(&sc, 0);
+    assert_eq!(signal.len(), sc.epoch_samples);
+
+    let mut cfg = DecoderConfig::at_sample_rate(sc.sample_rate);
+    cfg.rate_plan = sc.rate_plan.clone();
+    let decode = Decoder::new(cfg).decode(&signal);
+    let s = decode
+        .streams
+        .iter()
+        .find(|s| (s.offset - truths[0].offset).abs() < 30.0)
+        .expect("stream found");
+    assert_eq!(s.kind, StreamKind::Single);
+    assert!(s.bits.len() >= truths[0].bits.len());
+    assert_eq!(
+        s.bits.slice(0, truths[0].bits.len()),
+        truths[0].bits,
+        "bit-exact recovery"
+    );
+}
+
+#[test]
+fn reliability_loop_recovers_losses_across_epochs() {
+    // Run several epochs; any frame lost in one epoch would be covered by
+    // a Retransmit command. Verify the controller's decisions line up
+    // with the observed epoch outcomes and that cumulative delivery
+    // converges.
+    let sc = quick_scenario(
+        (0..6)
+            .map(|i| {
+                ScenarioTag::sensor(10_000.0)
+                    .with_payload_bits(48)
+                    .at_distance(1.5 + i as f64 * 0.15)
+            })
+            .collect(),
+        60_000,
+        &[10_000.0],
+    );
+    let mut controller = ReaderController::new(sc.rate_plan.clone());
+    let mut delivered = vec![false; sc.tags.len()];
+    for epoch in 0..6 {
+        let out = simulate_epoch(&sc, DecodeStages::full(), epoch);
+        for (i, s) in out.scores.iter().enumerate() {
+            if s.frames_ok > 0 {
+                delivered[i] = true;
+            }
+        }
+        let ok: usize = out.scores.iter().map(|s| s.frames_ok).sum();
+        let sent: usize = out.scores.iter().map(|s| s.frames_sent).sum();
+        match controller.after_epoch(ok, sent) {
+            ReaderCommand::Continue => {
+                if delivered.iter().all(|&d| d) {
+                    break;
+                }
+            }
+            ReaderCommand::Retransmit | ReaderCommand::LowerMaxRate(_) => {}
+        }
+    }
+    assert!(
+        delivered.iter().all(|&d| d),
+        "every tag must deliver within the retry budget: {delivered:?}"
+    );
+}
+
+#[test]
+fn decoder_reports_nothing_on_dead_air() {
+    let mut cfg = DecoderConfig::at_sample_rate(SampleRate::from_msps(2.5));
+    cfg.rate_plan = RatePlan::from_bps(100.0, &[10_000.0]).unwrap();
+    let mut air = AirConfig::paper_default(30_000);
+    air.sample_rate = SampleRate::from_msps(2.5);
+    air.noise_sigma = 0.01;
+    air.seed = 99;
+    let signal = synthesize(&air, &[]);
+    let decode = Decoder::new(cfg).decode(&signal);
+    assert!(decode.streams.is_empty());
+}
+
+#[test]
+fn forced_collision_separates_through_public_api() {
+    let sc = quick_scenario(
+        vec![
+            ScenarioTag::sensor(10_000.0)
+                .with_payload_bits(48)
+                .with_forced_offset(200e-6),
+            ScenarioTag::sensor(10_000.0)
+                .with_payload_bits(48)
+                .at_distance(2.3)
+                .with_forced_offset(200e-6),
+        ],
+        60_000,
+        &[10_000.0],
+    );
+    let out = simulate_epoch(&sc, DecodeStages::full(), 0);
+    let members = out
+        .decode
+        .streams
+        .iter()
+        .filter(|s| s.kind == StreamKind::CollisionMember)
+        .count();
+    assert_eq!(members, 2, "full collision must split into two members");
+    // Bit-level recovery through the collision (Table 2 regime): most
+    // payload bits of both tags come through.
+    let total_correct: usize = out.scores.iter().map(|s| s.payload_bits_correct).sum();
+    let total_sent: usize = out
+        .scores
+        .iter()
+        .map(|s| s.frames_sent * 48)
+        .sum();
+    assert!(
+        total_correct as f64 > 0.75 * total_sent as f64,
+        "collision recovery too weak: {total_correct}/{total_sent}"
+    );
+}

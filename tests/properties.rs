@@ -1,0 +1,177 @@
+//! Cross-crate property-based tests (proptest): invariants that must hold
+//! for arbitrary payloads, rates, geometries, and timing draws.
+
+use lf_backscatter::prelude::*;
+use lf_backscatter::dsp::geometry::{fit_parallelogram, lattice9};
+use lf_backscatter::dsp::viterbi::{EmissionModel, ViterbiDecoder};
+use lf_backscatter::channel::air::nrz_events;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// BitVec round-trips through bytes for any bit pattern whose length
+    /// is a byte multiple.
+    #[test]
+    fn bitvec_byte_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let bits = BitVec::from_bytes(&bytes);
+        prop_assert_eq!(bits.to_bytes(), bytes);
+    }
+
+    /// Sensor frames round-trip for any payload.
+    #[test]
+    fn sensor_frame_round_trip(payload in proptest::collection::vec(any::<bool>(), 1..256)) {
+        let payload: BitVec = payload.into_iter().collect();
+        let frame = Frame::sensor(payload.clone());
+        let parsed = Frame::from_bits(&frame.to_bits(), FrameKind::SensorData)
+            .expect("round trip");
+        prop_assert_eq!(parsed.payload(), &payload);
+    }
+
+    /// Any single-bit corruption of a sensor frame is detected.
+    #[test]
+    fn sensor_frame_detects_any_single_bit_error(
+        payload in proptest::collection::vec(any::<bool>(), 1..64),
+        flip in any::<proptest::sample::Index>(),
+    ) {
+        let payload: BitVec = payload.into_iter().collect();
+        let bits = Frame::sensor(payload).to_bits();
+        let mut corrupted: Vec<bool> = bits.iter().collect();
+        let idx = flip.index(corrupted.len());
+        corrupted[idx] = !corrupted[idx];
+        let corrupted: BitVec = corrupted.into_iter().collect();
+        prop_assert!(Frame::from_bits(&corrupted, FrameKind::SensorData).is_none());
+    }
+
+    /// NRZ toggle events are strictly interleaved (sorted, alternating
+    /// levels) for any bit pattern.
+    #[test]
+    fn nrz_events_are_sorted_and_alternating(bits in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let events = nrz_events(&bits, 100.0, 50.0, |_| 0.0);
+        for w in events.windows(2) {
+            prop_assert!(w[0].time < w[1].time);
+            prop_assert_ne!(w[0].level, w[1].level);
+        }
+        // The final level is always 0 (tag returns to absorbing).
+        if let Some(last) = events.last() {
+            prop_assert_eq!(last.level, 0.0);
+        }
+    }
+
+    /// The Viterbi decoder inverts clean NRZ observations for any bit
+    /// pattern and any reasonable edge vector.
+    #[test]
+    fn viterbi_inverts_clean_observations(
+        bits in proptest::collection::vec(any::<bool>(), 1..128),
+        mag in 0.02f64..0.5,
+        phase in 0.0f64..std::f64::consts::TAU,
+    ) {
+        let e = Complex::from_polar(mag, phase);
+        let mut level = false;
+        let obs: Vec<Complex> = bits.iter().map(|&b| {
+            let d = match (level, b) {
+                (false, true) => e,
+                (true, false) => -e,
+                _ => Complex::ZERO,
+            };
+            level = b;
+            d
+        }).collect();
+        let decoder = ViterbiDecoder::new(EmissionModel::for_edge_vector(e, (0.05 * mag).powi(2)));
+        let decoded = decoder.decode_bits(&obs, Some(false));
+        prop_assert_eq!(decoded.as_slice(), &bits[..]);
+    }
+
+    /// The Viterbi decoder never emits an illegal edge sequence, no matter
+    /// how adversarial the observations are.
+    #[test]
+    fn viterbi_output_always_legal(
+        obs in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..64),
+    ) {
+        let e = Complex::new(0.5, 0.2);
+        let obs: Vec<Complex> = obs.into_iter().map(|(re, im)| Complex::new(re, im)).collect();
+        let decoder = ViterbiDecoder::new(EmissionModel::for_edge_vector(e, 0.01));
+        let states = decoder.decode_states(&obs, Some(false));
+        let mut level = false;
+        for s in states {
+            // From level L the only legal next levels are L (flat) or !L (edge);
+            // an edge state must actually toggle.
+            let next = s.level();
+            match s {
+                lf_backscatter::dsp::viterbi::EdgeState::Rise => {
+                    prop_assert!(!level && next);
+                }
+                lf_backscatter::dsp::viterbi::EdgeState::Fall => {
+                    prop_assert!(level && !next);
+                }
+                _ => prop_assert_eq!(level, next),
+            }
+            level = next;
+        }
+    }
+
+    /// The parallelogram fit recovers any well-conditioned 2-collision
+    /// lattice (sufficient angle and comparable scales), up to sign/swap.
+    #[test]
+    fn parallelogram_fit_recovers_lattices(
+        m1 in 0.05f64..0.2,
+        m2 in 0.05f64..0.2,
+        p1 in 0.0f64..std::f64::consts::TAU,
+        dp in 0.5f64..2.6, // angle between vectors: comfortably separable
+    ) {
+        let e1 = Complex::from_polar(m1, p1);
+        let e2 = Complex::from_polar(m2, p1 + dp);
+        prop_assume!(m1.min(m2) / m1.max(m2) > 0.3);
+        let centroids = lattice9(e1, e2).to_vec();
+        let fit = fit_parallelogram(&centroids, 0.05).expect("exact lattice fits");
+        let rec = lattice9(fit.e1, fit.e2);
+        for c in &centroids {
+            let d = rec.iter().map(|l| l.distance(*c)).fold(f64::INFINITY, f64::min);
+            prop_assert!(d < 1e-6, "lattice point {} unexplained (d={})", c, d);
+        }
+    }
+
+    /// CRC-5 and CRC-16 framing never false-accept a random different
+    /// payload of the same length.
+    #[test]
+    fn epc_id_round_trip(words in any::<[u32; 3]>()) {
+        let epc = Epc96::from_words(words);
+        let frame = Frame::identification(epc);
+        let parsed = Frame::from_bits(&frame.to_bits(), FrameKind::Identification)
+            .expect("round trip");
+        prop_assert_eq!(parsed.epc(), Some(epc));
+    }
+
+    /// Rate plans accept exactly the multiples of the base rate.
+    #[test]
+    fn rate_plan_multiples(mult in 1u32..5000, base in 50.0f64..1000.0) {
+        let r = BitRate::from_bps(mult as f64 * base, base).expect("exact multiple");
+        prop_assert_eq!(r.multiple(), mult);
+        // A half-step off is rejected.
+        prop_assert!(BitRate::from_bps((mult as f64 + 0.5) * base, base).is_err());
+    }
+}
+
+proptest! {
+    // The full synth→decode round trip is expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any payload and a clean channel, a single tag's frames decode
+    /// bit-exactly through the whole pipeline.
+    #[test]
+    fn single_tag_pipeline_round_trip(
+        seed in 0u64..1000,
+        payload_bits in proptest::sample::select(vec![16usize, 32, 48]),
+    ) {
+        let mut sc = Scenario::paper_default(
+            vec![ScenarioTag::sensor(10_000.0).with_payload_bits(payload_bits)],
+            40_000,
+        )
+        .at_sample_rate(SampleRate::from_msps(2.5));
+        sc.rate_plan = RatePlan::from_bps(100.0, &[10_000.0]).unwrap();
+        sc.seed = seed;
+        let out = simulate_epoch(&sc, DecodeStages::full(), 0);
+        prop_assert!(out.scores[0].frames_sent > 0);
+        prop_assert_eq!(out.scores[0].frames_ok, out.scores[0].frames_sent);
+    }
+}
