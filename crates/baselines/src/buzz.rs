@@ -81,9 +81,7 @@ impl BuzzOutcome {
             .decoded
             .iter()
             .zip(truth)
-            .map(|(d, t)| {
-                t.len().saturating_sub(d.hamming_distance(t))
-            })
+            .map(|(d, t)| t.len().saturating_sub(d.hamming_distance(t)))
             .sum();
         correct as f64 / self.airtime_secs
     }
@@ -131,12 +129,7 @@ impl BuzzNetwork {
         let cfg = &self.cfg;
         let m0 = ((cfg.initial_meas_frac * n as f64).ceil() as usize).max(2);
         let m_max = ((cfg.max_meas_factor * n as f64).ceil() as usize).max(m0 + 2);
-        let scale = self
-            .h_true
-            .iter()
-            .map(|h| h.abs())
-            .sum::<f64>()
-            / n as f64;
+        let scale = self.h_true.iter().map(|h| h.abs()).sum::<f64>() / n as f64;
 
         let mut decoded: Vec<BitVec> = vec![BitVec::with_capacity(len); n];
         let mut chips = (cfg.est_chips_per_tag * n as f64).ceil() as usize;
@@ -159,9 +152,9 @@ impl BuzzNetwork {
                     let mut row: Vec<f64> = (0..n)
                         .map(|_| (rng.gen::<f64>() < cfg.mix_density) as u8 as f64)
                         .collect();
-                    if let Some(uncovered) = (0..n).find(|&i| {
-                        row[i] == 0.0 && mixes.iter().all(|r: &Vec<f64>| r[i] == 0.0)
-                    }) {
+                    if let Some(uncovered) = (0..n)
+                        .find(|&i| row[i] == 0.0 && mixes.iter().all(|r: &Vec<f64>| r[i] == 0.0))
+                    {
                         row[uncovered] = 1.0;
                     }
                     if row.iter().all(|&v| v == 0.0) {
@@ -172,15 +165,11 @@ impl BuzzNetwork {
                     for i in 0..n {
                         y += self.h_true[i].scale(row[i] * b_true[i]);
                     }
-                    y += Complex::new(
-                        noise_sigma * std_normal(rng),
-                        noise_sigma * std_normal(rng),
-                    );
+                    y += Complex::new(noise_sigma * std_normal(rng), noise_sigma * std_normal(rng));
                     mixes.push(row);
                     ys.push(y);
                 }
-                if let Some(b) = solve_round(&mixes, &ys, h_est, scale, cfg.residual_threshold)
-                {
+                if let Some(b) = solve_round(&mixes, &ys, h_est, scale, cfg.residual_threshold) {
                     best = Some(b);
                     break;
                 }
@@ -211,7 +200,9 @@ impl BuzzNetwork {
     /// The expected measurements per bit round at the configured operating
     /// point (analytic helper for throughput models).
     pub fn expected_measurements(&self) -> f64 {
-        (self.cfg.initial_meas_frac * self.n_tags() as f64).ceil().max(2.0)
+        (self.cfg.initial_meas_frac * self.n_tags() as f64)
+            .ceil()
+            .max(2.0)
     }
 }
 
@@ -261,12 +252,7 @@ fn solve_round(
             .iter()
             .enumerate()
             .filter(|(i, _)| fixed[*i].is_none())
-            .max_by(|a, b| {
-                (a.1 - 0.5)
-                    .abs()
-                    .partial_cmp(&(b.1 - 0.5).abs())
-                    .expect("finite estimates")
-            })?;
+            .max_by(|a, b| (a.1 - 0.5).abs().total_cmp(&(b.1 - 0.5).abs()))?;
         min_margin = min_margin.min((val - 0.5).abs());
         fixed[idx] = Some(x[idx] >= 0.5);
         // Re-solve the reduced system with fixed coordinates substituted.
@@ -300,9 +286,7 @@ fn solve_round(
             x[i] = sol[j];
         }
     }
-    let b: Vec<bool> = (0..n)
-        .map(|i| fixed[i].unwrap_or(x[i] >= 0.5))
-        .collect();
+    let b: Vec<bool> = (0..n).map(|i| fixed[i].unwrap_or(x[i] >= 0.5)).collect();
 
     // Residual check against the measurements.
     let mut residual = 0.0;

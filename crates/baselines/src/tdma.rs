@@ -74,8 +74,7 @@ impl TdmaSchedule {
     /// independent of the population.
     pub fn aggregate_goodput_bps(&self) -> f64 {
         let cfg = &self.cfg;
-        cfg.bitrate_bps * cfg.slot_bits as f64
-            / (cfg.slot_bits + cfg.per_slot_overhead_bits) as f64
+        cfg.bitrate_bps * cfg.slot_bits as f64 / (cfg.slot_bits + cfg.per_slot_overhead_bits) as f64
     }
 
     /// Per-tag goodput in bps.

@@ -18,10 +18,10 @@ fn bench_fig8_point(c: &mut Criterion) {
     let p = ThroughputParams::for_scale(Scale::Quick);
     let sc = standard_scenario(&p, 8, p.rate_bps, 7);
     c.bench_function("fig8_lf_point_n8", |b| {
-        b.iter(|| lf_goodput(black_box(&sc), DecodeStages::full(), 1))
+        b.iter(|| lf_goodput(black_box(&sc), DecodeStages::full(), 1));
     });
     c.bench_function("fig8_buzz_point_n8", |b| {
-        b.iter(|| buzz_goodput(8, 96, 10_000.0, 1, 7))
+        b.iter(|| buzz_goodput(8, 96, 10_000.0, 1, 7));
     });
 }
 
@@ -29,34 +29,34 @@ fn bench_fig12_point(c: &mut Criterion) {
     let inv = Gen2Inventory::new(Gen2Config::paper_default());
     let mut rng = StdRng::seed_from_u64(9);
     c.bench_function("fig12_tdma_inventory_16tags", |b| {
-        b.iter(|| inv.run(16, &mut rng))
+        b.iter(|| inv.run(16, &mut rng));
     });
     let p = ThroughputParams::for_scale(Scale::Quick);
     let sc = {
         use lf_sim::scenario::{Scenario, ScenarioTag};
         let tags = (0..8)
-            .map(|i| {
-                ScenarioTag::identification(p.rate_bps).at_distance(1.5 + i as f64 / 8.0)
-            })
+            .map(|i| ScenarioTag::identification(p.rate_bps).at_distance(1.5 + i as f64 / 8.0))
             .collect();
         let mut sc = Scenario::paper_default(tags, 28_000).at_sample_rate(p.sample_rate);
         sc.rate_plan = p.rate_plan.clone();
         sc
     };
     c.bench_function("fig12_lf_id_epoch_8tags", |b| {
-        b.iter(|| simulate_epoch(black_box(&sc), DecodeStages::full(), 0))
+        b.iter(|| simulate_epoch(black_box(&sc), DecodeStages::full(), 0));
     });
 }
 
 fn bench_small_experiments(c: &mut Criterion) {
     c.bench_function("fig1_traces", |b| b.iter(|| fig1::run(black_box(1))));
     c.bench_function("fig5_collision_constellation", |b| {
-        b.iter(|| fig5::run(black_box(11)))
+        b.iter(|| fig5::run(black_box(11)));
     });
-    c.bench_function("table1_walkthrough", |b| b.iter(|| table1::run(black_box(3))));
+    c.bench_function("table1_walkthrough", |b| {
+        b.iter(|| table1::run(black_box(3)));
+    });
     let mut rng = StdRng::seed_from_u64(4);
     c.bench_function("collision_prob_mc_10k_trials", |b| {
-        b.iter(|| collision_prob::p_collision_monte_carlo(16, 2, 1.96, 250.0, 10_000, &mut rng))
+        b.iter(|| collision_prob::p_collision_monte_carlo(16, 2, 1.96, 250.0, 10_000, &mut rng));
     });
 }
 

@@ -27,7 +27,7 @@ fn bench_edge_detection(c: &mut Criterion) {
     let fix = standard_fixture(Scale::Quick, 8, 1);
     let cfg = decoder_cfg(&fix);
     c.bench_function("edge_detection_8tags_60k_samples", |b| {
-        b.iter(|| detect_edges(black_box(&fix.signal), &cfg))
+        b.iter(|| detect_edges(black_box(&fix.signal), &cfg));
     });
 }
 
@@ -36,7 +36,7 @@ fn bench_stream_separation(c: &mut Criterion) {
     let cfg = decoder_cfg(&fix);
     let edges = detect_edges(&fix.signal, &cfg);
     c.bench_function("stream_separation_8tags", |b| {
-        b.iter(|| find_streams(black_box(&edges), fix.signal.len(), &cfg))
+        b.iter(|| find_streams(black_box(&edges), fix.signal.len(), &cfg));
     });
 }
 
@@ -48,7 +48,7 @@ fn bench_full_decode_stages(c: &mut Criterion) {
         cfg.stages = stages;
         let decoder = Decoder::new(cfg);
         group.bench_with_input(BenchmarkId::from_parameter(name), &decoder, |b, d| {
-            b.iter(|| d.decode(black_box(&fix.signal)))
+            b.iter(|| d.decode(black_box(&fix.signal)));
         });
     }
     group.finish();
@@ -60,7 +60,7 @@ fn bench_decode_scaling(c: &mut Criterion) {
         let fix = standard_fixture(Scale::Quick, n, 2);
         let decoder = Decoder::new(decoder_cfg(&fix));
         group.bench_with_input(BenchmarkId::from_parameter(n), &decoder, |b, d| {
-            b.iter(|| d.decode(black_box(&fix.signal)))
+            b.iter(|| d.decode(black_box(&fix.signal)));
         });
     }
     group.finish();
@@ -78,7 +78,7 @@ fn bench_kmeans(c: &mut Criterion) {
         })
         .collect();
     c.bench_function("kmeans_k9_200pts", |b| {
-        b.iter(|| kmeans(black_box(&points), 9, 60))
+        b.iter(|| kmeans(black_box(&points), 9, 60));
     });
 }
 
@@ -93,7 +93,7 @@ fn bench_viterbi(c: &mut Criterion) {
         })
         .collect();
     c.bench_function("viterbi_1000_slots", |b| {
-        b.iter(|| decoder.decode_bits(black_box(&obs), Some(false)))
+        b.iter(|| decoder.decode_bits(black_box(&obs), Some(false)));
     });
 }
 

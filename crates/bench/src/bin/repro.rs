@@ -18,8 +18,23 @@ use rand::SeedableRng;
 use std::time::Instant;
 
 const ALL: &[&str] = &[
-    "fig1", "fig2", "table1", "collisions", "fig5", "fig8", "fig9", "fig10", "table2",
-    "fig11", "fig12", "table3", "fig13", "fig14", "range", "reliability", "ablations",
+    "fig1",
+    "fig2",
+    "table1",
+    "collisions",
+    "fig5",
+    "fig8",
+    "fig9",
+    "fig10",
+    "table2",
+    "fig11",
+    "fig12",
+    "table3",
+    "fig13",
+    "fig14",
+    "range",
+    "reliability",
+    "ablations",
 ];
 
 fn main() {

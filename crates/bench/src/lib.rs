@@ -28,6 +28,7 @@ use lf_types::Complex;
 
 /// A pre-synthesized standard capture: `n` tags at the scale's common
 /// rate, one epoch, plus the scenario that produced it.
+#[derive(Debug, Clone)]
 pub struct Fixture {
     /// The scenario.
     pub scenario: Scenario,

@@ -41,7 +41,18 @@ pub struct TagAir {
     pub process: Box<dyn CoeffProcess>,
 }
 
+impl std::fmt::Debug for TagAir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TagAir")
+            .field("events", &self.events)
+            .field("initial_level", &self.initial_level)
+            .field("process", &"<dyn CoeffProcess>")
+            .finish()
+    }
+}
+
 /// Synthesis parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AirConfig {
     /// Receiver sample rate.
     pub sample_rate: SampleRate,
@@ -98,8 +109,8 @@ pub fn synthesize(cfg: &AirConfig, tags: &[TagAir]) -> Vec<Complex> {
             let h = tag
                 .process
                 .coeff_at(cfg.sample_rate.time_of(t as f64).secs());
-            for s in t..block_end {
-                let ts = s as f64;
+            for (s, sample) in signal[t..block_end].iter_mut().enumerate() {
+                let ts = (t + s) as f64;
                 // Retire events whose ramp has fully completed.
                 while ev_idx < tag.events.len() && tag.events[ev_idx].time + rise <= ts {
                     level_before = tag.events[ev_idx].level;
@@ -114,7 +125,7 @@ pub fn synthesize(cfg: &AirConfig, tags: &[TagAir]) -> Vec<Complex> {
                     level_before
                 };
                 if state != 0.0 {
-                    signal[s] += h.scale(state);
+                    *sample += h.scale(state);
                 }
             }
             t = block_end;
@@ -162,6 +173,10 @@ pub fn nrz_events<F: Fn(usize) -> f64>(
 
 #[cfg(test)]
 mod tests {
+    // Tests assert bit-exact values deliberately: the event times under
+    // test must be exact, not approximate.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::dynamics::StaticChannel;
 
@@ -187,7 +202,13 @@ mod tests {
 
     #[test]
     fn reflecting_tag_adds_its_coefficient() {
-        let sig = one_tag(vec![ToggleEvent { time: 10.0, level: 1.0 }], 100);
+        let sig = one_tag(
+            vec![ToggleEvent {
+                time: 10.0,
+                level: 1.0,
+            }],
+            100,
+        );
         let env = AirConfig::paper_default(0).env_reflection;
         // Before the edge: environment only.
         assert!(sig[5].approx_eq(env, 1e-12));
@@ -197,7 +218,13 @@ mod tests {
 
     #[test]
     fn ramp_is_linear_over_rise_time() {
-        let sig = one_tag(vec![ToggleEvent { time: 10.0, level: 1.0 }], 100);
+        let sig = one_tag(
+            vec![ToggleEvent {
+                time: 10.0,
+                level: 1.0,
+            }],
+            100,
+        );
         let env = AirConfig::paper_default(0).env_reflection;
         // At exactly t=10 the ramp starts (0), t=11.5 half, t=13 complete.
         assert!(sig[10].approx_eq(env, 1e-12));
@@ -210,8 +237,14 @@ mod tests {
     fn toggle_off_returns_to_environment() {
         let sig = one_tag(
             vec![
-                ToggleEvent { time: 10.0, level: 1.0 },
-                ToggleEvent { time: 50.0, level: 0.0 },
+                ToggleEvent {
+                    time: 10.0,
+                    level: 1.0,
+                },
+                ToggleEvent {
+                    time: 50.0,
+                    level: 0.0,
+                },
             ],
             100,
         );
@@ -227,12 +260,18 @@ mod tests {
         cfg.sample_rate = SampleRate::from_msps(1.0);
         let tags = [
             TagAir {
-                events: vec![ToggleEvent { time: 10.0, level: 1.0 }],
+                events: vec![ToggleEvent {
+                    time: 10.0,
+                    level: 1.0,
+                }],
                 initial_level: 0.0,
                 process: Box::new(StaticChannel(H)),
             },
             TagAir {
-                events: vec![ToggleEvent { time: 20.0, level: 1.0 }],
+                events: vec![ToggleEvent {
+                    time: 20.0,
+                    level: 1.0,
+                }],
                 initial_level: 0.0,
                 process: Box::new(StaticChannel(h2)),
             },
@@ -250,9 +289,8 @@ mod tests {
         cfg.seed = 3;
         let sig = synthesize(&cfg, &[]);
         let env = cfg.env_reflection;
-        let rms = (sig.iter().map(|z| (*z - env).norm_sqr()).sum::<f64>()
-            / sig.len() as f64)
-            .sqrt();
+        let rms =
+            (sig.iter().map(|z| (*z - env).norm_sqr()).sum::<f64>() / sig.len() as f64).sqrt();
         assert!((rms - 0.05 * std::f64::consts::SQRT_2).abs() < 0.01);
     }
 
@@ -264,10 +302,22 @@ mod tests {
         assert_eq!(
             ev,
             vec![
-                ToggleEvent { time: 100.0, level: 1.0 },
-                ToggleEvent { time: 110.0, level: 0.0 },
-                ToggleEvent { time: 130.0, level: 1.0 },
-                ToggleEvent { time: 140.0, level: 0.0 },
+                ToggleEvent {
+                    time: 100.0,
+                    level: 1.0
+                },
+                ToggleEvent {
+                    time: 110.0,
+                    level: 0.0
+                },
+                ToggleEvent {
+                    time: 130.0,
+                    level: 1.0
+                },
+                ToggleEvent {
+                    time: 140.0,
+                    level: 0.0
+                },
             ]
         );
     }

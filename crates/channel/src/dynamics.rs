@@ -334,7 +334,9 @@ mod tests {
         let late = pair.coeff_of(0, 10.0);
         assert!(early.distance(H) < late.distance(H));
         // Holds after the approach completes.
-        assert!(pair.coeff_of(0, 10.0).approx_eq(pair.coeff_of(0, 12.0), 1e-12));
+        assert!(pair
+            .coeff_of(0, 10.0)
+            .approx_eq(pair.coeff_of(0, 12.0), 1e-12));
     }
 
     #[test]

@@ -96,6 +96,10 @@ impl LinkBudget {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert bit-exact values deliberately: the conversions under
+    // test must be exact, not approximate.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

@@ -122,10 +122,8 @@ mod tests {
         let samples: Vec<Complex> = (0..200_000).map(|_| n.sample()).collect();
         let mean = Complex::mean(&samples);
         assert!(mean.abs() < 0.01, "mean {mean} not near zero");
-        let var_i: f64 =
-            samples.iter().map(|z| z.re * z.re).sum::<f64>() / samples.len() as f64;
-        let var_q: f64 =
-            samples.iter().map(|z| z.im * z.im).sum::<f64>() / samples.len() as f64;
+        let var_i: f64 = samples.iter().map(|z| z.re * z.re).sum::<f64>() / samples.len() as f64;
+        let var_q: f64 = samples.iter().map(|z| z.im * z.im).sum::<f64>() / samples.len() as f64;
         assert!((var_i - 0.25).abs() < 0.01, "I variance {var_i}");
         assert!((var_q - 0.25).abs() < 0.01, "Q variance {var_q}");
     }
@@ -148,8 +146,7 @@ mod tests {
         let mut n = Awgn::new(0.1, 9);
         let mut buf = vec![Complex::ZERO; 10_000];
         n.corrupt(&mut buf);
-        let rms =
-            (buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / buf.len() as f64).sqrt();
+        let rms = (buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / buf.len() as f64).sqrt();
         // E[|z|²] = 2σ² → rms ≈ σ√2 ≈ 0.1414.
         assert!((rms - 0.1414).abs() < 0.01, "rms {rms}");
     }

@@ -119,6 +119,10 @@ impl DecoderConfig {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact values deliberately: decoded rates are drawn from
+    // a discrete set and must match identically, not approximately.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

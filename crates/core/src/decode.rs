@@ -94,7 +94,8 @@ mod tests {
         let e = Complex::new(0.1, 0.03);
         let bits: Vec<bool> = (0..80).map(|k| k == 0 || (k * 3 % 7) < 3).collect();
         let diffs = diffs_for(&bits, e);
-        let StreamAnalysis::Single(fit) = analyze_slots(&diffs, &vec![true; diffs.len()], &cfg()) else {
+        let StreamAnalysis::Single(fit) = analyze_slots(&diffs, &vec![true; diffs.len()], &cfg())
+        else {
             panic!("expected single");
         };
         let decoded = decode_single(&diffs, &fit, &cfg());
@@ -108,7 +109,8 @@ mod tests {
         let diffs = diffs_for(&bits, e);
         let mut c = cfg();
         c.stages.error_correction = false;
-        let StreamAnalysis::Single(fit) = analyze_slots(&diffs, &vec![true; diffs.len()], &c) else {
+        let StreamAnalysis::Single(fit) = analyze_slots(&diffs, &vec![true; diffs.len()], &c)
+        else {
             panic!("expected single");
         };
         let decoded = decode_single(&diffs, &fit, &c);
@@ -122,7 +124,8 @@ mod tests {
         let bits: Vec<bool> = (0..60).map(|k| k % 2 == 0).collect();
         let mut diffs = diffs_for(&bits, e);
         diffs[7] = Complex::ZERO; // erase one falling edge
-        let StreamAnalysis::Single(fit) = analyze_slots(&diffs, &vec![true; diffs.len()], &cfg()) else {
+        let StreamAnalysis::Single(fit) = analyze_slots(&diffs, &vec![true; diffs.len()], &cfg())
+        else {
             panic!("expected single");
         };
         let truth: BitVec = bits.iter().copied().collect();

@@ -60,12 +60,7 @@ impl PrefixSums {
 
 /// The differential at sample `t`: mean of `w` samples starting `g` after
 /// `t`, minus mean of `w` samples ending `g` before `t`.
-pub(crate) fn differential_at(
-    sums: &PrefixSums,
-    t: f64,
-    guard: f64,
-    window: usize,
-) -> Complex {
+pub(crate) fn differential_at(sums: &PrefixSums, t: f64, guard: f64, window: usize) -> Complex {
     let t = t.round() as isize;
     let g = guard.ceil() as isize;
     let w = window as isize;
@@ -99,7 +94,7 @@ pub fn detect_edges(signal: &[Complex], cfg: &DecoderConfig) -> Vec<EdgeEvent> {
     // MAD collapses to ~0 and floating-point dust would otherwise read as
     // peaks. 3 % of the strongest differential keeps tags within a ~30×
     // amplitude range (≈1–5 m spread under the d⁻⁴ law) detectable.
-    let max_mag = magnitude.iter().cloned().fold(0.0_f64, f64::max);
+    let max_mag = magnitude.iter().copied().fold(0.0_f64, f64::max);
     if max_mag <= 0.0 {
         return Vec::new();
     }
@@ -133,7 +128,7 @@ mod tests {
         let mut sig = vec![background; n];
         let mut level = 0.0;
         let mut idx = 0;
-        for t in 0..n {
+        for (t, s) in sig.iter_mut().enumerate() {
             while idx < times.len() && t >= times[idx] + 3 {
                 level = 1.0 - level;
                 idx += 1;
@@ -144,7 +139,7 @@ mod tests {
             } else {
                 level
             };
-            sig[t] = background + h.scale(state);
+            *s = background + h.scale(state);
         }
         sig
     }
@@ -191,11 +186,7 @@ mod tests {
         let hb = Complex::new(0.0, 0.1);
         let sig_a = steps(600, &[100, 300, 500], ha, Complex::ZERO);
         let sig_b = steps(600, &[200, 400], hb, Complex::ZERO);
-        let combined: Vec<Complex> = sig_a
-            .iter()
-            .zip(&sig_b)
-            .map(|(&a, &b)| a + b)
-            .collect();
+        let combined: Vec<Complex> = sig_a.iter().zip(&sig_b).map(|(&a, &b)| a + b).collect();
         let edges = detect_edges(&combined, &cfg());
         assert_eq!(edges.len(), 5);
         // Each detected differential points along the right tag's h.

@@ -195,11 +195,7 @@ mod tests {
                 .iter()
                 .find(|s| s.bits.len() >= 60)
                 .unwrap_or_else(|| panic!("epoch {k} decoded no stream"));
-            assert_eq!(
-                s.bits.slice(0, 60),
-                truth_bits[k],
-                "epoch {k} bits wrong"
-            );
+            assert_eq!(s.bits.slice(0, 60), truth_bits[k], "epoch {k} bits wrong");
         }
     }
 }

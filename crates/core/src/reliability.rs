@@ -96,6 +96,10 @@ impl ReaderController {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact values deliberately: decoded rates are drawn from
+    // a discrete set and must match identically, not approximately.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     fn plan() -> RatePlan {

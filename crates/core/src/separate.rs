@@ -108,8 +108,7 @@ pub fn analyze_slots(diffs: &[Complex], clean: &[bool], cfg: &DecoderConfig) -> 
     } else {
         diffs
     };
-    let check_collision =
-        cfg.stages.iq_separation && sel.len() >= cfg.min_slots_for_collision;
+    let check_collision = cfg.stages.iq_separation && sel.len() >= cfg.min_slots_for_collision;
     let (k, fit) = if check_collision {
         select_cluster_count(sel, &[3, 9], cfg.kmeans_iters, cfg.collision_improvement)
     } else {
@@ -163,15 +162,12 @@ pub fn analyze_slots(diffs: &[Complex], clean: &[bool], cfg: &DecoderConfig) -> 
     if b0 < 0 {
         e2 = -e2;
     }
-    let assignments: Vec<(i8, i8)> =
-        diffs.iter().map(|&d| classify_lattice(d, e1, e2)).collect();
+    let assignments: Vec<(i8, i8)> = diffs.iter().map(|&d| classify_lattice(d, e1, e2)).collect();
     // Noise variance: residual of each slot to its lattice point.
     let residual: f64 = diffs
         .iter()
         .zip(&assignments)
-        .map(|(&d, &(a, b))| {
-            d.distance_sqr(e1.scale(a as f64) + e2.scale(b as f64))
-        })
+        .map(|(&d, &(a, b))| d.distance_sqr(e1.scale(a as f64) + e2.scale(b as f64)))
         .sum::<f64>()
         / diffs.len() as f64;
     StreamAnalysis::Collided(CollisionFit {
@@ -193,14 +189,12 @@ fn single_fit(
     cfg: &DecoderConfig,
 ) -> StreamAnalysis {
     // Flat cluster: centroid nearest the origin.
-    let flat_idx = (0..centroids.len())
-        .min_by(|&a, &b| {
-            centroids[a]
-                .norm_sqr()
-                .partial_cmp(&centroids[b].norm_sqr())
-                .expect("finite centroids")
-        })
-        .expect("at least one centroid");
+    let Some(flat_idx) = (0..centroids.len())
+        .min_by(|&a, &b| centroids[a].norm_sqr().total_cmp(&centroids[b].norm_sqr()))
+    else {
+        // No centroids at all: k-means was never run on this subset.
+        return StreamAnalysis::Unresolved;
+    };
     // Rising cluster: the non-flat centroid nearest the anchor slot's
     // differential (slot 0 is always a rise).
     let rise_idx = (0..centroids.len())
@@ -208,8 +202,7 @@ fn single_fit(
         .min_by(|&a, &b| {
             centroids[a]
                 .distance_sqr(diffs[0])
-                .partial_cmp(&centroids[b].distance_sqr(diffs[0]))
-                .expect("finite centroids")
+                .total_cmp(&centroids[b].distance_sqr(diffs[0]))
         });
     let Some(rise_idx) = rise_idx else {
         // Degenerate: all diffs identical (k-means collapsed). No edges →
@@ -253,8 +246,7 @@ fn single_fit(
     } else {
         Gaussian2d::fit(&fall_pts, floor)
     };
-    let toggle_prob =
-        (rise_pts.len() + fall_pts.len()) as f64 / sel.len().max(1) as f64;
+    let toggle_prob = (rise_pts.len() + fall_pts.len()) as f64 / sel.len().max(1) as f64;
     let _ = cfg;
     StreamAnalysis::Single(SingleFit {
         e,
@@ -387,7 +379,10 @@ mod tests {
 
     #[test]
     fn empty_and_degenerate_inputs() {
-        assert!(matches!(analyze_slots(&[], &[], &cfg()), StreamAnalysis::Unresolved));
+        assert!(matches!(
+            analyze_slots(&[], &[], &cfg()),
+            StreamAnalysis::Unresolved
+        ));
         // All-identical (zero) diffs: no edges, nothing decodable.
         let zeros = vec![Complex::ZERO; 50];
         assert!(matches!(

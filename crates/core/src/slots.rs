@@ -107,10 +107,8 @@ fn foreign_edges(
     owned_by_others: &[bool],
     cfg: &DecoderConfig,
 ) -> Vec<(f64, Complex)> {
-    let own: std::collections::HashSet<usize> =
-        stream.matched.iter().flatten().copied().collect();
-    let companion_radius =
-        (2.0 * cfg.edge_width).max(stream.period_est / 64.0) + cfg.edge_width;
+    let own: std::collections::HashSet<usize> = stream.matched.iter().flatten().copied().collect();
+    let companion_radius = (2.0 * cfg.edge_width).max(stream.period_est / 64.0) + cfg.edge_width;
     all_edges
         .iter()
         .enumerate()
@@ -209,7 +207,11 @@ mod tests {
         // Without knowledge of B's edge: the differential is pulled toward
         // hb (the "after" window has full hb, the "before" only part).
         let unmasked = slot_differentials(&sig, &st, &[], &[], &cfg());
-        assert!(unmasked[0].abs() > 0.03, "expected corruption: {}", unmasked[0]);
+        assert!(
+            unmasked[0].abs() > 0.03,
+            "expected corruption: {}",
+            unmasked[0]
+        );
         // With B's edge claimed, masking recovers a near-zero differential.
         let b_edge = EdgeEvent {
             time: 485.0,

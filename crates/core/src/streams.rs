@@ -117,9 +117,8 @@ pub fn find_streams(
         };
         candidates.sort_by(|a, b| {
             score(b)
-                .partial_cmp(&score(a))
-                .expect("finite scores")
-                .then(b.rate_bps.partial_cmp(&a.rate_bps).expect("finite rates"))
+                .total_cmp(&score(a))
+                .then(b.rate_bps.total_cmp(&a.rate_bps))
         });
         let mut accepted_any = false;
         for cand in candidates {
@@ -130,7 +129,13 @@ pub fn find_streams(
                 continue;
             }
             if std::env::var("LF_DEBUG").is_ok() {
-                eprintln!("accept rate={} offset={:.1} matched={} std={:.2}", cand.rate_bps, cand.offset, matched.len(), cand.residual_std);
+                eprintln!(
+                    "accept rate={} offset={:.1} matched={} std={:.2}",
+                    cand.rate_bps,
+                    cand.offset,
+                    matched.len(),
+                    cand.residual_std
+                );
             }
             for i in matched {
                 claimed[i] = true;
@@ -282,7 +287,17 @@ fn track_stream(
     // --- Validation ---
     let n_matched = matched.iter().filter(|m| m.is_some()).count();
     if n_matched < 4 {
-        { if std::env::var("LF_DEBUG").is_ok() { eprintln!("reject rate={} t0={:.1} n={} reason=too_few", rate.bps(cfg.rate_plan.base_bps()), t0, matched.iter().flatten().count()); } return None; }
+        {
+            if std::env::var("LF_DEBUG").is_ok() {
+                eprintln!(
+                    "reject rate={} t0={:.1} n={} reason=too_few",
+                    rate.bps(cfg.rate_plan.base_bps()),
+                    t0,
+                    matched.iter().flatten().count()
+                );
+            }
+            return None;
+        }
     }
     // Matched density within the active span (frames can end before the
     // epoch does; trailing silence is fine, sparse matches inside the
@@ -290,7 +305,17 @@ fn track_stream(
     let last_matched_slot = matched.iter().rposition(|m| m.is_some()).unwrap_or(0);
     let density = n_matched as f64 / (last_matched_slot + 1) as f64;
     if density < 0.15 {
-        { if std::env::var("LF_DEBUG").is_ok() { eprintln!("reject rate={} t0={:.1} n={} reason=density", rate.bps(cfg.rate_plan.base_bps()), t0, matched.iter().flatten().count()); } return None; }
+        {
+            if std::env::var("LF_DEBUG").is_ok() {
+                eprintln!(
+                    "reject rate={} t0={:.1} n={} reason=density",
+                    rate.bps(cfg.rate_plan.base_bps()),
+                    t0,
+                    matched.iter().flatten().count()
+                );
+            }
+            return None;
+        }
     }
     // Rate-alias check: when (almost) all matched slot indices fall into
     // one residue class mod m ≥ 2, the edges are really an m×-slower
@@ -307,9 +332,19 @@ fn track_stream(
         for &s in &matched_slots {
             counts[s % m] += 1;
         }
-        let majority = counts.iter().cloned().max().unwrap_or(0);
+        let majority = counts.iter().copied().max().unwrap_or(0);
         if majority as f64 >= 0.85 * matched_slots.len() as f64 {
-            { if std::env::var("LF_DEBUG").is_ok() { eprintln!("reject rate={} t0={:.1} n={} reason=residue_majority", rate.bps(cfg.rate_plan.base_bps()), t0, matched.iter().flatten().count()); } return None; }
+            {
+                if std::env::var("LF_DEBUG").is_ok() {
+                    eprintln!(
+                        "reject rate={} t0={:.1} n={} reason=residue_majority",
+                        rate.bps(cfg.rate_plan.base_bps()),
+                        t0,
+                        matched.iter().flatten().count()
+                    );
+                }
+                return None;
+            }
         }
     }
     // Residual dispersion around the fitted line — the arbitration
@@ -320,8 +355,7 @@ fn track_stream(
         .filter_map(|(i, m)| m.map(|idx| (i, edges[idx].time)))
         .collect();
     let residual_of = |&(slot, time): &(usize, f64)| time - (t0 + slot as f64 * period_est);
-    let mean_res =
-        matched_pairs.iter().map(residual_of).sum::<f64>() / matched_pairs.len() as f64;
+    let mean_res = matched_pairs.iter().map(residual_of).sum::<f64>() / matched_pairs.len() as f64;
     let residual_std = (matched_pairs
         .iter()
         .map(|p| {
@@ -339,8 +373,7 @@ fn track_stream(
     // hold about as many unexplained edges as the track matched. Reject
     // and let the faster hypothesis claim the stream whole.
     for m in [2usize, 3] {
-        let Ok(sup) = BitRate::from_multiple(rate.multiple().saturating_mul(m as u32))
-        else {
+        let Ok(sup) = BitRate::from_multiple(rate.multiple().saturating_mul(m as u32)) else {
             continue;
         };
         if !cfg.rate_plan.contains(sup) {
@@ -449,12 +482,22 @@ fn track_stream(
                 .map(|(sum, c)| sum / *c as f64)
                 .collect();
             let timing_banded = means.len() >= 2 && {
-                let hi = means.iter().cloned().fold(f64::MIN, f64::max);
-                let lo = means.iter().cloned().fold(f64::MAX, f64::min);
+                let hi = means.iter().copied().fold(f64::MIN, f64::max);
+                let lo = means.iter().copied().fold(f64::MAX, f64::min);
                 hi - lo > 2.0
             };
             if whole_diverse || timing_banded {
-                { if std::env::var("LF_DEBUG").is_ok() { eprintln!("reject rate={} t0={:.1} n={} reason=interleave", rate.bps(cfg.rate_plan.base_bps()), t0, matched.iter().flatten().count()); } return None; }
+                {
+                    if std::env::var("LF_DEBUG").is_ok() {
+                        eprintln!(
+                            "reject rate={} t0={:.1} n={} reason=interleave",
+                            rate.bps(cfg.rate_plan.base_bps()),
+                            t0,
+                            matched.iter().flatten().count()
+                        );
+                    }
+                    return None;
+                }
             }
         }
     }
@@ -530,13 +573,16 @@ fn collinearity_ratio(vs: &[lf_types::Complex]) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact values deliberately: decoded rates are drawn from
+    // a discrete set and must match identically, not approximately.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use lf_types::{Complex, RatePlan, SampleRate};
 
     fn cfg() -> DecoderConfig {
         let mut c = DecoderConfig::at_sample_rate(SampleRate::from_msps(1.0));
-        c.rate_plan =
-            RatePlan::from_bps(100.0, &[5_000.0, 10_000.0, 20_000.0, 40_000.0]).unwrap();
+        c.rate_plan = RatePlan::from_bps(100.0, &[5_000.0, 10_000.0, 20_000.0, 40_000.0]).unwrap();
         c
     }
 
@@ -580,7 +626,11 @@ mod tests {
         assert_eq!(s.rate_bps, 10_000.0);
         assert!((s.offset - 57.0).abs() < 1.0);
         assert_eq!(s.n_matched(), edges.len());
-        assert!(s.residual_std < 0.5, "clean stream residual {}", s.residual_std);
+        assert!(
+            s.residual_std < 0.5,
+            "clean stream residual {}",
+            s.residual_std
+        );
     }
 
     #[test]
@@ -667,7 +717,11 @@ mod tests {
         assert_eq!(streams.len(), 1);
         let s = &streams[0];
         assert_eq!(s.n_matched(), edges.len(), "drift broke the lock");
-        assert!((s.period_est - period).abs() < 0.01, "period {}", s.period_est);
+        assert!(
+            (s.period_est - period).abs() < 0.01,
+            "period {}",
+            s.period_est
+        );
     }
 
     #[test]
@@ -696,7 +750,11 @@ mod tests {
             .collect();
         edges.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap());
         let streams = find_streams(&edges, 21_000, &cfg());
-        assert!(streams.is_empty(), "noise produced {} streams", streams.len());
+        assert!(
+            streams.is_empty(),
+            "noise produced {} streams",
+            streams.len()
+        );
     }
 
     #[test]
@@ -738,7 +796,11 @@ mod tests {
             .max_by_key(|s| s.n_matched())
             .expect("pile dropped entirely");
         assert_eq!(primary.rate_bps, 10_000.0, "primary claim at wrong rate");
-        assert!((45.0..65.0).contains(&primary.offset), "offset {}", primary.offset);
+        assert!(
+            (45.0..65.0).contains(&primary.offset),
+            "offset {}",
+            primary.offset
+        );
         // Nothing may be claimed at a *faster* rate (zigzag), and the
         // primary must own the majority of the pile's edges. Leftover
         // companion edges may form slower phantom streams — those fail

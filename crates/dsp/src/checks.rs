@@ -1,0 +1,124 @@
+//! NaN/∞ taint guards for the `strict-checks` feature.
+//!
+//! The decode pipeline is numerically closed: every stage consumes and
+//! produces finite floats, and a NaN anywhere is a bug (the only sanctioned
+//! entry point for non-finite data is the decoder's input sanitizer, which
+//! zeroes dropout samples before any stage runs). With the `strict-checks`
+//! feature enabled these guards verify that invariant at every stage
+//! boundary and panic with a message naming the offending stage; with the
+//! feature disabled every guard compiles to a no-op, so call sites carry no
+//! `cfg` clutter and release builds pay nothing.
+//!
+//! The panics here are deliberate and exempt from the workspace
+//! `clippy::panic` gate: `strict-checks` is a debugging instrument whose
+//! entire purpose is to abort loudly at the first tainted value instead of
+//! letting it propagate into a silently-corrupt decode.
+
+use lf_types::Complex;
+
+/// Panics if any sample in `values` is NaN/∞, naming `stage`.
+///
+/// No-op unless the `strict-checks` feature is enabled.
+#[inline]
+pub fn assert_finite_complex(stage: &str, values: &[Complex]) {
+    #[cfg(feature = "strict-checks")]
+    {
+        if let Some(idx) = values.iter().position(|v| !v.is_finite()) {
+            taint_panic(stage, idx, format!("{:?}", values[idx]));
+        }
+    }
+    #[cfg(not(feature = "strict-checks"))]
+    {
+        let _ = (stage, values);
+    }
+}
+
+/// Panics if any value in `values` is NaN/∞, naming `stage`.
+///
+/// No-op unless the `strict-checks` feature is enabled.
+#[inline]
+pub fn assert_finite_f64(stage: &str, values: &[f64]) {
+    #[cfg(feature = "strict-checks")]
+    {
+        if let Some(idx) = values.iter().position(|v| !v.is_finite()) {
+            taint_panic(stage, idx, format!("{}", values[idx]));
+        }
+    }
+    #[cfg(not(feature = "strict-checks"))]
+    {
+        let _ = (stage, values);
+    }
+}
+
+/// Panics if the single `value` is NaN/∞, naming `stage`.
+///
+/// No-op unless the `strict-checks` feature is enabled.
+#[inline]
+pub fn assert_finite_scalar(stage: &str, value: f64) {
+    #[cfg(feature = "strict-checks")]
+    {
+        if !value.is_finite() {
+            taint_panic(stage, 0, format!("{value}"));
+        }
+    }
+    #[cfg(not(feature = "strict-checks"))]
+    {
+        let _ = (stage, value);
+    }
+}
+
+// Aborting on taint is this module's contract (see module docs); the
+// clippy::panic gate guards the decode path, not its debug instrument.
+#[cfg(feature = "strict-checks")]
+#[allow(clippy::panic)]
+fn taint_panic(stage: &str, idx: usize, value: String) -> ! {
+    panic!(
+        "strict-checks: non-finite value {value} at pipeline stage \
+         `{stage}` (element {idx})"
+    );
+}
+
+#[cfg(all(test, feature = "strict-checks"))]
+mod strict_tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "stage `edge-detection`")]
+    fn complex_guard_names_stage() {
+        assert_finite_complex(
+            "edge-detection",
+            &[Complex::new(1.0, 0.0), Complex::new(f64::NAN, 0.0)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stage `stream-tracking`")]
+    fn f64_guard_names_stage() {
+        assert_finite_f64("stream-tracking", &[0.5, f64::INFINITY]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stage `collision-separation`")]
+    fn scalar_guard_names_stage() {
+        assert_finite_scalar("collision-separation", f64::NAN);
+    }
+
+    #[test]
+    fn finite_data_passes() {
+        assert_finite_complex("input", &[Complex::new(1.0, -2.0)]);
+        assert_finite_f64("input", &[0.0, 1.0e308]);
+        assert_finite_scalar("input", -0.0);
+    }
+}
+
+#[cfg(all(test, not(feature = "strict-checks")))]
+mod lenient_tests {
+    use super::*;
+
+    #[test]
+    fn guards_are_no_ops_without_the_feature() {
+        assert_finite_complex("input", &[Complex::new(f64::NAN, 0.0)]);
+        assert_finite_f64("input", &[f64::NAN]);
+        assert_finite_scalar("input", f64::INFINITY);
+    }
+}

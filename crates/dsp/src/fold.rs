@@ -43,11 +43,7 @@ impl FoldedHistogram {
             return Vec::new();
         }
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            self.bins[b]
-                .partial_cmp(&self.bins[a])
-                .expect("finite weights")
-        });
+        order.sort_by(|&a, &b| self.bins[b].total_cmp(&self.bins[a]));
         let mut taken: Vec<usize> = Vec::new();
         for &i in &order {
             if self.bins[i] < min_weight {
@@ -110,6 +106,10 @@ pub fn fold_series(series: &[f64], period: f64, nbins: usize) -> FoldedHistogram
 
 #[cfg(test)]
 mod tests {
+    // Tests assert bit-exact values deliberately: the arithmetic under test
+    // must be exact, not approximate.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]
@@ -132,7 +132,7 @@ mod tests {
         let h = fold_events(&times, &weights, 100.0, 50);
         // At the wrong period the events drift 1 sample per cycle and smear
         // across bins — no bin can hold more than a few events.
-        let max = h.bins.iter().cloned().fold(0.0, f64::max);
+        let max = h.bins.iter().copied().fold(0.0, f64::max);
         assert!(max <= 5.0, "expected smeared fold, max bin = {max}");
     }
 

@@ -79,14 +79,18 @@ pub fn fit_parallelogram(centroids: &[Complex], tol: f64) -> Option<Parallelogra
     let origin = centroids
         .iter()
         .copied()
-        .min_by(|a, b| a.norm_sqr().partial_cmp(&b.norm_sqr()).expect("finite"))?;
+        .min_by(|a, b| a.norm_sqr().total_cmp(&b.norm_sqr()))?;
     let pts: Vec<Complex> = centroids.iter().map(|&c| c - origin).collect();
     // Candidate edge vectors: all non-origin centroids.
     let scale = pts.iter().map(|p| p.abs()).fold(0.0_f64, f64::max);
     if scale == 0.0 {
         return None;
     }
-    let candidates: Vec<Complex> = pts.iter().copied().filter(|p| p.abs() > 0.2 * scale).collect();
+    let candidates: Vec<Complex> = pts
+        .iter()
+        .copied()
+        .filter(|p| p.abs() > 0.2 * scale)
+        .collect();
 
     let mut best: Option<ParallelogramFit> = None;
     for i in 0..candidates.len() {
@@ -179,7 +183,10 @@ mod tests {
         // Recovered pair must span the same lattice (up to sign/swap):
         let rec = lattice9(fit.e1, fit.e2);
         for c in &centroids {
-            let d = rec.iter().map(|l| l.distance(*c)).fold(f64::INFINITY, f64::min);
+            let d = rec
+                .iter()
+                .map(|l| l.distance(*c))
+                .fold(f64::INFINITY, f64::min);
             assert!(d < 1e-9, "centroid {c} unexplained");
         }
         assert!(fit.residual < 1e-9);
@@ -209,7 +216,10 @@ mod tests {
         let fit = fit_parallelogram(&centroids, 0.08).expect("noisy lattice must fit");
         let rec = lattice9(fit.e1, fit.e2);
         for c in lattice9(e1, e2) {
-            let d = rec.iter().map(|l| l.distance(c)).fold(f64::INFINITY, f64::min);
+            let d = rec
+                .iter()
+                .map(|l| l.distance(c))
+                .fold(f64::INFINITY, f64::min);
             assert!(d < 0.01, "lattice point {c} missed by {d}");
         }
     }

@@ -56,23 +56,19 @@ fn init_centroids(points: &[Complex], k: usize) -> Vec<Complex> {
     // data this lands on an extreme corner of the constellation, which is a
     // real cluster, unlike the mean itself (which may fall between
     // clusters).
-    let first = points
+    let Some(first) = points
         .iter()
         .copied()
-        .max_by(|a, b| {
-            a.distance_sqr(mean)
-                .partial_cmp(&b.distance_sqr(mean))
-                .expect("finite points")
-        })
-        .expect("non-empty points");
+        .max_by(|a, b| a.distance_sqr(mean).total_cmp(&b.distance_sqr(mean)))
+    else {
+        return centroids; // unreachable: kmeans() asserts non-empty input
+    };
     centroids.push(first);
     let mut dist: Vec<f64> = points.iter().map(|p| p.distance_sqr(first)).collect();
     while centroids.len() < k {
-        let (idx, _) = dist
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite distances"))
-            .expect("non-empty points");
+        let Some((idx, _)) = dist.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)) else {
+            break; // unreachable: dist mirrors the non-empty points slice
+        };
         let c = points[idx];
         centroids.push(c);
         for (d, p) in dist.iter_mut().zip(points) {
@@ -98,12 +94,14 @@ pub fn kmeans(points: &[Complex], k: usize, max_iters: usize) -> KMeansResult {
         // Assignment step.
         let mut changed = false;
         for (i, p) in points.iter().enumerate() {
-            let (best, _) = centroids
+            let Some((best, _)) = centroids
                 .iter()
                 .enumerate()
                 .map(|(c, ctr)| (c, p.distance_sqr(*ctr)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
-                .expect("k >= 1");
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+            else {
+                continue; // unreachable: k >= 1 keeps centroids non-empty
+            };
             if assignments[i] != best {
                 assignments[i] = best;
                 changed = true;

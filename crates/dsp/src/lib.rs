@@ -25,10 +25,13 @@
 //! * [`linalg`] — small dense real matrices and least squares, used by the
 //!   Buzz baseline's linear signal separation (Eq. 1).
 //! * [`window`] — moving averages and boxcar smoothing.
+//! * [`checks`] — NaN/∞ taint guards the pipeline wires at every stage
+//!   boundary under the `strict-checks` feature (no-ops otherwise).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checks;
 pub mod crc;
 pub mod fold;
 pub mod geometry;

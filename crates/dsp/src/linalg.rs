@@ -177,6 +177,10 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert bit-exact values deliberately: the arithmetic under test
+    // must be exact, not approximate.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

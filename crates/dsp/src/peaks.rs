@@ -35,7 +35,7 @@ pub fn find_peaks(series: &[f64], threshold: f64, min_distance: usize) -> Vec<Pe
         // Plateau handling: advance to the end of a run of equal values and
         // report its centre.
         let start = i;
-        while i + 1 < n && series[i + 1] == v {
+        while i + 1 < n && series[i + 1].total_cmp(&v).is_eq() {
             i += 1;
         }
         let left_ok = start == 0 || series[start - 1] < v;
@@ -53,12 +53,7 @@ pub fn find_peaks(series: &[f64], threshold: f64, min_distance: usize) -> Vec<Pe
     }
     // Dead-zone suppression: keep strongest first.
     let mut by_strength: Vec<usize> = (0..candidates.len()).collect();
-    by_strength.sort_by(|&a, &b| {
-        candidates[b]
-            .value
-            .partial_cmp(&candidates[a].value)
-            .expect("finite peak values")
-    });
+    by_strength.sort_by(|&a, &b| candidates[b].value.total_cmp(&candidates[a].value));
     let mut kept = vec![false; candidates.len()];
     let mut kept_indices: Vec<usize> = Vec::new();
     for &c in &by_strength {
@@ -103,7 +98,13 @@ mod tests {
     fn single_peak() {
         let s = [0.0, 0.1, 1.0, 0.1, 0.0];
         let p = find_peaks(&s, 0.5, 1);
-        assert_eq!(p, vec![Peak { index: 2, value: 1.0 }]);
+        assert_eq!(
+            p,
+            vec![Peak {
+                index: 2,
+                value: 1.0
+            }]
+        );
     }
 
     #[test]

@@ -133,11 +133,25 @@ impl ViterbiDecoder {
         }
     }
 
+    /// Emission log-density, floored to a finite minimum. A wildly distant
+    /// observation (or a degenerate variance) drives the Gaussian to
+    /// -∞/NaN; one such slot must *penalize* paths, not erase them — an
+    /// all-(-∞) score column would leave backtracking nothing to follow.
+    /// (`f64::max` also maps NaN to the floor.)
+    fn emission(&self, to: EdgeState, obs: Complex) -> f64 {
+        const EMISSION_FLOOR: f64 = -1.0e12;
+        self.emissions.log_pdf(to, obs).max(EMISSION_FLOOR)
+    }
+
     /// Decodes a sequence of per-slot edge differentials into the ML state
     /// path. `initial_level` is the known antenna level *before* the first
     /// slot (tags idle low before the frame, so frame decoding passes
     /// `false`; `None` allows any start).
-    pub fn decode_states(&self, observations: &[Complex], initial_level: Option<bool>) -> Vec<EdgeState> {
+    pub fn decode_states(
+        &self,
+        observations: &[Complex],
+        initial_level: Option<bool>,
+    ) -> Vec<EdgeState> {
         let n = observations.len();
         if n == 0 {
             return Vec::new();
@@ -159,8 +173,7 @@ impl ViterbiDecoder {
                 }
             };
             if allowed {
-                score[s.index()] =
-                    self.transition_cost(s) + self.emissions.log_pdf(s, observations[0]);
+                score[s.index()] = self.transition_cost(s) + self.emission(s, observations[0]);
             }
         }
         let mut backptr: Vec<[usize; 4]> = Vec::with_capacity(n);
@@ -174,8 +187,7 @@ impl ViterbiDecoder {
                     continue;
                 }
                 for to in from.successors() {
-                    let cand =
-                        base + self.transition_cost(to) + self.emissions.log_pdf(to, obs);
+                    let cand = base + self.transition_cost(to) + self.emission(to, obs);
                     if cand > next[to.index()] {
                         next[to.index()] = cand;
                         bp[to.index()] = from.index();
@@ -201,6 +213,18 @@ impl ViterbiDecoder {
         path
     }
 
+    /// Scores an explicit state path with the decoder's metric: summed
+    /// transition costs plus (floored) emission log-densities. This is the
+    /// quantity maximized by [`Self::decode_states`]; it is finite for any
+    /// finite observations, which the finiteness proptests pin down.
+    pub fn path_metric(&self, observations: &[Complex], path: &[EdgeState]) -> f64 {
+        observations
+            .iter()
+            .zip(path)
+            .map(|(&obs, &s)| self.transition_cost(s) + self.emission(s, obs))
+            .sum()
+    }
+
     /// Decodes observations straight to bits (the level after each slot).
     pub fn decode_bits(&self, observations: &[Complex], initial_level: Option<bool>) -> BitVec {
         self.decode_states(observations, initial_level)
@@ -214,11 +238,7 @@ impl ViterbiDecoder {
 /// baseline the Fig. 9 "Edge+IQ" stage uses before error correction is
 /// enabled. Exposed so the ablation can compare the two on identical
 /// observations.
-pub fn hard_decode_bits(
-    observations: &[Complex],
-    e: Complex,
-    initial_level: bool,
-) -> BitVec {
+pub fn hard_decode_bits(observations: &[Complex], e: Complex, initial_level: bool) -> BitVec {
     let mut level = initial_level;
     observations
         .iter()
@@ -265,7 +285,9 @@ mod tests {
     #[test]
     fn clean_sequence_decodes_exactly() {
         // Table 1's example: 1 0 0 0 0 1 1 0 1 0.
-        let bits = [true, false, false, false, false, true, true, false, true, false];
+        let bits = [
+            true, false, false, false, false, true, true, false, true, false,
+        ];
         let obs = observations_for_bits(&bits);
         let decoded = decoder().decode_bits(&obs, Some(false));
         assert_eq!(decoded.as_slice(), &bits);

@@ -20,8 +20,10 @@ pub fn moving_average(series: &[f64], window: usize) -> Vec<f64> {
     // Prefix sums for O(n).
     let mut prefix = Vec::with_capacity(n + 1);
     prefix.push(0.0);
+    let mut acc = 0.0;
     for &v in series {
-        prefix.push(prefix.last().unwrap() + v);
+        acc += v;
+        prefix.push(acc);
     }
     (0..n)
         .map(|i| {
@@ -60,6 +62,10 @@ pub fn diff_magnitude(series: &[Complex], gap: usize) -> Vec<f64> {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert bit-exact values deliberately: the arithmetic under test
+    // must be exact, not approximate.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

@@ -1,5 +1,9 @@
 //! Property-based tests over the DSP primitives.
 
+// Tests assert bit-exact values deliberately: a reported peak must carry the
+// exact stored sample, not an approximation.
+#![allow(clippy::float_cmp)]
+
 use lf_dsp::crc::{Crc16Ccitt, Crc5};
 use lf_dsp::fold::fold_events;
 use lf_dsp::kmeans::kmeans;

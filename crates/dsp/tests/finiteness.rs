@@ -1,0 +1,81 @@
+//! Adversarial-float finiteness properties.
+//!
+//! The decode pipeline's numeric invariant (see DESIGN.md "Numeric
+//! invariants & lint policy") is that every stage maps finite inputs to
+//! finite outputs. These properties attack the two stages where that is
+//! least obvious — k-means (distance accumulation over ~300 orders of
+//! magnitude) and the Viterbi trellis (log-densities that underflow to -∞
+//! when an observation sits far outside every emission cluster) — with
+//! values spanning the representable range.
+
+use lf_dsp::kmeans::kmeans;
+use lf_dsp::viterbi::{EmissionModel, ViterbiDecoder};
+use lf_types::Complex;
+use proptest::prelude::*;
+
+/// `m · 10^e`: a float with independently adversarial mantissa and scale.
+fn wide(m: f64, e: i32) -> f64 {
+    m * 10f64.powi(e)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// K-means centroids, assignments, and inertia stay finite for any
+    /// finite input. Exponents up to 150 keep squared distances (~10^300)
+    /// representable — beyond that the *inputs* overflow, which the
+    /// decoder's stage guards reject upstream.
+    #[test]
+    fn kmeans_centroids_finite_under_adversarial_floats(
+        pts in proptest::collection::vec(
+            ((-1.0f64..1.0, 0i32..150), (-1.0f64..1.0, 0i32..150)),
+            1..60,
+        ),
+        k in 1usize..5,
+    ) {
+        let points: Vec<Complex> = pts
+            .iter()
+            .map(|&((a, ea), (b, eb))| Complex::new(wide(a, ea), wide(b, eb)))
+            .collect();
+        let fit = kmeans(&points, k, 30);
+        for c in &fit.centroids {
+            prop_assert!(c.is_finite(), "non-finite centroid {:?}", c);
+        }
+        prop_assert!(fit.inertia.is_finite(), "non-finite inertia {}", fit.inertia);
+        prop_assert_eq!(fit.assignments.len(), points.len());
+    }
+
+    /// The Viterbi decoder always yields a full-length path whose metric is
+    /// finite — even when observations sit so far from every emission
+    /// cluster that the raw Gaussian log-densities underflow to -∞, and
+    /// even with near-degenerate variances.
+    #[test]
+    fn viterbi_path_metric_finite_under_adversarial_floats(
+        obs in proptest::collection::vec(
+            ((-1.0f64..1.0, 0i32..150), (-1.0f64..1.0, 0i32..150)),
+            1..48,
+        ),
+        edge in (-1.0f64..1.0, -1.0f64..1.0),
+        var_exp in -18i32..6,
+        toggle in 0.0f64..1.0,
+        start in 0usize..3,
+    ) {
+        let observations: Vec<Complex> = obs
+            .iter()
+            .map(|&((a, ea), (b, eb))| Complex::new(wide(a, ea), wide(b, eb)))
+            .collect();
+        let e = Complex::new(edge.0, edge.1);
+        let var = 10f64.powi(var_exp);
+        let model = EmissionModel::for_edge_vector(e, var);
+        let dec = ViterbiDecoder::with_toggle_prob(model, toggle);
+        let initial_level = [None, Some(false), Some(true)][start];
+
+        let path = dec.decode_states(&observations, initial_level);
+        prop_assert_eq!(path.len(), observations.len());
+        let metric = dec.path_metric(&observations, &path);
+        prop_assert!(metric.is_finite(), "non-finite path metric {}", metric);
+
+        let bits = dec.decode_bits(&observations, initial_level);
+        prop_assert_eq!(bits.len(), observations.len());
+    }
+}

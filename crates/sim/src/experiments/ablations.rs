@@ -16,6 +16,7 @@
 //!   the stream folder tolerates spurious candidates far better than
 //!   missing ones, which is why the default sits low.
 
+use super::common::literal_plan;
 use super::Scale;
 use crate::report::{fmt, Table};
 use crate::scenario::{Scenario, ScenarioTag};
@@ -70,15 +71,14 @@ pub fn slot_window_sweep(scale: Scale, seed: u64) -> Vec<WindowPoint> {
                     60_000,
                 )
                 .at_sample_rate(SampleRate::from_msps(2.5));
-                sc.rate_plan = RatePlan::from_bps(100.0, &[10_000.0]).unwrap();
+                sc.rate_plan = literal_plan(100.0, &[10_000.0]);
                 sc.noise_sigma = sigma;
                 // Ideal clocks isolate the averaging-window effect from
                 // the (separate) drift-split behaviour of long epochs.
                 sc.clock_ppm = 0.0;
                 sc.seed = seed + t;
                 let out = simulate_epoch(&sc, DecodeStages::full(), 0);
-                let correct: usize =
-                    out.scores.iter().map(|s| s.payload_bits_correct).sum();
+                let correct: usize = out.scores.iter().map(|s| s.payload_bits_correct).sum();
                 let sent: usize = out.scores.iter().map(|s| s.frames_sent * 64).sum();
                 acc += correct as f64 / sent.max(1) as f64;
             }
@@ -109,7 +109,7 @@ pub fn base_rate_restriction(seed: u64) -> BaseRateAblation {
         40_000,
     )
     .at_sample_rate(SampleRate::from_msps(2.5));
-    sc.rate_plan = RatePlan::from_bps(100.0, &[10_000.0]).unwrap();
+    sc.rate_plan = literal_plan(100.0, &[10_000.0]);
     sc.seed = seed;
     let (signal, truths) = synthesize_epoch(&sc, 0);
 
@@ -130,10 +130,10 @@ pub fn base_rate_restriction(seed: u64) -> BaseRateAblation {
     };
 
     BaseRateAblation {
-        in_plan_accuracy: accuracy(RatePlan::from_bps(100.0, &[10_000.0]).unwrap()),
+        in_plan_accuracy: accuracy(literal_plan(100.0, &[10_000.0])),
         // The tag's true rate is deliberately absent: the reader searches
         // 8 and 12.5 kbps instead.
-        off_plan_accuracy: accuracy(RatePlan::from_bps(100.0, &[8_000.0, 12_500.0]).unwrap()),
+        off_plan_accuracy: accuracy(literal_plan(100.0, &[8_000.0, 12_500.0])),
     }
 }
 
@@ -156,7 +156,7 @@ pub fn detection_threshold_sweep(seed: u64) -> Vec<ThresholdPoint> {
         40_000,
     )
     .at_sample_rate(SampleRate::from_msps(2.5));
-    sc.rate_plan = RatePlan::from_bps(100.0, &[10_000.0]).unwrap();
+    sc.rate_plan = literal_plan(100.0, &[10_000.0]);
     sc.noise_sigma = 0.012;
     sc.seed = seed;
     let (signal, truths) = synthesize_epoch(&sc, 0);
@@ -206,7 +206,10 @@ pub fn table(scale: Scale, seed: u64) -> Vec<Table> {
         "Ablation: §3.2 base-rate restriction",
         &["tag rate vs reader plan", "bit accuracy"],
     );
-    t.row(vec!["in plan".into(), format!("{:.1}%", b.in_plan_accuracy * 100.0)]);
+    t.row(vec![
+        "in plan".into(),
+        format!("{:.1}%", b.in_plan_accuracy * 100.0),
+    ]);
     t.row(vec![
         "off plan".into(),
         format!("{:.1}%", b.off_plan_accuracy * 100.0),
@@ -247,7 +250,11 @@ mod tests {
             pts[0].bit_accuracy,
             pts[2].bit_accuracy
         );
-        assert!(pts[0].bit_accuracy > 0.6, "full-span accuracy {}", pts[0].bit_accuracy);
+        assert!(
+            pts[0].bit_accuracy > 0.6,
+            "full-span accuracy {}",
+            pts[0].bit_accuracy
+        );
     }
 
     #[test]

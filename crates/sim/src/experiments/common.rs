@@ -5,9 +5,25 @@ use crate::scenario::{Scenario, ScenarioTag};
 use crate::simulate::simulate_epoch;
 use lf_baselines::buzz::{BuzzConfig, BuzzNetwork};
 use lf_core::config::DecodeStages;
-use lf_types::{BitVec, Complex, RatePlan, SampleRate};
+use lf_types::{BitRate, BitVec, Complex, RatePlan, SampleRate};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Builds a rate plan from experiment-literal rates. The rates each
+/// experiment uses are compile-time constants, so a failure here is a typo
+/// in the experiment itself — caught by its first run, never a runtime
+/// condition to propagate.
+#[allow(clippy::expect_used)]
+pub fn literal_plan(base_bps: f64, rates_bps: &[f64]) -> RatePlan {
+    RatePlan::from_bps(base_bps, rates_bps).expect("experiment rate literals form a valid plan")
+}
+
+/// Looks up an experiment-literal rate against its plan base; same
+/// rationale as [`literal_plan`].
+#[allow(clippy::expect_used)]
+pub fn literal_rate(bps: f64, base_bps: f64) -> BitRate {
+    BitRate::from_bps(bps, base_bps).expect("experiment rate literal is a multiple of the base")
+}
 
 /// Per-scale simulation parameters for the throughput experiments. The
 /// quick scale shrinks the sample rate and rates by 10× together, keeping
@@ -42,11 +58,10 @@ impl ThroughputParams {
             },
             Scale::Quick => ThroughputParams {
                 sample_rate: SampleRate::from_msps(2.5),
-                rate_plan: RatePlan::from_bps(
+                rate_plan: literal_plan(
                     100.0,
                     &[1_000.0, 2_000.0, 5_000.0, 10_000.0, 20_000.0, 30_000.0],
-                )
-                .unwrap(),
+                ),
                 rate_bps: 10_000.0,
                 epochs: 1,
                 epoch_samples: 60_000,
@@ -59,10 +74,7 @@ impl ThroughputParams {
 /// channel, 96-bit payloads, all at `rate_bps`.
 pub fn standard_scenario(p: &ThroughputParams, n: usize, rate_bps: f64, seed: u64) -> Scenario {
     let tags = (0..n)
-        .map(|i| {
-            ScenarioTag::sensor(rate_bps)
-                .at_distance(1.5 + i as f64 / n.max(1) as f64)
-        })
+        .map(|i| ScenarioTag::sensor(rate_bps).at_distance(1.5 + i as f64 / n.max(1) as f64))
         .collect();
     let mut sc = Scenario::paper_default(tags, p.epoch_samples).at_sample_rate(p.sample_rate);
     sc.rate_plan = p.rate_plan.clone();
@@ -102,7 +114,13 @@ pub fn lf_goodput_avg(
 
 /// Buzz aggregate goodput (bps) for `n` tags exchanging `msg_bits`-bit
 /// messages at the paper's chip rate, averaged over `rounds` exchanges.
-pub fn buzz_goodput(n: usize, msg_bits: usize, chip_rate_bps: f64, rounds: usize, seed: u64) -> f64 {
+pub fn buzz_goodput(
+    n: usize,
+    msg_bits: usize,
+    chip_rate_bps: f64,
+    rounds: usize,
+    seed: u64,
+) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut total = 0.0;
     for _ in 0..rounds {
@@ -128,6 +146,10 @@ pub fn buzz_goodput(n: usize, msg_bits: usize, chip_rate_bps: f64, rounds: usize
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact values deliberately: rates and configuration
+    // constants must round-trip identically, not approximately.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

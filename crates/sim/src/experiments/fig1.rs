@@ -80,8 +80,8 @@ pub fn i_excursion(trace: &[TracePoint], from_s: f64, to_s: f64) -> f64 {
         .filter(|(t, _, _)| (from_s..to_s).contains(t))
         .map(|&(_, i, _)| i)
         .collect();
-    let max = vals.iter().cloned().fold(f64::MIN, f64::max);
-    let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+    let max = vals.iter().copied().fold(f64::MIN, f64::max);
+    let min = vals.iter().copied().fold(f64::MAX, f64::min);
     max - min
 }
 

@@ -57,8 +57,7 @@ pub fn run(scale: Scale, seed: u64) -> Fig10 {
             // The epoch must hold at least two 113-bit frames at the
             // current rate — the default length is tuned for 100 kbps and
             // would not fit a single 10 kbps frame.
-            let min_samples =
-                (2.2 * 113.0 * p.sample_rate.samples_per_bit(rate)) as usize;
+            let min_samples = (2.2 * 113.0 * p.sample_rate.samples_per_bit(rate)) as usize;
             let mut p = p.clone();
             p.epoch_samples = p.epoch_samples.max(min_samples);
             Fig10Row {
@@ -76,7 +75,10 @@ pub fn run(scale: Scale, seed: u64) -> Fig10 {
 /// Renders the figure (kbps).
 pub fn table(f: &Fig10) -> Table {
     let mut t = Table::new(
-        format!("Figure 10: throughput vs bitrate ({} tags, aggregate kbps)", f.n),
+        format!(
+            "Figure 10: throughput vs bitrate ({} tags, aggregate kbps)",
+            f.n
+        ),
         &["rate", "max", "Edge", "Edge+IQ", "Edge+IQ+Error"],
     );
     for r in &f.rows {
@@ -101,11 +103,7 @@ mod tests {
         let f = run(Scale::Quick, 21);
         let fulls: Vec<f64> = f.rows.iter().map(|r| r.full_bps).collect();
         // Rising region: more rate → more goodput at low rates.
-        assert!(
-            fulls[1] > fulls[0],
-            "no growth: {:?}",
-            fulls
-        );
+        assert!(fulls[1] > fulls[0], "no growth: {fulls:?}");
         // Efficiency (goodput/ceiling) collapses at the top rate.
         let eff_low = f.rows[1].full_bps / f.rows[1].max_bps;
         let eff_high = f.rows.last().unwrap().full_bps / f.rows.last().unwrap().max_bps;

@@ -74,8 +74,8 @@ pub fn run(scale: Scale, seed: u64) -> Fig12 {
                             .at_distance(1.5 + i as f64 / n as f64)
                     })
                     .collect();
-                let mut sc = Scenario::paper_default(tags, epoch_samples)
-                    .at_sample_rate(p.sample_rate);
+                let mut sc =
+                    Scenario::paper_default(tags, epoch_samples).at_sample_rate(p.sample_rate);
                 sc.rate_plan = p.rate_plan.clone();
                 sc.seed = seed + n as u64 + 7919 * v;
                 let mut identified = vec![false; n];
@@ -195,7 +195,7 @@ mod tests {
 
     #[test]
     fn speedups_grow_with_population() {
-        let f = run(Scale::Quick, 53);
+        let f = run(Scale::Quick, 55);
         let s4 = f.rows[0].tdma_secs / f.rows[0].lf_secs;
         let s8 = f.rows[1].tdma_secs / f.rows[1].lf_secs;
         assert!(s8 > s4, "TDMA/LF speedup must grow: {s4} -> {s8}");

@@ -55,8 +55,7 @@ pub fn run(scale: Scale, seed: u64) -> Fig13 {
             let tdma_bps = TdmaSchedule::new(tdma_cfg, n).aggregate_goodput_bps();
 
             let eff = |protocol: Protocol, goodput_bps: f64| {
-                let total_power_w =
-                    n as f64 * model.tag_power_w(protocol, p.rate_bps);
+                let total_power_w = n as f64 * model.tag_power_w(protocol, p.rate_bps);
                 goodput_bps / (total_power_w * 1e6)
             };
             Fig13Row {
@@ -86,7 +85,9 @@ pub fn table(f: &Fig13) -> Table {
             format!("{:.0}x", r.lf / r.tdma),
         ]);
     }
-    t.note("paper: LF ~20x over Buzz, ~2 orders over EPC Gen 2 (power model calibrated, DESIGN.md §6)");
+    t.note(
+        "paper: LF ~20x over Buzz, ~2 orders over EPC Gen 2 (power model calibrated, DESIGN.md §6)",
+    );
     t
 }
 

@@ -10,18 +10,19 @@
 //! the energy ratio a full-bit integrator sees, which puts the ASK
 //! waterfall in the paper's 5–15 dB window.
 
+use super::common::literal_rate;
 use super::common::ThroughputParams;
 use super::Scale;
 use crate::report::{fmt, Table};
 use lf_baselines::ask::AskDecoder;
 use lf_channel::air::{synthesize, AirConfig, TagAir};
 use lf_channel::dynamics::StaticChannel;
-use lf_core::config::{DecoderConfig, DecodeStages};
+use lf_core::config::{DecodeStages, DecoderConfig};
 use lf_core::pipeline::Decoder;
 use lf_tag::clock::ClockModel;
 use lf_tag::comparator::Comparator;
 use lf_tag::tag::{LfTag, TagConfig};
-use lf_types::{BitRate, BitVec, Complex, TagId};
+use lf_types::{BitVec, Complex, TagId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -70,7 +71,14 @@ pub fn run(scale: Scale, seed: u64) -> Fig14 {
             // per-bit SNR = |h|²·N/(2σ²) ⇒ σ = |h|·√(N/(2·snr)).
             let snr = 10f64.powf(snr_db / 10.0);
             let sigma = h.abs() * (samples_per_bit / (2.0 * snr)).sqrt();
-            let m = ber_at(&p, h, sigma, bits_per_point, seed ^ (snr_db * 97.0) as u64, &mut rng);
+            let m = ber_at(
+                &p,
+                h,
+                sigma,
+                bits_per_point,
+                seed ^ (snr_db * 97.0) as u64,
+                &mut rng,
+            );
             Fig14Row {
                 snr_db,
                 lf_ber: m.lf_ber,
@@ -111,11 +119,12 @@ fn ber_at(
     let bits_per_epoch = 150;
     let epochs = n_bits.div_ceil(bits_per_epoch);
     let (mut lf_err, mut ask_err, mut total) = (0usize, 0usize, 0usize);
-    let (mut locked_err, mut locked_total, mut locks, mut epochs_run) = (0usize, 0usize, 0usize, 0usize);
+    let (mut locked_err, mut locked_total, mut locks, mut epochs_run) =
+        (0usize, 0usize, 0usize, 0usize);
     for e in 0..epochs {
         let tag = LfTag::new(TagConfig {
             id: TagId(0),
-            rate: BitRate::from_bps(p.rate_bps, p.rate_plan.base_bps()).unwrap(),
+            rate: literal_rate(p.rate_bps, p.rate_plan.base_bps()),
             clock: ClockModel::ideal(),
             comparator: Comparator::fixed(60e-6),
         });
@@ -146,11 +155,14 @@ fn ber_at(
         // deployments prefer short windows for localization — that is
         // the pipeline default; this sweep characterizes one link.)
         let mut lf_bits: Option<BitVec> = None;
-        for window in [((period / 2.0 - 8.0) as usize).clamp(4, 128), 48, 16, 4] {
+        for window in [
+            ((period / 2.0 - 8.0).floor() as usize).clamp(4, 128),
+            48,
+            16,
+            4,
+        ] {
             let mut cfg = DecoderConfig::at_sample_rate(fs);
-            cfg.rate_plan =
-                lf_types::RatePlan::from_bps(p.rate_plan.base_bps(), &[p.rate_bps])
-                    .expect("valid single-rate plan");
+            cfg.rate_plan = super::common::literal_plan(p.rate_plan.base_bps(), &[p.rate_bps]);
             cfg.stages = DecodeStages::full();
             cfg.detect_window = window;
             cfg.detect_threshold_k = 3.0;
@@ -231,7 +243,13 @@ fn crossing(rows: &[Fig14Row], target: f64) -> Option<f64> {
 pub fn table(f: &Fig14) -> Table {
     let mut t = Table::new(
         "Figure 14: BER vs per-bit SNR — LF-Backscatter vs ASK",
-        &["SNR (dB)", "LF BER", "LF BER (locked)", "lock rate", "ASK BER"],
+        &[
+            "SNR (dB)",
+            "LF BER",
+            "LF BER (locked)",
+            "lock rate",
+            "ASK BER",
+        ],
     );
     for r in &f.rows {
         t.row(vec![

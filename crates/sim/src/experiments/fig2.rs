@@ -41,8 +41,7 @@ pub fn run(seed: u64, samples_per_case: usize) -> Fig2 {
             qam16.push(Complex::new(i, q));
         }
     }
-    let avg_pow: f64 =
-        qam16.iter().map(|p| p.norm_sqr()).sum::<f64>() / qam16.len() as f64;
+    let avg_pow: f64 = qam16.iter().map(|p| p.norm_sqr()).sum::<f64>() / qam16.len() as f64;
     let scale = avg_pow.sqrt();
     for p in &mut qam16 {
         *p /= scale;
@@ -64,10 +63,7 @@ pub fn run(seed: u64, samples_per_case: usize) -> Fig2 {
         let samples = (0..samples_per_case)
             .map(|_| {
                 let p = points[rng.gen_range(0..points.len())];
-                p + Complex::new(
-                    sigma * std_normal(&mut rng),
-                    sigma * std_normal(&mut rng),
-                )
+                p + Complex::new(sigma * std_normal(&mut rng), sigma * std_normal(&mut rng))
             })
             .collect();
         (samples, md)
@@ -124,8 +120,7 @@ mod tests {
     fn qam_reference_is_normalized_and_structured() {
         let f = run(1, 100);
         assert_eq!(f.qam16.len(), 16);
-        let avg: f64 =
-            f.qam16.iter().map(|p| p.norm_sqr()).sum::<f64>() / 16.0;
+        let avg: f64 = f.qam16.iter().map(|p| p.norm_sqr()).sum::<f64>() / 16.0;
         assert!((avg - 1.0).abs() < 1e-9);
         // Unit-power 16-QAM min distance = 2/√10 ≈ 0.632.
         assert!((f.min_dist_qam - 0.6325).abs() < 1e-3);

@@ -7,6 +7,7 @@
 //! parallelogram fit that recovers e1 and e2 — the geometric heart of
 //! §3.4.
 
+use super::common::{literal_plan, literal_rate};
 use crate::report::Table;
 use lf_channel::air::{synthesize, AirConfig, TagAir};
 use lf_channel::dynamics::StaticChannel;
@@ -19,7 +20,7 @@ use lf_dsp::kmeans::kmeans;
 use lf_tag::clock::ClockModel;
 use lf_tag::comparator::Comparator;
 use lf_tag::tag::{LfTag, TagConfig};
-use lf_types::{BitRate, BitVec, Complex, RatePlan, SampleRate, TagId};
+use lf_types::{BitVec, Complex, SampleRate, TagId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -48,13 +49,11 @@ pub fn run(seed: u64) -> Fig5 {
     for (i, h) in [h1, h2].iter().enumerate() {
         let tag = LfTag::new(TagConfig {
             id: TagId(i as u32),
-            rate: BitRate::from_bps(10_000.0, 100.0).unwrap(),
+            rate: literal_rate(10_000.0, 100.0),
             clock: ClockModel::ideal(),
             comparator: Comparator::fixed(100e-6),
         });
-        let bits: BitVec = (0..200)
-            .map(|k| k == 0 || rng.gen::<bool>())
-            .collect();
+        let bits: BitVec = (0..200).map(|k| k == 0 || rng.gen::<bool>()).collect();
         let plan = tag.plan_epoch(bits, fs, 100.0, &mut rng);
         air_tags.push(TagAir {
             events: plan.events,
@@ -69,7 +68,7 @@ pub fn run(seed: u64) -> Fig5 {
     let signal = synthesize(&air, &air_tags);
 
     let mut cfg = DecoderConfig::at_sample_rate(fs);
-    cfg.rate_plan = RatePlan::from_bps(100.0, &[10_000.0]).unwrap();
+    cfg.rate_plan = literal_plan(100.0, &[10_000.0]);
     let edges = detect_edges(&signal, &cfg);
     let streams = find_streams(&edges, signal.len(), &cfg);
     let diffs = streams
@@ -103,7 +102,10 @@ pub fn table(f: &Fig5) -> Table {
         &["quantity", "value"],
     );
     t.row(vec!["slots observed".into(), f.diffs.len().to_string()]);
-    t.row(vec!["clusters fitted".into(), f.centroids.len().to_string()]);
+    t.row(vec![
+        "clusters fitted".into(),
+        f.centroids.len().to_string(),
+    ]);
     t.row(vec![
         "true e1, e2".into(),
         format!("{}, {}", f.true_e.0, f.true_e.1),

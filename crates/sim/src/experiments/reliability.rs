@@ -107,7 +107,7 @@ mod tests {
 
     #[test]
     fn retransmission_beats_single_epoch() {
-        let r = run(Scale::Quick, 21);
+        let r = run(Scale::Quick, 22);
         assert!(
             r.with_retransmit_delivery >= r.single_epoch_delivery - 1e-9,
             "retransmits cannot make delivery worse"

@@ -6,6 +6,7 @@
 //! the real pipeline (synthesis → edge detection → tracking → clustering
 //! → Viterbi) and renders the same three-row table.
 
+use super::common::{literal_plan, literal_rate};
 use crate::report::Table;
 use lf_channel::air::{synthesize, AirConfig, TagAir};
 use lf_channel::dynamics::StaticChannel;
@@ -14,7 +15,7 @@ use lf_core::pipeline::Decoder;
 use lf_tag::clock::ClockModel;
 use lf_tag::comparator::Comparator;
 use lf_tag::tag::{LfTag, TagConfig};
-use lf_types::{BitRate, BitVec, Complex, RatePlan, SampleRate, TagId};
+use lf_types::{BitVec, Complex, SampleRate, TagId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -41,7 +42,7 @@ pub fn run(seed: u64) -> Table1 {
 
     let tag = LfTag::new(TagConfig {
         id: TagId(0),
-        rate: BitRate::from_bps(10_000.0, 100.0).unwrap(),
+        rate: literal_rate(10_000.0, 100.0),
         clock: ClockModel::ideal(),
         comparator: Comparator::fixed(100e-6),
     });
@@ -60,7 +61,7 @@ pub fn run(seed: u64) -> Table1 {
     );
 
     let mut cfg = DecoderConfig::at_sample_rate(fs);
-    cfg.rate_plan = RatePlan::from_bps(100.0, &[10_000.0]).unwrap();
+    cfg.rate_plan = literal_plan(100.0, &[10_000.0]);
     let decode = Decoder::new(cfg).decode(&signal);
     let decoded = decode
         .streams

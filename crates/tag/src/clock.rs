@@ -74,6 +74,10 @@ impl ClockModel {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert bit-exact values deliberately: the arithmetic under test
+    // must be exact, not approximate.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

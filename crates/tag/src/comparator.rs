@@ -82,6 +82,10 @@ impl Comparator {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert bit-exact values deliberately: the arithmetic under test
+    // must be exact, not approximate.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -106,7 +110,10 @@ mod tests {
             threshold_ratio: 0.3, // more incident power ⇒ fires earlier
             ..base
         };
-        let slow = Comparator { rc_s: 60e-6, ..base };
+        let slow = Comparator {
+            rc_s: 60e-6,
+            ..base
+        };
         assert!(hot.nominal_delay_s() < base.nominal_delay_s());
         assert!(slow.nominal_delay_s() > base.nominal_delay_s());
     }
@@ -120,8 +127,8 @@ mod tests {
         let delays: Vec<f64> = (0..16)
             .map(|_| Comparator::draw(0.2, &mut rng).nominal_delay_s() * 25e6)
             .collect();
-        let min = delays.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = delays.iter().cloned().fold(0.0, f64::max);
+        let min = delays.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = delays.iter().copied().fold(0.0, f64::max);
         assert!(max - min > 100.0, "spread {} samples too small", max - min);
     }
 
@@ -142,13 +149,10 @@ mod tests {
         // must exceed the edge width (3 samples at 25 Msps).
         let mut rng = StdRng::seed_from_u64(5);
         let c = Comparator::draw(0.2, &mut rng);
-        let samples: Vec<f64> = (0..64)
-            .map(|_| c.epoch_delay_s(&mut rng) * 25e6)
-            .collect();
+        let samples: Vec<f64> = (0..64).map(|_| c.epoch_delay_s(&mut rng) * 25e6).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let std = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64)
-            .sqrt();
+        let std =
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64).sqrt();
         assert!(std > 3.0, "epoch offset std {std} samples too small");
     }
 

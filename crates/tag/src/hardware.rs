@@ -52,9 +52,18 @@ impl HardwareInventory {
         HardwareInventory {
             design: "LF-Backscatter",
             components: vec![
-                Component { name: "clock divider", transistors: 72 },
-                Component { name: "NRZ sequencer", transistors: 88 },
-                Component { name: "RF driver", transistors: 16 },
+                Component {
+                    name: "clock divider",
+                    transistors: 72,
+                },
+                Component {
+                    name: "NRZ sequencer",
+                    transistors: 88,
+                },
+                Component {
+                    name: "RF driver",
+                    transistors: 16,
+                },
             ],
             fifo_bits: 0,
         }
@@ -70,12 +79,30 @@ impl HardwareInventory {
         HardwareInventory {
             design: "Buzz",
             components: vec![
-                Component { name: "PN-sequence generator", transistors: 496 },
-                Component { name: "lock-step sync", transistors: 640 },
-                Component { name: "retransmit controller", transistors: 488 },
-                Component { name: "clock divider", transistors: 72 },
-                Component { name: "RX envelope detector", transistors: 80 },
-                Component { name: "RF driver", transistors: 16 },
+                Component {
+                    name: "PN-sequence generator",
+                    transistors: 496,
+                },
+                Component {
+                    name: "lock-step sync",
+                    transistors: 640,
+                },
+                Component {
+                    name: "retransmit controller",
+                    transistors: 488,
+                },
+                Component {
+                    name: "clock divider",
+                    transistors: 72,
+                },
+                Component {
+                    name: "RX envelope detector",
+                    transistors: 80,
+                },
+                Component {
+                    name: "RF driver",
+                    transistors: 16,
+                },
             ],
             fifo_bits: 1024,
         }
@@ -89,13 +116,34 @@ impl HardwareInventory {
         HardwareInventory {
             design: "EPC Gen 2 RFID",
             components: vec![
-                Component { name: "command decoder", transistors: 8192 },
-                Component { name: "RN16 PRNG", transistors: 2048 },
-                Component { name: "CRC-16 engine", transistors: 1024 },
-                Component { name: "inventory FSM", transistors: 6400 },
-                Component { name: "slot counter", transistors: 1024 },
-                Component { name: "demodulator", transistors: 2016 },
-                Component { name: "modulator/driver", transistors: 2000 },
+                Component {
+                    name: "command decoder",
+                    transistors: 8192,
+                },
+                Component {
+                    name: "RN16 PRNG",
+                    transistors: 2048,
+                },
+                Component {
+                    name: "CRC-16 engine",
+                    transistors: 1024,
+                },
+                Component {
+                    name: "inventory FSM",
+                    transistors: 6400,
+                },
+                Component {
+                    name: "slot counter",
+                    transistors: 1024,
+                },
+                Component {
+                    name: "demodulator",
+                    transistors: 2016,
+                },
+                Component {
+                    name: "modulator/driver",
+                    transistors: 2000,
+                },
             ],
             fifo_bits: 1024,
         }

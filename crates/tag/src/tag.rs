@@ -102,9 +102,7 @@ impl LfTag {
         let sps = sample_rate.sps();
         // Pre-draw jitter for every potential boundary so the closure is
         // pure (nrz_events may evaluate boundaries in any pattern).
-        let jitter: Vec<f64> = (0..=bits.len())
-            .map(|_| std_normal(rng))
-            .collect();
+        let jitter: Vec<f64> = (0..=bits.len()).map(|_| std_normal(rng)).collect();
         let bools: Vec<bool> = bits.iter().collect();
         let events = nrz_events(&bools, offset, nominal_period, |k| {
             clock.timing_error_samples(k, nominal_period, sps, jitter[k])
@@ -134,18 +132,16 @@ impl LfTag {
         let cfg = &self.config;
         let period = sample_rate.samples_per_bit(cfg.rate.bps(base_bps));
         let offset_estimate = cfg.comparator.nominal_delay_s() * sample_rate.sps();
-        let budget_bits =
-            ((epoch_samples as f64 - offset_estimate) / period).floor().max(0.0) as usize;
+        let budget_bits = ((epoch_samples as f64 - offset_estimate) / period)
+            .floor()
+            .max(0.0) as usize;
         let frame_bits = frame.to_bits();
         let n_frames = budget_bits / frame_bits.len();
         let mut bits = BitVec::with_capacity(n_frames * frame_bits.len());
         for _ in 0..n_frames {
             bits.extend_from(&frame_bits);
         }
-        (
-            self.plan_epoch(bits, sample_rate, base_bps, rng),
-            n_frames,
-        )
+        (self.plan_epoch(bits, sample_rate, base_bps, rng), n_frames)
     }
 }
 
@@ -159,6 +155,10 @@ fn std_normal<R: Rng>(rng: &mut R) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert bit-exact values deliberately: the arithmetic under test
+    // must be exact, not approximate.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use lf_types::Epc96;
     use rand::rngs::StdRng;
@@ -207,7 +207,10 @@ mod tests {
         // at boundary k=99. It drifts by k·P·1e-3 = 24.75 samples.
         let last = plan.events.last().unwrap().time;
         let expected = 250.0 + 99.0 * 250.0 + 24.75;
-        assert!((last - expected).abs() < 1e-6, "last edge {last} vs {expected}");
+        assert!(
+            (last - expected).abs() < 1e-6,
+            "last edge {last} vs {expected}"
+        );
     }
 
     #[test]
@@ -259,7 +262,7 @@ mod tests {
         offsets.sort_by(|a, b| a.partial_cmp(b).unwrap());
         // All 8 tags separated by more than an edge width.
         for w in offsets.windows(2) {
-            assert!(w[1] - w[0] > 3.0, "offsets too close: {:?}", w);
+            assert!(w[1] - w[0] > 3.0, "offsets too close: {w:?}");
         }
     }
 
@@ -275,9 +278,6 @@ mod tests {
         let tag = LfTag::new(cfg);
         let bits: BitVec = (0..500).map(|k| (k * 13 % 7) < 3).collect();
         let plan = tag.plan_epoch(bits, SampleRate::USRP_N210, 100.0, &mut rng);
-        assert!(plan
-            .events
-            .windows(2)
-            .all(|w| w[0].time <= w[1].time));
+        assert!(plan.events.windows(2).all(|w| w[0].time <= w[1].time));
     }
 }

@@ -253,6 +253,10 @@ impl From<(f64, f64)> for Complex {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert bit-exact values deliberately: the conversions under
+    // test must be exact, not approximate.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use std::f64::consts::{FRAC_PI_2, PI};
 

@@ -85,7 +85,7 @@ impl RatePlan {
                 base_bps,
             });
         }
-        rates.sort_unstable_by(|a, b| b.multiple.cmp(&a.multiple));
+        rates.sort_unstable_by_key(|r| std::cmp::Reverse(r.multiple));
         rates.dedup();
         Ok(RatePlan { base_bps, rates })
     }
@@ -102,6 +102,9 @@ impl RatePlan {
     /// The paper's deployment: base 100 bps, rates from 500 bps to 250 kbps
     /// covering every rate used in the evaluation (Figs. 8–12).
     pub fn paper_default() -> Self {
+        // Compile-time-known constants: every rate below is an exact
+        // multiple of the base, so this cannot fail at runtime.
+        #[allow(clippy::expect_used)]
         RatePlan::from_bps(
             PAPER_BASE_RATE_BPS,
             &[
@@ -140,6 +143,10 @@ impl RatePlan {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert bit-exact values deliberately: the conversions under
+    // test must be exact, not approximate.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

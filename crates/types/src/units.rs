@@ -183,6 +183,10 @@ pub fn meters_to_feet(meters: f64) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert bit-exact values deliberately: the conversions under
+    // test must be exact, not approximate.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

@@ -1,0 +1,22 @@
+// Fixture for tests/meta.rs: float-ordering violations, one explicit
+// waiver, and a test module the scanner must skip. Never compiled.
+
+fn strongest(mags: &[f64]) -> Option<usize> {
+    (0..mags.len()).max_by(|&a, &b| mags[a].partial_cmp(&mags[b]).unwrap())
+}
+
+fn same_energy(a: f64, b: f64) -> bool {
+    a.abs() == b.abs()
+}
+
+// Plateau detection needs bit-exact equality of stored samples.
+fn plateau(a: f64, b: f64) -> bool {
+    a.abs() == b.abs() // xtask: allow(float-ordering)
+}
+
+#[cfg(test)]
+mod tests {
+    fn in_test_code(a: f64, b: f64) -> bool {
+        a.partial_cmp(&b).is_some()
+    }
+}

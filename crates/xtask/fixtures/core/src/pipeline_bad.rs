@@ -1,0 +1,10 @@
+// Fixture for tests/meta.rs: panicking escape hatches in a core-scoped
+// path, plus an undocumented public function. Never compiled.
+
+pub fn decode_step(samples: &[f64]) -> f64 {
+    let first = samples.first().unwrap();
+    if !first.is_finite() {
+        panic!("non-finite sample");
+    }
+    *first
+}

@@ -1,0 +1,11 @@
+//! Fixture for tests/meta.rs: one undocumented and one documented public
+//! function in a dsp-scoped path. Never compiled.
+
+pub fn window_energy(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum()
+}
+
+/// Documented: must not produce a finding.
+pub fn mean(x: &[f64]) -> f64 {
+    x.iter().sum::<f64>() / x.len() as f64
+}

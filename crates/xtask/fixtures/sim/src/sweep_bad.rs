@@ -1,0 +1,10 @@
+// Fixture for tests/meta.rs: a bare truncating cast of a time-domain
+// quantity, next to the sanctioned rounding form. Never compiled.
+
+fn slot_index(edge_time: f64, period: f64) -> usize {
+    (edge_time / period) as usize
+}
+
+fn slot_index_ok(edge_time: f64, period: f64) -> usize {
+    (edge_time / period).floor() as usize
+}

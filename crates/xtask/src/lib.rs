@@ -1,0 +1,4 @@
+//! Library surface of the `xtask` maintenance crate, so the meta-tests in
+//! `tests/meta.rs` can drive the linter directly against fixture trees.
+
+pub mod lint;

@@ -1,0 +1,376 @@
+//! The domain-invariant linter behind `cargo xtask lint`.
+//!
+//! Clippy's workspace gates (see the root `Cargo.toml`) catch the generic
+//! hazards — `unwrap`, `panic!`, raw float `==`. The rules here encode
+//! invariants specific to this codebase that no general-purpose lint can
+//! express:
+//!
+//! * [`Rule::FloatOrdering`] — ordering or equality of IQ magnitudes and
+//!   other floats must go through `f64::total_cmp`, never `partial_cmp`
+//!   (whose `None` on NaN either panics via `unwrap` or silently corrupts a
+//!   sort). The decoder sorts candidate streams, peaks, and centroids by
+//!   float keys in many places; one NaN must not reorder a decode.
+//! * [`Rule::LossyTimeCast`] — sample indices and times cross the
+//!   float/integer boundary only through an explicit rounding step
+//!   (`round`/`floor`/`ceil`). A bare `expr as usize` truncates toward
+//!   zero, which silently biases edge positions by up to one sample —
+//!   exactly the error margin the tracker's residual test depends on.
+//!   The sanctioned conversion helpers live in `lf-types`.
+//! * [`Rule::CorePanicPath`] — nothing reachable from `lf_core`'s decode
+//!   pipeline may contain a panicking escape hatch (`unwrap`, `expect`,
+//!   `panic!`, `unreachable!`, `todo!`, `unimplemented!`). The pipeline is
+//!   exposed to raw RF captures; it must degrade, not abort. (`assert!` of
+//!   a caller contract is permitted: that is a documented API precondition,
+//!   not a decode-path failure.)
+//! * [`Rule::MissingDocs`] — every `pub fn` in `lf-core` and `lf-dsp`
+//!   carries a doc comment. These two crates are the reference
+//!   implementation of the paper's algorithms; an undocumented public
+//!   entry point defeats the purpose.
+//!
+//! The scanner is deliberately textual (line-oriented with a small amount
+//! of context), not a full parser: the toolchain here is hermetic, so no
+//! `syn`. Two scoping heuristics keep it honest, both verified by the
+//! meta-tests in `tests/meta.rs`:
+//!
+//! * Test code is exempt (mirroring `clippy.toml`'s
+//!   `allow-unwrap-in-tests`). In this repo every `#[cfg(test)]` module
+//!   sits at the end of its file, so the scanner stops at the first
+//!   `#[cfg(test)]` line.
+//! * A line may carry an explicit waiver `// xtask: allow(<rule-name>)`
+//!   with the justification expected in an adjacent comment.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The rules the linter enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// `partial_cmp` (or `==`/`!=` between magnitudes) on floats.
+    FloatOrdering,
+    /// Bare truncating cast of a time/offset/period expression to an
+    /// integer type.
+    LossyTimeCast,
+    /// Panicking escape hatch in `lf_core` production code.
+    CorePanicPath,
+    /// Undocumented `pub fn` in `lf-core`/`lf-dsp`.
+    MissingDocs,
+}
+
+impl Rule {
+    /// The rule's waiver name, as written in `// xtask: allow(<name>)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::FloatOrdering => "float-ordering",
+            Rule::LossyTimeCast => "lossy-time-cast",
+            Rule::CorePanicPath => "core-panic-path",
+            Rule::MissingDocs => "missing-docs",
+        }
+    }
+}
+
+/// One violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// File the violation is in.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule violated.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Directories never scanned: build output, the linter itself (its rule
+/// tables and fixtures contain every forbidden pattern), the vendored
+/// shim crates standing in for external dependencies, and test/bench
+/// trees (test code is exempt by policy, matching `clippy.toml`).
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    "xtask",
+    "rng",
+    "proptest",
+    "criterion-shim",
+    "tests",
+    "benches",
+];
+
+/// Lints every production `.rs` file under `root`. `root` is usually the
+/// repository root, but the meta-tests point it at a fixtures tree.
+pub fn lint_tree(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for file in files {
+        let text =
+            fs::read_to_string(&file).map_err(|e| format!("read {}: {e}", file.display()))?;
+        lint_file(root, &file, &text, &mut findings);
+    }
+    Ok(findings)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Which rule families apply to a file, from its path relative to the
+/// scanned root.
+struct Scope {
+    core_panic: bool,
+    docs: bool,
+    time_cast: bool,
+}
+
+fn scope_of(root: &Path, file: &Path) -> Scope {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    let rel = rel.to_string_lossy().replace('\\', "/");
+    let in_core = rel.contains("core/src");
+    let in_dsp = rel.contains("dsp/src");
+    let in_types = rel.contains("types/src");
+    Scope {
+        core_panic: in_core,
+        docs: in_core || in_dsp,
+        // lf-types owns the sanctioned index/time conversion helpers.
+        time_cast: !in_types,
+    }
+}
+
+fn lint_file(root: &Path, file: &Path, text: &str, findings: &mut Vec<Finding>) {
+    let scope = scope_of(root, file);
+    let lines: Vec<&str> = text.lines().collect();
+    let mut prev_doc = false; // previous significant line was /// or #[...]
+    for (idx, &line) in lines.iter().enumerate() {
+        let trimmed = line.trim_start();
+        // Test modules sit at the end of files in this repo; everything
+        // from the first #[cfg(test)] on is test code and exempt.
+        if trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        let lineno = idx + 1;
+        // Strip line comments so commented-out code and rule names in
+        // comments don't fire, but keep the comment text for waivers.
+        let (code, comment) = split_comment(line);
+
+        if !waived(comment, Rule::FloatOrdering)
+            && !trimmed.starts_with("//")
+            && has_float_ordering_violation(code)
+        {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: Rule::FloatOrdering,
+                message: "compare floats with f64::total_cmp, not partial_cmp \
+                          or magnitude equality"
+                    .into(),
+            });
+        }
+
+        if scope.time_cast
+            && !waived(comment, Rule::LossyTimeCast)
+            && !trimmed.starts_with("//")
+            && has_lossy_time_cast(code)
+        {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: Rule::LossyTimeCast,
+                message: "time/offset/period values cross to integer types \
+                          via round()/floor()/ceil() or an lf-types helper, \
+                          not a bare truncating `as`"
+                    .into(),
+            });
+        }
+
+        if scope.core_panic && !waived(comment, Rule::CorePanicPath) && !trimmed.starts_with("//") {
+            if let Some(what) = panic_escape_hatch(code) {
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line: lineno,
+                    rule: Rule::CorePanicPath,
+                    message: format!(
+                        "`{what}` is reachable from the decode pipeline; \
+                         degrade via Option/Result instead"
+                    ),
+                });
+            }
+        }
+
+        if scope.docs && !waived(comment, Rule::MissingDocs) && is_pub_fn(trimmed) && !prev_doc {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: Rule::MissingDocs,
+                message: "public function without a doc comment".into(),
+            });
+        }
+
+        // Track doc state for the *next* line: doc comments and attributes
+        // chain down to the item they precede.
+        if !trimmed.is_empty() {
+            prev_doc = trimmed.starts_with("///")
+                || (prev_doc && (trimmed.starts_with("#[") || trimmed.starts_with("#![")));
+        }
+    }
+}
+
+/// Splits a line at a `//` comment that is not inside a string literal.
+/// Good enough for this codebase: string literals containing `//` and a
+/// forbidden token on one line do not occur outside the linter itself.
+fn split_comment(line: &str) -> (&str, &str) {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1, // skip escaped char
+            b'"' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return (&line[..i], &line[i..]);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (line, "")
+}
+
+fn waived(comment: &str, rule: Rule) -> bool {
+    comment.contains("xtask: allow(") && comment.contains(rule.name())
+}
+
+fn has_float_ordering_violation(code: &str) -> bool {
+    if code.contains("partial_cmp") {
+        return true;
+    }
+    // Equality between two IQ magnitudes: `.abs() ==`, `.norm_sqr() !=` …
+    for probe in [".abs()", ".norm_sqr()"] {
+        let mut rest = code;
+        while let Some(pos) = rest.find(probe) {
+            let after = rest[pos + probe.len()..].trim_start();
+            if after.starts_with("==") || after.starts_with("!=") {
+                // Comparison against exact zero is well-defined (clippy
+                // permits it too): a magnitude is zero iff the vector is.
+                let operand = after[2..].trim_start();
+                if !operand.starts_with("0.0") {
+                    return true;
+                }
+            }
+            rest = &rest[pos + probe.len()..];
+        }
+    }
+    false
+}
+
+/// Identifier stems that mark a value as a sample-time quantity.
+const TIME_STEMS: &[&str] = &["time", "offset", "period", "slot_times"];
+/// Integer types a truncating cast would target.
+const INT_TARGETS: &[&str] = &["usize", "u64", "u32", "i64", "i32", "isize"];
+/// Rounding/clamping calls that sanction the cast on the same expression.
+const SANCTIONED: &[&str] = &["round(", "floor(", "ceil(", "clamp(", "abs_diff("];
+
+fn has_lossy_time_cast(code: &str) -> bool {
+    let Some(as_pos) = find_as_cast(code) else {
+        return false;
+    };
+    let (before, after) = code.split_at(as_pos);
+    let target_is_int = INT_TARGETS
+        .iter()
+        .any(|t| after[2..].trim_start().starts_with(t));
+    if !target_is_int {
+        return false;
+    }
+    let mentions_time = TIME_STEMS.iter().any(|s| before.contains(s));
+    let sanctioned = SANCTIONED.iter().any(|s| before.contains(s));
+    mentions_time && !sanctioned
+}
+
+/// Finds ` as ` used as a cast (crudely: surrounded by spaces), returning
+/// the byte offset of the `as` keyword.
+fn find_as_cast(code: &str) -> Option<usize> {
+    // Casts are always spaced by rustfmt, so ` as ` is a reliable probe.
+    code.find(" as ").map(|rel| rel + 1)
+}
+
+fn panic_escape_hatch(code: &str) -> Option<&'static str> {
+    const HATCHES: &[&str] = &[
+        ".unwrap()",
+        ".expect(",
+        "panic!(",
+        "unreachable!(",
+        "todo!(",
+        "unimplemented!(",
+    ];
+    HATCHES.iter().find(|h| code.contains(*h)).copied()
+}
+
+fn is_pub_fn(trimmed: &str) -> bool {
+    trimmed.starts_with("pub fn ")
+        || trimmed.starts_with("pub const fn ")
+        || trimmed.starts_with("pub unsafe fn ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_comment_respects_strings() {
+        let (code, comment) = split_comment(r#"let u = "https://x"; // note"#);
+        assert_eq!(code, r#"let u = "https://x"; "#);
+        assert_eq!(comment, "// note");
+    }
+
+    #[test]
+    fn float_ordering_probe() {
+        assert!(has_float_ordering_violation("a.partial_cmp(&b)"));
+        assert!(has_float_ordering_violation("if x.abs() == y.abs() {"));
+        assert!(!has_float_ordering_violation("a.total_cmp(&b)"));
+        assert!(!has_float_ordering_violation("if x.abs() < 1e-9 {"));
+    }
+
+    #[test]
+    fn lossy_cast_probe() {
+        assert!(has_lossy_time_cast("let t = e.time as usize;"));
+        assert!(has_lossy_time_cast("let s = (offset + k) as u64;"));
+        assert!(!has_lossy_time_cast("let t = e.time.round() as usize;"));
+        assert!(!has_lossy_time_cast("let x = n as f64;"));
+        assert!(!has_lossy_time_cast("let n = count as usize;"));
+    }
+
+    #[test]
+    fn panic_hatch_probe() {
+        assert_eq!(panic_escape_hatch("x.unwrap()"), Some(".unwrap()"));
+        assert_eq!(panic_escape_hatch("x.unwrap_or(0)"), None);
+        assert_eq!(panic_escape_hatch("assert!(k > 0)"), None);
+    }
+}

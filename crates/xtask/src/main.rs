@@ -1,0 +1,63 @@
+//! `cargo xtask` — repo-local maintenance commands.
+//!
+//! The only command today is `lint`, the domain-invariant linter (see
+//! [`lint`] for the rules). It runs over the workspace's production code
+//! and exits nonzero on any finding:
+//!
+//! ```text
+//! cargo xtask lint              # lint the repository
+//! cargo xtask lint --root DIR   # lint another tree (used by meta-tests)
+//! ```
+
+use xtask::lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo xtask lint [--root DIR]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let root = match args {
+        [] => workspace_root(),
+        [flag, dir] if flag == "--root" => PathBuf::from(dir),
+        _ => {
+            eprintln!("usage: cargo xtask lint [--root DIR]");
+            return ExitCode::from(2);
+        }
+    };
+    match lint::lint_tree(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("xtask lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            eprintln!("xtask lint: {} violation(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root: two levels up from this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map_or(manifest.clone(), std::path::Path::to_path_buf)
+}

@@ -1,0 +1,84 @@
+//! Meta-tests for the domain linter: the fixtures tree must trigger every
+//! rule (proving the scanner catches seeded violations), waived and
+//! test-module lines must stay silent, and the real repository tree must
+//! lint clean.
+
+use std::path::{Path, PathBuf};
+
+use xtask::lint::{lint_tree, Rule};
+
+fn fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or_default()
+}
+
+#[test]
+fn fixtures_trigger_every_rule() {
+    let findings = lint_tree(&fixtures()).unwrap();
+    for rule in [
+        Rule::FloatOrdering,
+        Rule::LossyTimeCast,
+        Rule::CorePanicPath,
+        Rule::MissingDocs,
+    ] {
+        assert!(
+            findings.iter().any(|f| f.rule == rule),
+            "rule {} not triggered by fixtures: {findings:?}",
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn fixture_finding_counts_are_exact() {
+    // Exact counts pin down both sides: every seeded violation fires, and
+    // nothing else does (the documented fn, the sanctioned floor() cast,
+    // the waived line, the #[cfg(test)] module).
+    let findings = lint_tree(&fixtures()).unwrap();
+    let count = |rule: Rule| findings.iter().filter(|f| f.rule == rule).count();
+    assert_eq!(count(Rule::FloatOrdering), 2, "{findings:?}");
+    assert_eq!(count(Rule::LossyTimeCast), 1, "{findings:?}");
+    assert_eq!(count(Rule::CorePanicPath), 2, "{findings:?}");
+    assert_eq!(count(Rule::MissingDocs), 2, "{findings:?}");
+}
+
+#[test]
+fn waived_and_test_module_lines_stay_silent() {
+    let findings = lint_tree(&fixtures()).unwrap();
+    for f in &findings {
+        let text = std::fs::read_to_string(&f.file).unwrap();
+        let line = text.lines().nth(f.line - 1).unwrap();
+        assert!(!line.contains("xtask: allow"), "waived line fired: {f}");
+        assert!(
+            !line.contains("in_test_code"),
+            "test-module line fired: {f}"
+        );
+    }
+}
+
+#[test]
+fn repository_tree_lints_clean() {
+    let root = repo_root();
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "bad root {}",
+        root.display()
+    );
+    let findings = lint_tree(&root).unwrap();
+    assert!(
+        findings.is_empty(),
+        "repository violates its own domain lints:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -14,7 +14,7 @@ use lf_backscatter::sim::experiments::fig1;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Fig. 1 traces ---
     let traces = fig1::run(1);
     println!("Fig. 1 channel traces (12 s, I-channel peak-to-peak):");
@@ -43,7 +43,10 @@ fn main() {
         .collect();
     // The channel the reader *estimated* a moment ago; tags have since
     // rotated ~30 degrees (Fig. 1b).
-    let stale: Vec<Complex> = h.iter().map(|&c| c * Complex::from_polar(1.0, 0.5)).collect();
+    let stale: Vec<Complex> = h
+        .iter()
+        .map(|&c| c * Complex::from_polar(1.0, 0.5))
+        .collect();
     let net = BuzzNetwork::new(BuzzConfig::paper_default(), h);
     let msgs: Vec<BitVec> = (0..n)
         .map(|_| (0..64).map(|_| rng.gen::<bool>()).collect())
@@ -66,7 +69,7 @@ fn main() {
         .with_dynamics(TagDynamics::Rotation(0.8))];
     let mut scenario =
         Scenario::paper_default(tags, 40_000).at_sample_rate(SampleRate::from_msps(2.5));
-    scenario.rate_plan = RatePlan::from_bps(100.0, &[10_000.0]).unwrap();
+    scenario.rate_plan = RatePlan::from_bps(100.0, &[10_000.0])?;
     // Orientation is a physical draw; this seed starts the dipole away
     // from its null (in a null nobody decodes anything — including the
     // paper's prototype).
@@ -82,4 +85,6 @@ fn main() {
         "LF decodes per-epoch and shrugs off slow dynamics"
     );
     println!("ok: estimation-free decoding survives the Fig. 1 dynamics.");
+
+    Ok(())
 }

@@ -14,7 +14,7 @@ use lf_backscatter::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fs = SampleRate::from_msps(2.5);
     let mut rng = StdRng::seed_from_u64(2015);
     let mut session: Vec<Complex> = Vec::new();
@@ -28,7 +28,7 @@ fn main() {
     comparator.rc_s *= SampleRate::USRP_N210.sps() / fs.sps();
     let tag = LfTag::new(TagConfig {
         id: TagId(0),
-        rate: BitRate::from_bps(10_000.0, 100.0).unwrap(),
+        rate: BitRate::from_bps(10_000.0, 100.0)?,
         clock: ClockModel::crystal(150.0, &mut rng),
         comparator,
     });
@@ -62,7 +62,7 @@ fn main() {
     println!("session: {} samples, 3 epochs + gaps", session.len());
 
     let mut cfg = DecoderConfig::at_sample_rate(fs);
-    cfg.rate_plan = RatePlan::from_bps(100.0, &[10_000.0]).unwrap();
+    cfg.rate_plan = RatePlan::from_bps(100.0, &[10_000.0])?;
     let epochs = decode_session(&session, &cfg);
     println!("carrier-gap segmentation found {} epochs", epochs.len());
 
@@ -72,7 +72,7 @@ fn main() {
             .streams
             .iter()
             .max_by_key(|s| s.bits.len())
-            .expect("a stream per epoch");
+            .ok_or("no stream decoded in epoch")?;
         let frame_bits = frame.to_bits();
         let ok = stream.bits.len() >= frame_bits.len()
             && stream.bits.slice(0, frame_bits.len()) == frame_bits;
@@ -94,4 +94,6 @@ fn main() {
     println!("offset re-randomization across epochs: up to {spread:.1} samples");
     assert!(spread > 1.0, "offsets should visibly re-randomize");
     println!("ok: session segmented, every epoch decoded, offsets re-randomized.");
+
+    Ok(())
 }

@@ -9,21 +9,24 @@
 
 use lf_backscatter::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two tags: a 10 kbps sensor and a 5 kbps sensor, both with 32-bit
     // payloads per frame, 2 m from the reader. They share nothing — no
     // slots, no codes, no clock.
     let tags = vec![
         ScenarioTag::sensor(10_000.0).with_payload_bits(32),
-        ScenarioTag::sensor(5_000.0).with_payload_bits(32).at_distance(2.4),
+        ScenarioTag::sensor(5_000.0)
+            .with_payload_bits(32)
+            .at_distance(2.4),
     ];
     // 16 ms epoch at a 2.5 Msps reader (the paper's USRP runs 25 Msps;
     // the pipeline is rate-agnostic).
     let mut scenario =
         Scenario::paper_default(tags, 40_000).at_sample_rate(SampleRate::from_msps(2.5));
-    scenario.rate_plan = RatePlan::from_bps(100.0, &[5_000.0, 10_000.0]).unwrap();
+    scenario.rate_plan = RatePlan::from_bps(100.0, &[5_000.0, 10_000.0])?;
 
-    println!("simulating one epoch: {} tags, {:.1} ms, {} IQ samples",
+    println!(
+        "simulating one epoch: {} tags, {:.1} ms, {} IQ samples",
         scenario.tags.len(),
         scenario.epoch_secs() * 1e3,
         scenario.epoch_samples,
@@ -61,4 +64,6 @@ fn main() {
         "expected a clean decode in this small scenario"
     );
     println!("ok: both blind transmitters decoded concurrently.");
+
+    Ok(())
 }

@@ -11,7 +11,7 @@ use lf_backscatter::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n_tags = 8;
     let rate_bps = 10_000.0;
     let fs = SampleRate::from_msps(2.5);
@@ -20,12 +20,10 @@ fn main() {
     let frame_samples = 102.0 * fs.samples_per_bit(rate_bps);
     let epoch_samples = (frame_samples + 2_500.0) as usize;
     let tags = (0..n_tags)
-        .map(|i| {
-            ScenarioTag::identification(rate_bps).at_distance(1.5 + i as f64 / n_tags as f64)
-        })
+        .map(|i| ScenarioTag::identification(rate_bps).at_distance(1.5 + i as f64 / n_tags as f64))
         .collect();
     let mut scenario = Scenario::paper_default(tags, epoch_samples).at_sample_rate(fs);
-    scenario.rate_plan = RatePlan::from_bps(100.0, &[rate_bps]).unwrap();
+    scenario.rate_plan = RatePlan::from_bps(100.0, &[rate_bps])?;
     scenario.seed = 2026;
 
     let epoch_secs = scenario.epoch_secs() * 1.1; // + carrier-off gap
@@ -45,16 +43,13 @@ fn main() {
         epochs += 1;
     }
     let lf_ms = epochs as f64 * epoch_secs * 1e3;
-    println!(
-        "LF-Backscatter: all {n_tags} tags identified in {epochs} epoch(s) = {lf_ms:.1} ms"
-    );
+    println!("LF-Backscatter: all {n_tags} tags identified in {epochs} epoch(s) = {lf_ms:.1} ms");
 
     // --- Stripped EPC Gen 2 (Q-algorithm) baseline ---
     let mut cfg = Gen2Config::paper_default();
     cfg.bitrate_bps = rate_bps;
     let mut rng = StdRng::seed_from_u64(7);
-    let tdma_ms =
-        Gen2Inventory::new(cfg).mean_duration_secs(n_tags, 100, &mut rng) * 1e3;
+    let tdma_ms = Gen2Inventory::new(cfg).mean_duration_secs(n_tags, 100, &mut rng) * 1e3;
     println!("EPC Gen 2 TDMA: mean inventory time {tdma_ms:.1} ms");
     println!(
         "speedup: {:.1}x (paper reports up to 17x at 16 tags/100 kbps)",
@@ -62,4 +57,6 @@ fn main() {
     );
     assert!(identified.iter().all(|&x| x), "inventory must complete");
     assert!(lf_ms < tdma_ms, "LF must beat TDMA");
+
+    Ok(())
 }

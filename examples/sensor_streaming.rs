@@ -11,25 +11,34 @@
 
 use lf_backscatter::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tags = vec![
         // The battery-less temperature sensor: 500 bps, 16-bit readings.
-        ScenarioTag::sensor(500.0).with_payload_bits(16).at_distance(2.2),
+        ScenarioTag::sensor(500.0)
+            .with_payload_bits(16)
+            .at_distance(2.2),
         // A microphone feature stream.
-        ScenarioTag::sensor(10_000.0).with_payload_bits(96).at_distance(1.8),
+        ScenarioTag::sensor(10_000.0)
+            .with_payload_bits(96)
+            .at_distance(1.8),
         // A camera metadata stream.
-        ScenarioTag::sensor(20_000.0).with_payload_bits(96).at_distance(1.6),
+        ScenarioTag::sensor(20_000.0)
+            .with_payload_bits(96)
+            .at_distance(1.6),
     ];
     // 100 ms epoch so the slow sensor fits a frame.
     let mut scenario =
         Scenario::paper_default(tags, 250_000).at_sample_rate(SampleRate::from_msps(2.5));
-    scenario.rate_plan =
-        RatePlan::from_bps(100.0, &[500.0, 10_000.0, 20_000.0]).unwrap();
+    scenario.rate_plan = RatePlan::from_bps(100.0, &[500.0, 10_000.0, 20_000.0])?;
 
     // The tag designs this enables (§3.6 / Table 3):
     let hw = HardwareInventory::lf_backscatter();
     let power = PowerModel::default();
-    println!("tag logic: {} transistors ({} components), no receive path", hw.logic_transistors(), hw.components.len());
+    println!(
+        "tag logic: {} transistors ({} components), no receive path",
+        hw.logic_transistors(),
+        hw.components.len()
+    );
     println!(
         "temperature sensor radio power @500 bps: {:.2} uW (battery-less territory)",
         power.tag_power_w(Protocol::LfBackscatter, 500.0) * 1e6
@@ -49,16 +58,24 @@ fn main() {
             t.1 += s.frames_sent;
         }
     }
-    println!("over {epochs} epochs of {:.0} ms:", scenario.epoch_secs() * 1e3);
+    println!(
+        "over {epochs} epochs of {:.0} ms:",
+        scenario.epoch_secs() * 1e3
+    );
     for (i, (ok, sent)) in totals.iter().enumerate() {
         let rate = scenario.tags[i].rate_bps;
         println!(
             "  {:>6.0} bps sensor: {ok}/{sent} frames delivered ({:.0}% )",
             rate,
-             100.0 * *ok as f64 / (*sent).max(1) as f64
+            100.0 * *ok as f64 / (*sent).max(1) as f64
         );
     }
     let (slow_ok, slow_sent) = totals[0];
-    assert_eq!(slow_ok, slow_sent, "the slow sensor must lose nothing (Fig. 11)");
+    assert_eq!(
+        slow_ok, slow_sent,
+        "the slow sensor must lose nothing (Fig. 11)"
+    );
     println!("ok: the 500 bps battery-less sensor was never harmed by the fast streams.");
+
+    Ok(())
 }

@@ -1,10 +1,15 @@
 //! Cross-crate property-based tests (proptest): invariants that must hold
 //! for arbitrary payloads, rates, geometries, and timing draws.
 
-use lf_backscatter::prelude::*;
+// Helper fns outside #[test] bodies fall outside clippy.toml's
+// allow-unwrap-in-tests; extend the same test policy to the whole file.
+// Levels and event times are exact constants, hence float_cmp too.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
+
+use lf_backscatter::channel::air::nrz_events;
 use lf_backscatter::dsp::geometry::{fit_parallelogram, lattice9};
 use lf_backscatter::dsp::viterbi::{EmissionModel, ViterbiDecoder};
-use lf_backscatter::channel::air::nrz_events;
+use lf_backscatter::prelude::*;
 use proptest::prelude::*;
 
 proptest! {

@@ -2,6 +2,10 @@
 //! must never panic, hang, or emit non-finite values — no matter what the
 //! air contains. These tests feed it adversarial and degenerate inputs.
 
+// Helper fns outside #[test] bodies fall outside clippy.toml's
+// allow-unwrap-in-tests; extend the same test policy to the whole file.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use lf_backscatter::prelude::*;
 use proptest::prelude::*;
 
@@ -57,6 +61,10 @@ proptest! {
     }
 }
 
+// Under strict-checks the decoder panics on non-finite input by design —
+// the graceful-degradation contract this test pins only holds for default
+// builds (the strict behaviour is pinned in tests/strict_checks.rs).
+#[cfg(not(feature = "strict-checks"))]
 #[test]
 fn decoder_handles_non_finite_samples_degraded_but_safe() {
     // NaN/∞ should never reach a production decoder (front ends clamp),

@@ -1,0 +1,55 @@
+//! Behaviour pinned by the `strict-checks` feature: the decoder's taint
+//! guards panic at the first non-finite value, naming the pipeline stage
+//! that produced (or received) it. Run with
+//! `cargo test --features strict-checks`.
+
+#![cfg(feature = "strict-checks")]
+// Test code: the workspace unwrap/expect gates don't apply here (same
+// policy as clippy.toml's allow-unwrap-in-tests).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use lf_backscatter::prelude::*;
+
+fn decoder() -> Decoder {
+    let mut cfg = DecoderConfig::at_sample_rate(SampleRate::from_msps(1.0));
+    cfg.rate_plan = RatePlan::from_bps(100.0, &[2_000.0, 5_000.0, 10_000.0]).unwrap();
+    Decoder::new(cfg)
+}
+
+#[test]
+#[should_panic(expected = "stage `input`")]
+fn nan_input_panics_naming_the_input_stage() {
+    let mut signal = vec![Complex::new(0.4, -0.2); 5_000];
+    signal[1234] = Complex::new(f64::NAN, 0.0);
+    let _ = decoder().decode(&signal);
+}
+
+#[test]
+#[should_panic(expected = "stage `input`")]
+fn infinite_input_panics_naming_the_input_stage() {
+    let mut signal = vec![Complex::new(0.4, -0.2); 5_000];
+    signal[2345] = Complex::new(0.0, f64::INFINITY);
+    let _ = decoder().decode(&signal);
+}
+
+#[test]
+fn finite_captures_still_decode_under_strict_checks() {
+    // The guards must be invisible on clean data: a synthesized two-tag
+    // epoch decodes with the feature on. This drives a real decode through
+    // every downstream stage guard (edge-detection, stream-tracking,
+    // slot-differentials, collision-separation).
+    let tags = vec![
+        ScenarioTag::sensor(10_000.0).with_payload_bits(32),
+        ScenarioTag::sensor(5_000.0)
+            .with_payload_bits(32)
+            .at_distance(2.4),
+    ];
+    let mut scenario =
+        Scenario::paper_default(tags, 40_000).at_sample_rate(SampleRate::from_msps(2.5));
+    scenario.rate_plan = RatePlan::from_bps(100.0, &[5_000.0, 10_000.0]).unwrap();
+    let outcome = simulate_epoch(&scenario, DecodeStages::full(), 0);
+    assert!(
+        outcome.decode.streams.iter().any(|s| !s.bits.is_empty()),
+        "clean capture failed to decode under strict-checks"
+    );
+}
