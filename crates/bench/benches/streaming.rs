@@ -1,0 +1,88 @@
+//! Streaming runtime throughput: sequential decode of a session vs the
+//! `lf-reader` worker pool at several pool sizes.
+//!
+//! Each iteration replays the *same* pre-synthesized session through a
+//! [`SliceSource`], so the bench isolates segmentation + decode +
+//! orchestration from synthesis cost. Per-epoch decode dominates (tens
+//! of milliseconds) while segmentation and queue handoff are microseconds,
+//! so on a multi-core host the pooled runtime approaches `workers`-fold
+//! throughput; on a single-core host (CI containers included) the pooled
+//! numbers instead measure the orchestration overhead — expect parity
+//! with sequential, not speedup. Read the results with `nproc` in hand.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lf_core::config::DecoderConfig;
+use lf_core::pipeline::Decoder;
+use lf_reader::{sequential_decode, Backpressure, ReaderRuntime, RuntimeConfig, SliceSource};
+use lf_sim::scenario::{Scenario, ScenarioTag};
+use lf_sim::simulate::synthesize_session;
+use lf_types::{Complex, RatePlan, SampleRate};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const EPOCHS: u64 = 4;
+const GAP: usize = 3_000;
+const CHUNK: usize = 4_096;
+
+fn bench_streaming_throughput(c: &mut Criterion) {
+    // These constants form a valid plan; the early-out keeps the bench
+    // panic-free under the workspace lint gates.
+    let Ok(rate_plan) = RatePlan::from_bps(100.0, &[1_000.0, 10_000.0, 20_000.0]) else {
+        return;
+    };
+    let tags = vec![
+        ScenarioTag::sensor(1_000.0)
+            .with_payload_bits(16)
+            .at_distance(2.0),
+        ScenarioTag::sensor(10_000.0)
+            .with_payload_bits(32)
+            .at_distance(1.6),
+        ScenarioTag::sensor(20_000.0)
+            .with_payload_bits(32)
+            .at_distance(1.4),
+    ];
+    let mut scenario =
+        Scenario::paper_default(tags, 20_000).at_sample_rate(SampleRate::from_msps(1.0));
+    scenario.rate_plan = rate_plan;
+    scenario.seed = 0xbe4c_0001;
+    let decoder_cfg = {
+        let mut cfg = DecoderConfig::at_sample_rate(scenario.sample_rate);
+        cfg.rate_plan = scenario.rate_plan.clone();
+        cfg
+    };
+    let session: Vec<Complex> = synthesize_session(&scenario, EPOCHS, GAP).signal;
+    let decoder: Arc<Decoder> = Arc::new(Decoder::new(decoder_cfg.clone()));
+
+    let mut group = c.benchmark_group("streaming_session_4epochs");
+    group.bench_function(BenchmarkId::from_parameter("sequential"), |b| {
+        b.iter(|| {
+            let source = SliceSource::new(black_box(session.clone()), CHUNK);
+            let seg = RuntimeConfig::for_decoder(&decoder_cfg).segmenter;
+            sequential_decode(source, decoder.as_ref(), seg)
+        });
+    });
+    for workers in [1usize, 2, 4] {
+        group.bench_function(BenchmarkId::new("pool", workers), |b| {
+            b.iter(|| {
+                let source = SliceSource::new(black_box(session.clone()), CHUNK);
+                let mut cfg = RuntimeConfig::for_decoder(&decoder_cfg);
+                cfg.workers = workers;
+                cfg.job_queue = 2 * workers;
+                cfg.result_queue = 2 * workers;
+                cfg.backpressure = Backpressure::Block;
+                let mut rt = ReaderRuntime::spawn(source, Arc::clone(&decoder) as _, &cfg);
+                let mut reports = Vec::new();
+                while let Some(r) = rt.recv() {
+                    reports.push(r);
+                }
+                let stats = rt.join();
+                assert_eq!(stats.epochs_out, EPOCHS, "bench session must decode fully");
+                reports
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming_throughput);
+criterion_main!(benches);

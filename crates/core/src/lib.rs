@@ -46,5 +46,5 @@ pub mod streams;
 
 pub use config::{DecodeStages, DecoderConfig};
 pub use epoch::{decode_session, split_epochs, SessionEpoch};
-pub use pipeline::{DecodedStream, Decoder, EpochDecode, StreamKind};
+pub use pipeline::{DecodedStream, Decoder, EpochDecode, StageTimings, StreamKind};
 pub use reliability::{ReaderCommand, ReaderController};

@@ -8,6 +8,7 @@ use crate::slots::{slot_cleanliness, slot_differentials};
 use crate::streams::find_streams;
 use lf_dsp::checks;
 use lf_types::{BitRate, BitVec, Complex};
+use std::time::{Duration, Instant};
 
 /// How a decoded stream was recovered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +53,28 @@ pub struct EpochDecode {
     pub n_tracked: usize,
 }
 
+/// Wall-clock cost of each pipeline stage for one epoch decode.
+///
+/// The streaming runtime (`lf-reader`) aggregates these into per-stage
+/// latency percentiles; offline users can ignore them via [`Decoder::decode`].
+/// Stage boundaries follow the module structure: stage 1 is edge
+/// detection (including input sanitizing), stage 2 is stream
+/// folding/tracking, and "analysis" covers stages 3–5 (slot
+/// differentials, collision separation, bit decode) whose work
+/// interleaves per tracked stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Input sanitizing + edge detection (§3.1).
+    pub edges: Duration,
+    /// Eye-pattern folding and drift tracking (§3.2).
+    pub tracking: Duration,
+    /// Slot differentials, collision separation, and bit recovery
+    /// (§3.3–3.5), summed over all tracked streams.
+    pub analysis: Duration,
+    /// Whole-epoch decode wall clock (≥ the sum of the stages).
+    pub total: Duration,
+}
+
 /// The LF-Backscatter reader decoder.
 #[derive(Debug, Clone)]
 pub struct Decoder {
@@ -80,6 +103,16 @@ impl Decoder {
     /// stage boundary) panics naming the stage, so numeric taint is caught
     /// at its source instead of decaying into a wrong decode.
     pub fn decode(&self, signal: &[Complex]) -> EpochDecode {
+        self.decode_timed(signal).0
+    }
+
+    /// Decodes one epoch and reports the wall-clock cost of each stage.
+    ///
+    /// Identical decode semantics to [`Decoder::decode`] — the timings are
+    /// observation only and never influence the result, so a timed decode
+    /// of a capture is byte-identical to an untimed one.
+    pub fn decode_timed(&self, signal: &[Complex]) -> (EpochDecode, StageTimings) {
+        let t_start = Instant::now();
         let cfg = &self.cfg;
         checks::assert_finite_complex("input", signal);
         let sanitized: Option<Vec<Complex>> = if signal.iter().all(|s| s.is_finite()) {
@@ -99,6 +132,7 @@ impl Decoder {
             checks::assert_finite_scalar("edge-detection", e.strength);
             checks::assert_finite_complex("edge-detection", std::slice::from_ref(&e.diff));
         }
+        let t_edges = Instant::now();
         let tracked = find_streams(&edges, signal.len(), cfg);
         for ts in &tracked {
             checks::assert_finite_scalar("stream-tracking", ts.offset);
@@ -106,6 +140,7 @@ impl Decoder {
             checks::assert_finite_f64("stream-tracking", &ts.slot_times);
         }
         let n_tracked = tracked.len();
+        let t_tracking = Instant::now();
 
         // Edge ownership across all tracked streams: stream k's window
         // trimming must respect edges matched by the *other* streams but
@@ -171,13 +206,35 @@ impl Decoder {
                 }
             }
         }
-        EpochDecode {
-            streams,
-            n_edges: edges.len(),
-            n_tracked,
-        }
+        let t_end = Instant::now();
+        let timings = StageTimings {
+            edges: t_edges - t_start,
+            tracking: t_tracking - t_edges,
+            analysis: t_end - t_tracking,
+            total: t_end - t_start,
+        };
+        (
+            EpochDecode {
+                streams,
+                n_edges: edges.len(),
+                n_tracked,
+            },
+            timings,
+        )
     }
 }
+
+// The streaming runtime (`lf-reader`) shares one decoder across a worker
+// pool; losing `Send + Sync` on these types (e.g. by adding an `Rc` or
+// interior cell to the config) would break it at a distance, so pin the
+// guarantee here at compile time.
+const _: () = {
+    const fn require_send_sync<T: Send + Sync>() {}
+    require_send_sync::<Decoder>();
+    require_send_sync::<DecoderConfig>();
+    require_send_sync::<EpochDecode>();
+    require_send_sync::<StageTimings>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,476 @@
+//! The streaming reader runtime: ingest → segment → decode pool → reorder.
+//!
+//! ```text
+//!             ingest thread                N worker threads
+//! IqSource ──► OnlineSegmenter ──► job queue ──► decode_epoch ──► result
+//!   chunks        epochs           (bounded)      (contained)      queue ──► recv()
+//!                                                                (bounded)   in seq
+//!                                                                            order
+//! ```
+//!
+//! Design contract:
+//!
+//! * **Bounded everywhere.** Both queues are [`BoundedQueue`]s. Under the
+//!   [`Backpressure::Block`] policy nothing is ever lost — a slow consumer
+//!   stalls the workers, which stalls ingestion. Under
+//!   [`Backpressure::DropOldest`] the ingester sheds the *oldest*
+//!   undecoded epoch instead of blocking (freshest data wins on a live
+//!   air interface) and accounts for every shed epoch: a `Dropped`
+//!   report still flows to the consumer, so `epochs_in` always equals
+//!   delivered reports at shutdown.
+//! * **Deterministic.** Segmentation is chunk-size invariant, workers
+//!   never influence each other's decodes, and reports are reassembled
+//!   in epoch order — an N-worker run is byte-identical to
+//!   [`sequential_decode`] of the same capture.
+//! * **Fault containment.** A panic inside one epoch's decode is caught;
+//!   that epoch is reported as [`EpochResult::Faulted`] and the pool
+//!   keeps serving (a poisoned capture must not take down the reader).
+//! * **Graceful shutdown.** [`ReaderRuntime::shutdown`] stops ingestion,
+//!   lets the workers drain what is queued, and delivers it; dropping
+//!   the runtime does the same before joining its threads.
+
+use crate::queue::BoundedQueue;
+use crate::segment::{OnlineSegmenter, SegmentedEpoch, SegmenterConfig};
+use crate::source::IqSource;
+use crate::stats::{RuntimeStats, StatsShared};
+use lf_core::config::DecoderConfig;
+use lf_core::pipeline::{Decoder, EpochDecode, StageTimings};
+use lf_types::Complex;
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// An epoch decoder the worker pool can share. Implemented by
+/// `lf_core::Decoder`; tests and ablations can substitute their own.
+pub trait EpochDecoder: Send + Sync + 'static {
+    /// Decodes one segmented epoch, reporting per-stage timings.
+    fn decode_epoch(&self, samples: &[Complex]) -> (EpochDecode, StageTimings);
+}
+
+impl EpochDecoder for Decoder {
+    fn decode_epoch(&self, samples: &[Complex]) -> (EpochDecode, StageTimings) {
+        self.decode_timed(samples)
+    }
+}
+
+/// What to do when the decode pool cannot keep up with the air interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Never lose an epoch: ingestion blocks until the pool has room.
+    /// Right for offline captures and file replay.
+    Block,
+    /// Never block ingestion: shed the oldest queued (undecoded) epoch
+    /// and deliver a `Dropped` report in its place. Right for a live
+    /// front end whose hardware buffer would otherwise overflow
+    /// arbitrarily.
+    DropOldest,
+}
+
+/// Worker-pool and queue parameters.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Decode worker threads (clamped to ≥ 1).
+    pub workers: usize,
+    /// Job (segmented-epoch) queue capacity.
+    pub job_queue: usize,
+    /// Result (report) queue capacity.
+    pub result_queue: usize,
+    /// Backpressure policy at the job queue.
+    pub backpressure: Backpressure,
+    /// Online segmentation parameters.
+    pub segmenter: SegmenterConfig,
+}
+
+impl RuntimeConfig {
+    /// Defaults derived from a decoder configuration: one worker per
+    /// available core, queues of twice the pool depth, lossless
+    /// backpressure.
+    pub fn for_decoder(cfg: &DecoderConfig) -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        RuntimeConfig {
+            workers,
+            job_queue: 2 * workers,
+            result_queue: 2 * workers,
+            backpressure: Backpressure::Block,
+            segmenter: SegmenterConfig::from_decoder(cfg),
+        }
+    }
+}
+
+/// How one epoch fared.
+#[derive(Debug, Clone)]
+pub enum EpochResult {
+    /// The epoch decoded normally.
+    Decoded {
+        /// The decode.
+        decode: EpochDecode,
+        /// Per-stage wall-clock cost of this epoch's decode.
+        timings: StageTimings,
+    },
+    /// The epoch was shed by the drop-oldest backpressure policy before
+    /// a worker saw it.
+    Dropped,
+    /// The decode panicked; the panic was contained and the pool kept
+    /// serving.
+    Faulted {
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
+/// One epoch's report, delivered in epoch (stream) order.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// Epoch sequence number (0-based, in stream order).
+    pub seq: u64,
+    /// The epoch's sample range within the whole stream.
+    pub range: Range<usize>,
+    /// True when the segmenter force-closed this epoch at its size bound.
+    pub forced_split: bool,
+    /// The outcome.
+    pub result: EpochResult,
+}
+
+impl EpochReport {
+    /// The decode, if this epoch produced one.
+    pub fn decode(&self) -> Option<&EpochDecode> {
+        match &self.result {
+            EpochResult::Decoded { decode, .. } => Some(decode),
+            EpochResult::Dropped | EpochResult::Faulted { .. } => None,
+        }
+    }
+}
+
+/// A segmented epoch on its way to a worker.
+#[derive(Debug)]
+struct Job {
+    seq: u64,
+    range: Range<usize>,
+    forced_split: bool,
+    samples: Vec<Complex>,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs one job through the decoder with panic containment.
+fn decode_contained(decoder: &dyn EpochDecoder, job: &Job) -> EpochResult {
+    match std::panic::catch_unwind(AssertUnwindSafe(|| decoder.decode_epoch(&job.samples))) {
+        Ok((decode, timings)) => EpochResult::Decoded { decode, timings },
+        Err(payload) => EpochResult::Faulted {
+            message: panic_message(payload),
+        },
+    }
+}
+
+/// The streaming reader runtime. See the module docs for the contract.
+#[derive(Debug)]
+pub struct ReaderRuntime {
+    jobs: Arc<BoundedQueue<Job>>,
+    results: Arc<BoundedQueue<EpochReport>>,
+    stats: Arc<StatsShared>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    /// Reports that arrived ahead of their turn, keyed by seq.
+    reorder: BTreeMap<u64, EpochReport>,
+    next_seq: u64,
+}
+
+impl ReaderRuntime {
+    /// Starts the runtime: one ingest thread pulling from `source`, and
+    /// `cfg.workers` decode workers sharing `decoder`.
+    pub fn spawn<S: IqSource + 'static>(
+        source: S,
+        decoder: Arc<dyn EpochDecoder>,
+        cfg: &RuntimeConfig,
+    ) -> Self {
+        let jobs = Arc::new(BoundedQueue::new(cfg.job_queue));
+        let results = Arc::new(BoundedQueue::new(cfg.result_queue));
+        let stats = Arc::new(StatsShared::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+
+        // --- ingest thread ---
+        {
+            let jobs = Arc::clone(&jobs);
+            let results = Arc::clone(&results);
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            let segmenter = OnlineSegmenter::new(cfg.segmenter);
+            let policy = cfg.backpressure;
+            let mut source = source;
+            threads.push(std::thread::spawn(move || {
+                ingest(
+                    &mut source,
+                    segmenter,
+                    policy,
+                    &jobs,
+                    &results,
+                    &stats,
+                    &stop,
+                );
+            }));
+        }
+
+        // --- worker pool ---
+        let active = Arc::new(AtomicUsize::new(cfg.workers.max(1)));
+        for _ in 0..cfg.workers.max(1) {
+            let jobs = Arc::clone(&jobs);
+            let results = Arc::clone(&results);
+            let stats = Arc::clone(&stats);
+            let active = Arc::clone(&active);
+            let decoder = Arc::clone(&decoder);
+            threads.push(std::thread::spawn(move || {
+                while let Some(job) = jobs.pop() {
+                    let result = decode_contained(&*decoder, &job);
+                    match &result {
+                        EpochResult::Decoded { timings, .. } => stats.record_latency(timings),
+                        EpochResult::Faulted { .. } => {
+                            stats.faults.fetch_add(1, Ordering::Relaxed);
+                        }
+                        EpochResult::Dropped => {}
+                    }
+                    let report = EpochReport {
+                        seq: job.seq,
+                        range: job.range,
+                        forced_split: job.forced_split,
+                        result,
+                    };
+                    if results.push_block(report).is_err() {
+                        break;
+                    }
+                }
+                // The last worker out closes the result queue: the job
+                // queue is already closed and drained by then, and the
+                // ingester (which force-pushes drop tombstones) only
+                // runs while the job queue is open.
+                if active.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    results.close();
+                }
+            }));
+        }
+
+        ReaderRuntime {
+            jobs,
+            results,
+            stats,
+            stop,
+            threads,
+            reorder: BTreeMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Convenience: spawn with the standard pipeline decoder and defaults
+    /// derived from its configuration.
+    pub fn spawn_decoder<S: IqSource + 'static>(source: S, decoder_cfg: DecoderConfig) -> Self {
+        let cfg = RuntimeConfig::for_decoder(&decoder_cfg);
+        ReaderRuntime::spawn(source, Arc::new(Decoder::new(decoder_cfg)), &cfg)
+    }
+
+    /// The next epoch report, in epoch order; blocks while the pipeline
+    /// is working. `None` means the stream ended (or the runtime was shut
+    /// down) and every report has been delivered.
+    pub fn recv(&mut self) -> Option<EpochReport> {
+        loop {
+            if let Some(report) = self.reorder.remove(&self.next_seq) {
+                self.next_seq += 1;
+                self.stats.epochs_out.fetch_add(1, Ordering::Relaxed);
+                return Some(report);
+            }
+            if let Some(report) = self.results.pop() {
+                self.reorder.insert(report.seq, report);
+                continue;
+            }
+            // Result queue closed and drained. Leftovers in the reorder
+            // buffer can only exist after a forced shutdown cut seq gaps
+            // open; deliver them in order regardless.
+            let (&k, _) = self.reorder.iter().next()?;
+            self.next_seq = k;
+        }
+    }
+
+    /// Non-blocking [`ReaderRuntime::recv`]: `None` means nothing is
+    /// deliverable *right now*, not end of stream.
+    pub fn try_recv(&mut self) -> Option<EpochReport> {
+        loop {
+            if let Some(report) = self.reorder.remove(&self.next_seq) {
+                self.next_seq += 1;
+                self.stats.epochs_out.fetch_add(1, Ordering::Relaxed);
+                return Some(report);
+            }
+            match self.results.try_pop() {
+                Some(report) => {
+                    self.reorder.insert(report.seq, report);
+                }
+                None => return None,
+            }
+        }
+    }
+
+    /// A live statistics snapshot; callable at any time from the
+    /// consuming thread while the pipeline keeps serving.
+    pub fn stats(&self) -> RuntimeStats {
+        self.stats.snapshot(self.jobs.len(), self.results.len())
+    }
+
+    /// Graceful shutdown: stop ingesting, decode and deliver everything
+    /// already queued. `recv` drains the remainder and then reports end
+    /// of stream.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.jobs.close();
+    }
+
+    /// Drains any undelivered reports, joins all pipeline threads, and
+    /// returns the final statistics.
+    pub fn join(mut self) -> RuntimeStats {
+        while self.recv().is_some() {}
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.stats.snapshot(self.jobs.len(), self.results.len())
+    }
+}
+
+impl Drop for ReaderRuntime {
+    fn drop(&mut self) {
+        self.shutdown();
+        // Unblock any worker stuck pushing a result, then join.
+        while self.recv().is_some() {}
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The ingest loop: pull chunks, segment, enqueue jobs under the policy.
+fn ingest(
+    source: &mut dyn IqSource,
+    mut segmenter: OnlineSegmenter,
+    policy: Backpressure,
+    jobs: &BoundedQueue<Job>,
+    results: &BoundedQueue<EpochReport>,
+    stats: &StatsShared,
+    stop: &AtomicBool,
+) {
+    let mut segmented: Vec<SegmentedEpoch> = Vec::new();
+    let mut seq = 0u64;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let Some(chunk) = source.next_chunk() else {
+            segmenter.finish(&mut segmented);
+            enqueue_all(&mut segmented, &mut seq, policy, jobs, results, stats);
+            break;
+        };
+        stats.chunks_in.fetch_add(1, Ordering::Relaxed);
+        stats
+            .samples_in
+            .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+        segmenter.push_chunk(&chunk, &mut segmented);
+        if !enqueue_all(&mut segmented, &mut seq, policy, jobs, results, stats) {
+            break;
+        }
+    }
+    jobs.close();
+}
+
+/// Enqueues every segmented epoch; false means the pipeline is closing.
+fn enqueue_all(
+    segmented: &mut Vec<SegmentedEpoch>,
+    seq: &mut u64,
+    policy: Backpressure,
+    jobs: &BoundedQueue<Job>,
+    results: &BoundedQueue<EpochReport>,
+    stats: &StatsShared,
+) -> bool {
+    for epoch in segmented.drain(..) {
+        stats.epochs_in.fetch_add(1, Ordering::Relaxed);
+        if epoch.forced_split {
+            stats.forced_splits.fetch_add(1, Ordering::Relaxed);
+        }
+        let job = Job {
+            seq: *seq,
+            range: epoch.range,
+            forced_split: epoch.forced_split,
+            samples: epoch.samples,
+        };
+        *seq += 1;
+        match policy {
+            Backpressure::Block => {
+                if jobs.push_block(job).is_err() {
+                    return false;
+                }
+            }
+            Backpressure::DropOldest => match jobs.push_drop_oldest(job) {
+                Err(_) => return false,
+                Ok(Some(evicted)) => {
+                    stats.epochs_dropped.fetch_add(1, Ordering::Relaxed);
+                    // Constant-size tombstone: the consumer must still
+                    // see every seq exactly once for exact accounting
+                    // (and so reordering never stalls on a hole).
+                    let _ = results.push_forced(EpochReport {
+                        seq: evicted.seq,
+                        range: evicted.range,
+                        forced_split: evicted.forced_split,
+                        result: EpochResult::Dropped,
+                    });
+                }
+                Ok(None) => {}
+            },
+        }
+    }
+    true
+}
+
+/// The single-threaded reference path: same segmentation, same decoder,
+/// same containment, no pool — the determinism baseline the parallel
+/// runtime is tested as byte-identical to.
+pub fn sequential_decode<S: IqSource>(
+    mut source: S,
+    decoder: &dyn EpochDecoder,
+    segmenter_cfg: SegmenterConfig,
+) -> Vec<EpochReport> {
+    let mut segmenter = OnlineSegmenter::new(segmenter_cfg);
+    let mut segmented: Vec<SegmentedEpoch> = Vec::new();
+    let mut reports = Vec::new();
+    let mut seq = 0u64;
+    let mut decode_pending = |segmented: &mut Vec<SegmentedEpoch>,
+                              reports: &mut Vec<EpochReport>| {
+        for epoch in segmented.drain(..) {
+            let job = Job {
+                seq,
+                range: epoch.range,
+                forced_split: epoch.forced_split,
+                samples: epoch.samples,
+            };
+            seq += 1;
+            let result = decode_contained(decoder, &job);
+            reports.push(EpochReport {
+                seq: job.seq,
+                range: job.range,
+                forced_split: job.forced_split,
+                result,
+            });
+        }
+    };
+    while let Some(chunk) = source.next_chunk() {
+        segmenter.push_chunk(&chunk, &mut segmented);
+        decode_pending(&mut segmented, &mut reports);
+    }
+    segmenter.finish(&mut segmented);
+    decode_pending(&mut segmented, &mut reports);
+    reports
+}

@@ -1,0 +1,364 @@
+//! IQ sample sources: where the stream comes from.
+//!
+//! The runtime pulls fixed-ish-size chunks from an [`IqSource`] on a
+//! dedicated ingest thread. Three sources cover the reproduction's
+//! needs: an in-memory capture ([`SliceSource`]), a raw IQ file
+//! ([`FileSource`]), and a lazily synthesized simulation session
+//! ([`ScenarioSource`]) that never materializes more than one epoch of
+//! samples at a time — the shape of a real SDR front end that hands the
+//! ingester one DMA buffer per call.
+
+use crate::runtime::EpochReport;
+use lf_sim::scenario::Scenario;
+use lf_sim::score::{score_epoch, TagScore, TruthStream};
+use lf_sim::simulate::{synthesize_epoch, synthesize_gap};
+use lf_types::Complex;
+use std::io::Read;
+use std::path::Path;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A pull-based stream of IQ sample chunks.
+///
+/// `next_chunk` returning `None` ends the stream; the runtime then
+/// flushes the segmenter and drains the pipeline. Sources are moved onto
+/// the ingest thread, hence the `Send` bound.
+pub trait IqSource: Send {
+    /// The next chunk of contiguous samples, or `None` at end of stream.
+    fn next_chunk(&mut self) -> Option<Vec<Complex>>;
+}
+
+/// An in-memory capture replayed in fixed-size chunks.
+#[derive(Debug, Clone)]
+pub struct SliceSource {
+    samples: Vec<Complex>,
+    chunk_len: usize,
+    pos: usize,
+}
+
+impl SliceSource {
+    /// Wraps a capture; `chunk_len` is clamped to ≥ 1.
+    pub fn new(samples: Vec<Complex>, chunk_len: usize) -> Self {
+        SliceSource {
+            samples,
+            chunk_len: chunk_len.max(1),
+            pos: 0,
+        }
+    }
+}
+
+impl IqSource for SliceSource {
+    fn next_chunk(&mut self) -> Option<Vec<Complex>> {
+        if self.pos >= self.samples.len() {
+            return None;
+        }
+        let end = (self.pos + self.chunk_len).min(self.samples.len());
+        let chunk = self.samples[self.pos..end].to_vec();
+        self.pos = end;
+        Some(chunk)
+    }
+}
+
+/// A raw IQ capture file: interleaved little-endian `f32` I/Q pairs (the
+/// de-facto SDR interchange format, e.g. GNU Radio's `gr_complex` sink).
+///
+/// A read error or a trailing partial sample ends the stream — a
+/// streaming reader degrades to "capture ended", it does not abort.
+#[derive(Debug)]
+pub struct FileSource {
+    reader: std::io::BufReader<std::fs::File>,
+    chunk_len: usize,
+    done: bool,
+}
+
+impl FileSource {
+    /// Opens a raw IQ file, emitting `chunk_len`-sample chunks.
+    pub fn open(path: &Path, chunk_len: usize) -> std::io::Result<Self> {
+        Ok(FileSource {
+            reader: std::io::BufReader::new(std::fs::File::open(path)?),
+            chunk_len: chunk_len.max(1),
+            done: false,
+        })
+    }
+}
+
+impl IqSource for FileSource {
+    fn next_chunk(&mut self) -> Option<Vec<Complex>> {
+        if self.done {
+            return None;
+        }
+        let mut bytes = vec![0u8; self.chunk_len * 8];
+        let mut filled = 0usize;
+        while filled < bytes.len() {
+            match self.reader.read(&mut bytes[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        let n_samples = filled / 8;
+        if n_samples == 0 {
+            self.done = true;
+            return None;
+        }
+        let mut chunk = Vec::with_capacity(n_samples);
+        for k in 0..n_samples {
+            let at = k * 8;
+            let re = f32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
+            let im =
+                f32::from_le_bytes([bytes[at + 4], bytes[at + 5], bytes[at + 6], bytes[at + 7]]);
+            chunk.push(Complex::new(f64::from(re), f64::from(im)));
+        }
+        Some(chunk)
+    }
+}
+
+/// Ground truth accumulated by a [`ScenarioSource`] as it synthesizes,
+/// shared with the consumer for scoring. Epoch `k`'s truth is available
+/// by the time the runtime can possibly deliver epoch `k`'s decode (the
+/// source synthesized it before the ingester could segment it).
+#[derive(Debug, Clone)]
+pub struct SessionTruths {
+    truths: Arc<Mutex<Vec<Vec<TruthStream>>>>,
+    epoch_samples: usize,
+    gap_samples: usize,
+}
+
+impl SessionTruths {
+    /// Ground truth for epoch `idx`, if that epoch has been synthesized.
+    pub fn for_epoch(&self, idx: usize) -> Option<Vec<TruthStream>> {
+        self.truths
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(idx)
+            .cloned()
+    }
+
+    /// Number of epochs synthesized so far.
+    pub fn epochs(&self) -> usize {
+        self.truths
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Sample index at which epoch `idx` begins within the session
+    /// stream (epochs and gaps strictly alternate, so the layout is
+    /// arithmetic).
+    pub fn epoch_begin(&self, idx: usize) -> usize {
+        idx * (self.epoch_samples + self.gap_samples)
+    }
+
+    /// Scores a delivered report against its epoch's ground truth.
+    ///
+    /// Truth offsets are stated relative to the epoch's *true* start in
+    /// the session stream, while the decoder's offsets are relative to
+    /// the slice the online segmenter handed it — which may start a few
+    /// samples early or late. The difference is known exactly from the
+    /// report's range, so the truths are shifted into the decoder's
+    /// frame before `lf_sim::score::score_epoch` runs (whose slot
+    /// alignment is deliberately tight: ±8 samples).
+    ///
+    /// `None` when the report carries no decode (dropped or faulted
+    /// epoch) or its epoch was never synthesized.
+    pub fn score_report(&self, report: &EpochReport) -> Option<Vec<TagScore>> {
+        let decode = report.decode()?;
+        let idx = usize::try_from(report.seq).ok()?;
+        let truths = self.for_epoch(idx)?;
+        let shift = self.epoch_begin(idx) as f64 - report.range.start as f64;
+        let shifted: Vec<TruthStream> = truths
+            .into_iter()
+            .map(|mut t| {
+                t.offset += shift;
+                t
+            })
+            .collect();
+        Some(score_epoch(&shifted, decode))
+    }
+}
+
+/// Which piece of the session the source emits next.
+#[derive(Debug, Clone, Copy)]
+enum NextPiece {
+    Epoch(u64),
+    Gap(u64),
+    Done,
+}
+
+/// A sim-backed source: synthesizes a scenario's session (epochs
+/// separated by carrier-off gaps, as in `lf_sim::synthesize_session`)
+/// lazily, one epoch or gap at a time, and replays it in chunks.
+#[derive(Debug)]
+pub struct ScenarioSource {
+    scenario: Scenario,
+    n_epochs: u64,
+    gap_samples: usize,
+    chunk_len: usize,
+    buffer: Vec<Complex>,
+    buf_pos: usize,
+    next_piece: NextPiece,
+    truths: SessionTruths,
+}
+
+impl ScenarioSource {
+    /// Creates the source and the truth handle its consumer scores with.
+    pub fn new(
+        scenario: Scenario,
+        n_epochs: u64,
+        gap_samples: usize,
+        chunk_len: usize,
+    ) -> (Self, SessionTruths) {
+        let truths = SessionTruths {
+            truths: Arc::new(Mutex::new(Vec::new())),
+            epoch_samples: scenario.epoch_samples,
+            gap_samples,
+        };
+        let next_piece = if n_epochs == 0 {
+            NextPiece::Done
+        } else {
+            NextPiece::Epoch(0)
+        };
+        (
+            ScenarioSource {
+                scenario,
+                n_epochs,
+                gap_samples,
+                chunk_len: chunk_len.max(1),
+                buffer: Vec::new(),
+                buf_pos: 0,
+                next_piece,
+                truths: truths.clone(),
+            },
+            truths,
+        )
+    }
+
+    /// Sample index at which epoch `idx` begins within the session
+    /// stream (epochs and gaps strictly alternate, so the layout is
+    /// arithmetic).
+    pub fn epoch_begin(&self, idx: usize) -> usize {
+        idx * (self.scenario.epoch_samples + self.gap_samples)
+    }
+
+    fn refill(&mut self) -> bool {
+        match self.next_piece {
+            NextPiece::Done => false,
+            NextPiece::Epoch(e) => {
+                let (signal, truth) = synthesize_epoch(&self.scenario, e);
+                self.truths
+                    .truths
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(truth);
+                self.buffer = signal;
+                self.buf_pos = 0;
+                self.next_piece = if e + 1 < self.n_epochs {
+                    NextPiece::Gap(e)
+                } else {
+                    NextPiece::Done
+                };
+                true
+            }
+            NextPiece::Gap(g) => {
+                self.buffer = synthesize_gap(&self.scenario, g, self.gap_samples);
+                self.buf_pos = 0;
+                self.next_piece = NextPiece::Epoch(g + 1);
+                // A zero-length gap yields an empty buffer; recurse once
+                // to land on the following epoch.
+                if self.buffer.is_empty() {
+                    return self.refill();
+                }
+                true
+            }
+        }
+    }
+}
+
+impl IqSource for ScenarioSource {
+    fn next_chunk(&mut self) -> Option<Vec<Complex>> {
+        if self.buf_pos >= self.buffer.len() && !self.refill() {
+            return None;
+        }
+        let end = (self.buf_pos + self.chunk_len).min(self.buffer.len());
+        let chunk = self.buffer[self.buf_pos..end].to_vec();
+        self.buf_pos = end;
+        Some(chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_sim::scenario::ScenarioTag;
+    use lf_sim::simulate::synthesize_session;
+    use lf_types::{RatePlan, SampleRate};
+
+    fn tiny_scenario() -> Scenario {
+        let mut s = Scenario::paper_default(
+            vec![ScenarioTag::sensor(10_000.0).with_payload_bits(32)],
+            6_000,
+        )
+        .at_sample_rate(SampleRate::from_msps(1.0));
+        s.rate_plan = RatePlan::from_bps(100.0, &[10_000.0]).unwrap();
+        s.seed = 0x5eed_0007;
+        s
+    }
+
+    fn drain(mut src: impl IqSource) -> Vec<Complex> {
+        let mut all = Vec::new();
+        while let Some(c) = src.next_chunk() {
+            assert!(!c.is_empty(), "sources never emit empty chunks");
+            all.extend(c);
+        }
+        all
+    }
+
+    #[test]
+    fn slice_source_replays_exactly() {
+        let samples: Vec<Complex> = (0..1000).map(|k| Complex::new(k as f64, -1.0)).collect();
+        for chunk in [1, 3, 256, 2000] {
+            let got = drain(SliceSource::new(samples.clone(), chunk));
+            assert_eq!(got, samples, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn scenario_source_matches_synthesize_session() {
+        let sc = tiny_scenario();
+        let session = synthesize_session(&sc, 3, 500);
+        let (src, truths) = ScenarioSource::new(sc, 3, 500, 1024);
+        assert_eq!(src.epoch_begin(1), 6_500);
+        let got = drain(src);
+        assert_eq!(got, session.signal, "lazy source must replay the session");
+        assert_eq!(truths.epochs(), 3);
+        for e in 0..3 {
+            let t = truths.for_epoch(e).unwrap();
+            assert_eq!(t[0].bits, session.truths[e][0].bits, "epoch {e}");
+        }
+    }
+
+    #[test]
+    fn file_source_round_trips_f32_iq() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("lf_reader_iq_{}.bin", std::process::id()));
+        let samples: Vec<Complex> = (0..300)
+            .map(|k| Complex::new(k as f64 * 0.25, -(k as f64) * 0.5))
+            .collect();
+        let mut bytes = Vec::new();
+        for s in &samples {
+            bytes.extend_from_slice(&(s.re as f32).to_le_bytes());
+            bytes.extend_from_slice(&(s.im as f32).to_le_bytes());
+        }
+        bytes.extend_from_slice(&[1, 2, 3]); // trailing partial sample
+        std::fs::write(&path, &bytes).unwrap();
+        let got = drain(FileSource::open(&path, 64).unwrap());
+        std::fs::remove_file(&path).ok();
+        assert_eq!(got.len(), samples.len());
+        for (a, b) in got.iter().zip(&samples) {
+            assert!((a.re - b.re).abs() < 1e-6 && (a.im - b.im).abs() < 1e-6);
+        }
+    }
+}

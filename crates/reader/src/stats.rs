@@ -1,0 +1,207 @@
+//! Live runtime statistics: counters, queue depths, latency percentiles.
+//!
+//! Counters are lock-free atomics bumped by the pipeline threads; decode
+//! latencies go into fixed-size rings (last 1024 epochs per stage) under
+//! a short-lived mutex. [`RuntimeStats`] is a self-consistent-enough
+//! snapshot for a poll loop — the runtime keeps serving while it is
+//! taken.
+
+use lf_core::pipeline::StageTimings;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+/// How many recent epochs the latency percentiles are computed over.
+const LATENCY_RING: usize = 1024;
+
+/// Shared mutable statistics, owned by the runtime behind an `Arc`.
+#[derive(Debug, Default)]
+pub(crate) struct StatsShared {
+    pub chunks_in: AtomicU64,
+    pub samples_in: AtomicU64,
+    pub epochs_in: AtomicU64,
+    pub epochs_out: AtomicU64,
+    pub epochs_dropped: AtomicU64,
+    pub faults: AtomicU64,
+    pub forced_splits: AtomicU64,
+    latencies: Mutex<LatencyRings>,
+}
+
+#[derive(Debug, Default)]
+struct LatencyRings {
+    edges: VecDeque<u64>,
+    tracking: VecDeque<u64>,
+    analysis: VecDeque<u64>,
+    total: VecDeque<u64>,
+}
+
+fn push_ring(ring: &mut VecDeque<u64>, v: u64) {
+    ring.push_back(v);
+    if ring.len() > LATENCY_RING {
+        ring.pop_front();
+    }
+}
+
+fn nanos_of(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl StatsShared {
+    pub fn record_latency(&self, t: &StageTimings) {
+        let mut rings = self
+            .latencies
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        push_ring(&mut rings.edges, nanos_of(t.edges));
+        push_ring(&mut rings.tracking, nanos_of(t.tracking));
+        push_ring(&mut rings.analysis, nanos_of(t.analysis));
+        push_ring(&mut rings.total, nanos_of(t.total));
+    }
+
+    pub fn snapshot(&self, job_queue_depth: usize, result_queue_depth: usize) -> RuntimeStats {
+        let rings = self
+            .latencies
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let latency = StageLatencies {
+            edges: LatencySummary::of(&rings.edges),
+            tracking: LatencySummary::of(&rings.tracking),
+            analysis: LatencySummary::of(&rings.analysis),
+            total: LatencySummary::of(&rings.total),
+        };
+        drop(rings);
+        RuntimeStats {
+            chunks_in: self.chunks_in.load(Ordering::Relaxed),
+            samples_in: self.samples_in.load(Ordering::Relaxed),
+            epochs_in: self.epochs_in.load(Ordering::Relaxed),
+            epochs_out: self.epochs_out.load(Ordering::Relaxed),
+            epochs_dropped: self.epochs_dropped.load(Ordering::Relaxed),
+            faults: self.faults.load(Ordering::Relaxed),
+            forced_splits: self.forced_splits.load(Ordering::Relaxed),
+            job_queue_depth,
+            result_queue_depth,
+            latency,
+        }
+    }
+}
+
+/// Percentiles of one stage's decode latency over the recent ring.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Epochs the summary covers (≤ 1024).
+    pub count: usize,
+    /// Median latency.
+    pub p50: Duration,
+    /// 90th percentile.
+    pub p90: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Worst recent latency.
+    pub max: Duration,
+}
+
+impl LatencySummary {
+    fn of(ring: &VecDeque<u64>) -> Self {
+        if ring.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut v: Vec<u64> = ring.iter().copied().collect();
+        v.sort_unstable();
+        let pick = |p: f64| -> Duration {
+            // Nearest-rank percentile over the sorted ring.
+            let rank = (p / 100.0 * v.len() as f64).ceil().max(1.0) as usize;
+            Duration::from_nanos(v[rank.min(v.len()) - 1])
+        };
+        LatencySummary {
+            count: v.len(),
+            p50: pick(50.0),
+            p90: pick(90.0),
+            p99: pick(99.0),
+            max: Duration::from_nanos(v[v.len() - 1]),
+        }
+    }
+}
+
+/// Per-stage latency summaries, matching `lf_core::StageTimings`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageLatencies {
+    /// Edge detection (§3.1).
+    pub edges: LatencySummary,
+    /// Stream folding/tracking (§3.2).
+    pub tracking: LatencySummary,
+    /// Slot analysis through bit decode (§3.3–3.5).
+    pub analysis: LatencySummary,
+    /// Whole-epoch decode.
+    pub total: LatencySummary,
+}
+
+/// A point-in-time view of the runtime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Chunks pulled from the source.
+    pub chunks_in: u64,
+    /// Samples pulled from the source.
+    pub samples_in: u64,
+    /// Epochs the segmenter emitted into the pipeline.
+    pub epochs_in: u64,
+    /// Epoch reports delivered to the consumer (decoded, dropped, or
+    /// faulted — every segmented epoch is accounted for exactly once).
+    pub epochs_out: u64,
+    /// Epochs shed by the drop-oldest backpressure policy.
+    pub epochs_dropped: u64,
+    /// Worker panics contained (the epoch was reported as a fault).
+    pub faults: u64,
+    /// Epochs closed by the `max_epoch` bound instead of a carrier gap.
+    pub forced_splits: u64,
+    /// Jobs waiting for a worker right now.
+    pub job_queue_depth: usize,
+    /// Results waiting for the consumer right now.
+    pub result_queue_depth: usize,
+    /// Decode latency percentiles over the recent epochs.
+    pub latency: StageLatencies,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_known_ring() {
+        let mut ring = VecDeque::new();
+        for k in 1..=100u64 {
+            ring.push_back(k * 1000);
+        }
+        let s = LatencySummary::of(&ring);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, Duration::from_nanos(50_000));
+        assert_eq!(s.p90, Duration::from_nanos(90_000));
+        assert_eq!(s.p99, Duration::from_nanos(99_000));
+        assert_eq!(s.max, Duration::from_nanos(100_000));
+    }
+
+    #[test]
+    fn empty_ring_is_zero() {
+        assert_eq!(
+            LatencySummary::of(&VecDeque::new()),
+            LatencySummary::default()
+        );
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let stats = StatsShared::default();
+        let t = StageTimings {
+            edges: Duration::from_micros(1),
+            tracking: Duration::from_micros(2),
+            analysis: Duration::from_micros(3),
+            total: Duration::from_micros(6),
+        };
+        for _ in 0..(LATENCY_RING + 50) {
+            stats.record_latency(&t);
+        }
+        let snap = stats.snapshot(0, 0);
+        assert_eq!(snap.latency.total.count, LATENCY_RING);
+        assert_eq!(snap.latency.total.p50, Duration::from_micros(6));
+    }
+}

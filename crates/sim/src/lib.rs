@@ -30,4 +30,6 @@ pub mod score;
 pub mod simulate;
 
 pub use scenario::{Scenario, ScenarioTag, TagDynamics};
-pub use simulate::{simulate_epoch, EpochOutcome};
+pub use simulate::{
+    simulate_epoch, synthesize_gap, synthesize_session, EpochOutcome, SessionCapture,
+};

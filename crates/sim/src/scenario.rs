@@ -139,6 +139,15 @@ impl Scenario {
         self
     }
 
+    /// The decoder configuration matched to this scenario (sample rate
+    /// and rate plan) — what `simulate_epoch` decodes with, exposed for
+    /// callers that run their own decoder over synthesized captures.
+    pub fn decoder_config(&self) -> lf_core::config::DecoderConfig {
+        let mut cfg = lf_core::config::DecoderConfig::at_sample_rate(self.sample_rate);
+        cfg.rate_plan = self.rate_plan.clone();
+        cfg
+    }
+
     /// Epoch duration in seconds.
     pub fn epoch_secs(&self) -> f64 {
         self.epoch_samples as f64 / self.sample_rate.sps()

@@ -5,7 +5,7 @@ use crate::score::{score_epoch, TagScore, TruthStream};
 use lf_channel::air::{synthesize, AirConfig, TagAir};
 use lf_channel::coeff::TagPlacement;
 use lf_channel::dynamics::{CoeffProcess, PeopleMovement, StaticChannel, TagRotation};
-use lf_core::config::{DecodeStages, DecoderConfig};
+use lf_core::config::DecodeStages;
 use lf_core::pipeline::{Decoder, EpochDecode};
 use lf_tag::clock::ClockModel;
 use lf_tag::comparator::Comparator;
@@ -75,8 +75,7 @@ impl EpochOutcome {
 /// physical split.
 pub fn simulate_epoch(scenario: &Scenario, stages: DecodeStages, epoch_index: u64) -> EpochOutcome {
     let (signal, truths) = synthesize_epoch(scenario, epoch_index);
-    let mut dec_cfg = DecoderConfig::at_sample_rate(scenario.sample_rate);
-    dec_cfg.rate_plan = scenario.rate_plan.clone();
+    let mut dec_cfg = scenario.decoder_config();
     dec_cfg.stages = stages;
     let decode = Decoder::new(dec_cfg).decode(&signal);
     let scores = score_epoch(&truths, &decode);
@@ -234,6 +233,86 @@ fn epoch_bits<R: Rng>(
     bits
 }
 
+/// A multi-epoch session capture: carrier-on epochs separated by
+/// carrier-off gaps, the raw material of the streaming reader runtime
+/// (`lf-reader`). Ground truth is kept per epoch, with truth offsets
+/// relative to each epoch's own start.
+#[derive(Debug)]
+pub struct SessionCapture {
+    /// The whole session's IQ samples: epochs interleaved with gaps.
+    pub signal: Vec<lf_types::Complex>,
+    /// Where each epoch's samples sit within `signal`.
+    pub epoch_spans: Vec<std::ops::Range<usize>>,
+    /// Ground truth per epoch (offsets relative to the epoch span start).
+    pub truths: Vec<Vec<TruthStream>>,
+    /// Carrier-off gap length between consecutive epochs, in samples.
+    pub gap_samples: usize,
+}
+
+impl SessionCapture {
+    /// Emits the session as fixed-size sample chunks (the last one may be
+    /// short) — the shape an SDR front end hands to a streaming ingester.
+    pub fn chunks(&self, chunk_len: usize) -> std::slice::Chunks<'_, lf_types::Complex> {
+        self.signal.chunks(chunk_len.max(1))
+    }
+
+    /// Sample index at which epoch `idx` begins within the session.
+    pub fn epoch_start(&self, idx: usize) -> Option<usize> {
+        self.epoch_spans.get(idx).map(|r| r.start)
+    }
+}
+
+/// Synthesizes one carrier-off gap: the carrier (and with it the
+/// environment reflection and all backscatter) is gone, leaving receiver
+/// noise alone. `gap_index` decorrelates the noise of successive gaps.
+pub fn synthesize_gap(
+    scenario: &Scenario,
+    gap_index: u64,
+    gap_samples: usize,
+) -> Vec<lf_types::Complex> {
+    let air_cfg = AirConfig {
+        sample_rate: scenario.sample_rate,
+        n_samples: gap_samples,
+        edge_rise_samples: 3.0,
+        env_reflection: lf_types::Complex::ZERO,
+        noise_sigma: scenario.noise_sigma,
+        seed: scenario.seed ^ (0x6A70_0000 + gap_index),
+        coeff_block: 1024,
+    };
+    synthesize(&air_cfg, &[])
+}
+
+/// Synthesizes a whole reader session: `n_epochs` epochs of the scenario
+/// (per-epoch randomness decorrelated exactly as in [`synthesize_epoch`])
+/// separated by `gap_samples`-long carrier-off gaps. The session also
+/// opens and closes with no trailing gap, matching §3.2's "the reader …
+/// shutting off and re-starting its carrier wave" between epochs.
+pub fn synthesize_session(
+    scenario: &Scenario,
+    n_epochs: u64,
+    gap_samples: usize,
+) -> SessionCapture {
+    let mut signal = Vec::new();
+    let mut epoch_spans = Vec::new();
+    let mut truths = Vec::new();
+    for e in 0..n_epochs {
+        if e > 0 {
+            signal.extend(synthesize_gap(scenario, e - 1, gap_samples));
+        }
+        let (epoch_signal, epoch_truths) = synthesize_epoch(scenario, e);
+        let start = signal.len();
+        epoch_spans.push(start..start + epoch_signal.len());
+        signal.extend(epoch_signal);
+        truths.push(epoch_truths);
+    }
+    SessionCapture {
+        signal,
+        epoch_spans,
+        truths,
+        gap_samples,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     // Tests assert exact values deliberately: rates and configuration
@@ -326,6 +405,45 @@ mod tests {
             a0.truths[0].offset, a1.truths[0].offset,
             "offsets re-randomize"
         );
+    }
+
+    #[test]
+    fn session_layout_and_chunking() {
+        let sc = quick_scenario(
+            vec![ScenarioTag::sensor(10_000.0).with_payload_bits(32)],
+            8_000,
+        );
+        let session = synthesize_session(&sc, 3, 600);
+        assert_eq!(session.epoch_spans.len(), 3);
+        assert_eq!(session.truths.len(), 3);
+        assert_eq!(session.signal.len(), 3 * 8_000 + 2 * 600);
+        for (k, span) in session.epoch_spans.iter().enumerate() {
+            assert_eq!(span.start, k * (8_000 + 600));
+            assert_eq!(span.len(), 8_000);
+            assert_eq!(session.epoch_start(k), Some(span.start));
+        }
+        // Epoch content matches the standalone per-epoch synthesis.
+        let (e1, t1) = synthesize_epoch(&sc, 1);
+        assert_eq!(
+            &session.signal[session.epoch_spans[1].clone()],
+            &e1[..],
+            "session epoch 1 differs from synthesize_epoch(.., 1)"
+        );
+        assert_eq!(session.truths[1][0].bits, t1[0].bits);
+        // Gaps are carrier-off: mean power far below the epochs'.
+        let power = |r: std::ops::Range<usize>| {
+            session.signal[r.clone()]
+                .iter()
+                .map(|s| s.norm_sqr())
+                .sum::<f64>()
+                / r.len() as f64
+        };
+        assert!(power(8_000..8_600) < 0.05 * power(0..8_000));
+        // Chunked emission covers the signal exactly, in order.
+        let total: usize = session.chunks(4096).map(<[lf_types::Complex]>::len).sum();
+        assert_eq!(total, session.signal.len());
+        let first = session.chunks(4096).next().map(|c| c[0]);
+        assert_eq!(first, Some(session.signal[0]));
     }
 
     #[test]

@@ -1,0 +1,21 @@
+// Fixture for tests/meta.rs: an unbounded channel in a runtime-shaped
+// path, plus a waived one and one in test code. Never compiled.
+
+pub fn spawn_pipeline() {
+    let (tx, rx) = std::sync::mpsc::channel();
+    tx.send(1).ok();
+    rx.recv().ok();
+}
+
+pub fn spawn_probe() {
+    // One-shot join signal: a single message ever crosses, so the
+    // missing bound cannot accumulate.
+    let (_tx, _rx) = std::sync::mpsc::channel::<()>(); // xtask: allow(no-unbounded-channel)
+}
+
+#[cfg(test)]
+mod tests {
+    fn in_test_code() {
+        let (_tx, _rx) = std::sync::mpsc::channel::<u8>();
+    }
+}

@@ -26,6 +26,12 @@
 //!   carries a doc comment. These two crates are the reference
 //!   implementation of the paper's algorithms; an undocumented public
 //!   entry point defeats the purpose.
+//! * [`Rule::UnboundedChannel`] — production code never creates a bare
+//!   `std::sync::mpsc::channel()`. Its buffer is unbounded, so a stage
+//!   that outpaces its consumer grows memory without limit — the exact
+//!   failure the streaming runtime's `BoundedQueue` (and its explicit
+//!   backpressure policy) exists to prevent. `mpsc::sync_channel` and
+//!   `lf_reader::BoundedQueue` are the sanctioned alternatives.
 //!
 //! The scanner is deliberately textual (line-oriented with a small amount
 //! of context), not a full parser: the toolchain here is hermetic, so no
@@ -55,6 +61,8 @@ pub enum Rule {
     CorePanicPath,
     /// Undocumented `pub fn` in `lf-core`/`lf-dsp`.
     MissingDocs,
+    /// Bare unbounded `mpsc::channel()` in production code.
+    UnboundedChannel,
 }
 
 impl Rule {
@@ -65,6 +73,7 @@ impl Rule {
             Rule::LossyTimeCast => "lossy-time-cast",
             Rule::CorePanicPath => "core-panic-path",
             Rule::MissingDocs => "missing-docs",
+            Rule::UnboundedChannel => "no-unbounded-channel",
         }
     }
 }
@@ -225,6 +234,21 @@ fn lint_file(root: &Path, file: &Path, text: &str, findings: &mut Vec<Finding>) 
             }
         }
 
+        if !waived(comment, Rule::UnboundedChannel)
+            && !trimmed.starts_with("//")
+            && has_unbounded_channel(code)
+        {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: Rule::UnboundedChannel,
+                message: "`mpsc::channel()` buffers without bound; use \
+                          `mpsc::sync_channel` or `lf_reader::BoundedQueue` \
+                          so backpressure is explicit"
+                    .into(),
+            });
+        }
+
         if scope.docs && !waived(comment, Rule::MissingDocs) && is_pub_fn(trimmed) && !prev_doc {
             findings.push(Finding {
                 file: file.to_path_buf(),
@@ -333,6 +357,12 @@ fn panic_escape_hatch(code: &str) -> Option<&'static str> {
     HATCHES.iter().find(|h| code.contains(*h)).copied()
 }
 
+fn has_unbounded_channel(code: &str) -> bool {
+    // Neither probe is a substring of `mpsc::sync_channel(…)`, so the
+    // bounded constructor never fires. The second form is the turbofish.
+    code.contains("mpsc::channel(") || code.contains("mpsc::channel::<")
+}
+
 fn is_pub_fn(trimmed: &str) -> bool {
     trimmed.starts_with("pub fn ")
         || trimmed.starts_with("pub const fn ")
@@ -365,6 +395,16 @@ mod tests {
         assert!(!has_lossy_time_cast("let t = e.time.round() as usize;"));
         assert!(!has_lossy_time_cast("let x = n as f64;"));
         assert!(!has_lossy_time_cast("let n = count as usize;"));
+    }
+
+    #[test]
+    fn unbounded_channel_probe() {
+        assert!(has_unbounded_channel("let (tx, rx) = mpsc::channel();"));
+        assert!(has_unbounded_channel(
+            "let p = std::sync::mpsc::channel::<Job>();"
+        ));
+        assert!(!has_unbounded_channel("let p = mpsc::sync_channel(4);"));
+        assert!(!has_unbounded_channel("queue.channel_estimate()"));
     }
 
     #[test]

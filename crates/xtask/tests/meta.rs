@@ -27,6 +27,7 @@ fn fixtures_trigger_every_rule() {
         Rule::LossyTimeCast,
         Rule::CorePanicPath,
         Rule::MissingDocs,
+        Rule::UnboundedChannel,
     ] {
         assert!(
             findings.iter().any(|f| f.rule == rule),
@@ -47,6 +48,7 @@ fn fixture_finding_counts_are_exact() {
     assert_eq!(count(Rule::LossyTimeCast), 1, "{findings:?}");
     assert_eq!(count(Rule::CorePanicPath), 2, "{findings:?}");
     assert_eq!(count(Rule::MissingDocs), 2, "{findings:?}");
+    assert_eq!(count(Rule::UnboundedChannel), 1, "{findings:?}");
 }
 
 #[test]

@@ -27,6 +27,7 @@
 //! | [`core`] | **the decode pipeline** (edges → streams → IQ separation → Viterbi) |
 //! | [`baselines`] | TDMA (EPC Gen 2 lite), Buzz, single-tag ASK, cluster-only |
 //! | [`sim`] | scenarios, end-to-end simulation, per-figure experiments |
+//! | [`reader`] | streaming runtime: online segmentation, parallel epoch decode, live stats |
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@ pub use lf_baselines as baselines;
 pub use lf_channel as channel;
 pub use lf_core as core;
 pub use lf_dsp as dsp;
+pub use lf_reader as reader;
 pub use lf_sim as sim;
 pub use lf_tag as tag;
 pub use lf_types as types;
@@ -71,6 +73,10 @@ pub mod prelude {
     pub use lf_core::config::{DecodeStages, DecoderConfig};
     pub use lf_core::pipeline::{DecodedStream, Decoder, EpochDecode, StreamKind};
     pub use lf_core::reliability::{ReaderCommand, ReaderController};
+    pub use lf_reader::{
+        sequential_decode, Backpressure, EpochReport, EpochResult, IqSource, ReaderRuntime,
+        RuntimeConfig, RuntimeStats, ScenarioSource, SegmenterConfig, SliceSource,
+    };
     pub use lf_sim::scenario::{Scenario, ScenarioTag, TagDynamics};
     pub use lf_sim::simulate::{simulate_epoch, synthesize_epoch, EpochOutcome};
     pub use lf_tag::clock::ClockModel;
