@@ -7,9 +7,21 @@
 //! replaces it with per-slot hard decisions against the cluster centroids.
 
 use crate::config::DecoderConfig;
+use crate::provenance::AnchorOutcome;
 use crate::separate::SingleFit;
 use lf_dsp::viterbi::{hard_decode_bits, EmissionModel, ViterbiDecoder};
 use lf_types::{BitVec, Complex};
+
+/// What the bit-recovery stage observed: how the anchor convention
+/// resolved and the sequence metric of the kept decode.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DecodeTrace {
+    /// How the anchor-bit convention resolved.
+    pub anchor: AnchorOutcome,
+    /// Viterbi path metric of the kept decode (log-domain, larger is
+    /// better); `None` in hard-decision mode or for an empty decode.
+    pub path_metric: Option<f64>,
+}
 
 /// Decodes a single-tag stream's observations to bits.
 ///
@@ -20,20 +32,53 @@ use lf_types::{BitVec, Complex};
 /// retry with the edge vector negated and keep whichever decode satisfies
 /// the anchor.
 pub fn decode_single(diffs: &[Complex], fit: &SingleFit, cfg: &DecoderConfig) -> BitVec {
-    let bits = decode_with(diffs, fit.e, fit.emissions, fit.toggle_prob, cfg);
-    if bits.is_empty() || bits[0] {
-        return bits;
+    decode_single_traced(diffs, fit, cfg).0
+}
+
+/// [`decode_single`] plus a [`DecodeTrace`] of the anchor outcome and path
+/// metric. Decode semantics are identical.
+pub fn decode_single_traced(
+    diffs: &[Complex],
+    fit: &SingleFit,
+    cfg: &DecoderConfig,
+) -> (BitVec, DecodeTrace) {
+    let (bits, metric) = decode_with(diffs, fit.e, fit.emissions, fit.toggle_prob, cfg);
+    if bits.is_empty() {
+        return (bits, DecodeTrace::default());
+    }
+    if bits[0] {
+        return (
+            bits,
+            DecodeTrace {
+                anchor: AnchorOutcome::Satisfied,
+                path_metric: metric,
+            },
+        );
     }
     let flipped_emissions = lf_dsp::viterbi::EmissionModel {
         rise: fit.emissions.fall,
         fall: fit.emissions.rise,
         flat: fit.emissions.flat,
     };
-    let flipped = decode_with(diffs, -fit.e, flipped_emissions, fit.toggle_prob, cfg);
+    let (flipped, flipped_metric) =
+        decode_with(diffs, -fit.e, flipped_emissions, fit.toggle_prob, cfg);
     if !flipped.is_empty() && flipped[0] {
-        flipped
+        (
+            flipped,
+            DecodeTrace {
+                anchor: AnchorOutcome::FlippedAndSatisfied,
+                path_metric: flipped_metric,
+            },
+        )
     } else {
-        bits
+        lf_obs::event!(Warn, "anchor bit violated by both decode polarities");
+        (
+            bits,
+            DecodeTrace {
+                anchor: AnchorOutcome::Violated,
+                path_metric: metric,
+            },
+        )
     }
 }
 
@@ -44,7 +89,27 @@ pub fn decode_member(
     emissions: EmissionModel,
     cfg: &DecoderConfig,
 ) -> BitVec {
-    decode_with(observations, e, emissions, 0.5, cfg)
+    decode_member_traced(observations, e, emissions, cfg).0
+}
+
+/// [`decode_member`] plus the path metric of the decode. The anchor
+/// outcome is left [`AnchorOutcome::NotEvaluated`] — for collision
+/// members the anchor was already consumed by the lattice sign pinning in
+/// the separation stage.
+pub fn decode_member_traced(
+    observations: &[Complex],
+    e: Complex,
+    emissions: EmissionModel,
+    cfg: &DecoderConfig,
+) -> (BitVec, DecodeTrace) {
+    let (bits, metric) = decode_with(observations, e, emissions, 0.5, cfg);
+    (
+        bits,
+        DecodeTrace {
+            anchor: AnchorOutcome::NotEvaluated,
+            path_metric: metric,
+        },
+    )
 }
 
 fn decode_with(
@@ -53,14 +118,16 @@ fn decode_with(
     emissions: EmissionModel,
     toggle_prob: f64,
     cfg: &DecoderConfig,
-) -> BitVec {
+) -> (BitVec, Option<f64>) {
     if cfg.stages.error_correction {
         // Tags idle low before the frame: the first boundary is a rise or
         // nothing.
-        ViterbiDecoder::with_toggle_prob(emissions, toggle_prob)
-            .decode_bits(observations, Some(false))
+        let decoder = ViterbiDecoder::with_toggle_prob(emissions, toggle_prob);
+        let states = decoder.decode_states(observations, Some(false));
+        let metric = (!states.is_empty()).then(|| decoder.path_metric(observations, &states));
+        (states.into_iter().map(|s| s.level()).collect(), metric)
     } else {
-        hard_decode_bits(observations, e, false)
+        (hard_decode_bits(observations, e, false), None)
     }
 }
 

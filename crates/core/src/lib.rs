@@ -39,6 +39,7 @@ pub mod decode;
 pub mod edges;
 pub mod epoch;
 pub mod pipeline;
+pub mod provenance;
 pub mod reliability;
 pub mod separate;
 pub mod slots;
@@ -47,4 +48,8 @@ pub mod streams;
 pub use config::{DecodeStages, DecoderConfig};
 pub use epoch::{decode_session, split_epochs, SessionEpoch};
 pub use pipeline::{DecodedStream, Decoder, EpochDecode, StageTimings, StreamKind};
+pub use provenance::{
+    AnchorOutcome, DecodeProvenance, FoldProvenance, SeparationFallback, SeparationProvenance,
+    StreamProvenance,
+};
 pub use reliability::{ReaderCommand, ReaderController};

@@ -1,12 +1,14 @@
 //! The assembled decode pipeline: IQ capture in, per-tag bit streams out.
 
 use crate::config::DecoderConfig;
-use crate::decode::{decode_member, decode_single};
+use crate::decode::{decode_member_traced, decode_single_traced};
 use crate::edges::detect_edges;
-use crate::separate::{analyze_slots, StreamAnalysis};
+use crate::provenance::{AnchorOutcome, DecodeProvenance, StreamProvenance};
+use crate::separate::{analyze_slots_with, StreamAnalysis};
 use crate::slots::{slot_cleanliness, slot_differentials};
 use crate::streams::find_streams;
 use lf_dsp::checks;
+use lf_obs::ObsContext;
 use lf_types::{BitRate, BitVec, Complex};
 use std::time::{Duration, Instant};
 
@@ -51,6 +53,10 @@ pub struct EpochDecode {
     /// Streams locked by the folder/tracker in stage 2 (before collision
     /// separation splits any).
     pub n_tracked: usize,
+    /// Why each stream resolved, collided, or failed: fold peaks, cluster
+    /// model scores, anchor outcomes, path metrics. Observation only —
+    /// nothing in it feeds back into the decode.
+    pub provenance: DecodeProvenance,
 }
 
 /// Wall-clock cost of each pipeline stage for one epoch decode.
@@ -79,12 +85,31 @@ pub struct StageTimings {
 #[derive(Debug, Clone)]
 pub struct Decoder {
     cfg: DecoderConfig,
+    obs: ObsContext,
 }
 
 impl Decoder {
-    /// Creates a decoder.
+    /// Creates a decoder with observability disabled (the no-op context:
+    /// spans, events, and metrics all cost one predictable branch).
     pub fn new(cfg: DecoderConfig) -> Self {
-        Decoder { cfg }
+        Decoder {
+            cfg,
+            obs: ObsContext::disabled(),
+        }
+    }
+
+    /// Creates a decoder that records spans, events, and metrics into
+    /// `obs`. A worker pool sharing one decoder (or clones of it)
+    /// aggregates into the same registry — counters are sharded, so this
+    /// adds no cross-worker contention.
+    pub fn with_obs(cfg: DecoderConfig, obs: ObsContext) -> Self {
+        Decoder { cfg, obs }
+    }
+
+    /// The decoder's observability context (disabled unless constructed
+    /// via [`Decoder::with_obs`]).
+    pub fn obs(&self) -> &ObsContext {
+        &self.obs
     }
 
     /// The active configuration.
@@ -112,6 +137,12 @@ impl Decoder {
     /// observation only and never influence the result, so a timed decode
     /// of a capture is byte-identical to an untimed one.
     pub fn decode_timed(&self, signal: &[Complex]) -> (EpochDecode, StageTimings) {
+        // Install the context for the duration of the decode: every
+        // `span!`/`event!` below (and in the dsp kernels underneath) finds
+        // it through the thread local. Disabled context ⇒ the guard clears
+        // the slot and all of them are no-ops.
+        let _obs_guard = self.obs.install();
+        let _span_total = lf_obs::span!("pipeline.total");
         let t_start = Instant::now();
         let cfg = &self.cfg;
         checks::assert_finite_complex("input", signal);
@@ -126,14 +157,20 @@ impl Decoder {
             )
         };
         let signal: &[Complex] = sanitized.as_deref().unwrap_or(signal);
-        let edges = detect_edges(signal, cfg);
+        let edges = {
+            let _span = lf_obs::span!("pipeline.edges");
+            detect_edges(signal, cfg)
+        };
         for e in &edges {
             checks::assert_finite_scalar("edge-detection", e.time);
             checks::assert_finite_scalar("edge-detection", e.strength);
             checks::assert_finite_complex("edge-detection", std::slice::from_ref(&e.diff));
         }
         let t_edges = Instant::now();
-        let tracked = find_streams(&edges, signal.len(), cfg);
+        let tracked = {
+            let _span = lf_obs::span!("pipeline.tracking");
+            find_streams(&edges, signal.len(), cfg)
+        };
         for ts in &tracked {
             checks::assert_finite_scalar("stream-tracking", ts.offset);
             checks::assert_finite_scalar("stream-tracking", ts.period_est);
@@ -141,6 +178,7 @@ impl Decoder {
         }
         let n_tracked = tracked.len();
         let t_tracking = Instant::now();
+        let _span_analysis = lf_obs::span!("pipeline.analysis");
 
         // Edge ownership across all tracked streams: stream k's window
         // trimming must respect edges matched by the *other* streams but
@@ -152,19 +190,31 @@ impl Decoder {
             }
         }
         let mut streams = Vec::new();
+        let mut stream_provs: Vec<StreamProvenance> = Vec::new();
         for (si, ts) in tracked.iter().enumerate() {
             let owned_by_others: Vec<bool> =
                 owner.iter().map(|o| o.is_some_and(|s| s != si)).collect();
             let diffs = slot_differentials(signal, ts, &edges, &owned_by_others, cfg);
             checks::assert_finite_complex("slot-differentials", &diffs);
             let clean = slot_cleanliness(ts, &edges, &owned_by_others, cfg);
-            match analyze_slots(&diffs, &clean, cfg) {
+            // The per-stream provenance skeleton: what the fold and the
+            // tracker saw; the analysis/decode stages fill in the rest.
+            let base_prov = StreamProvenance {
+                rate_bps: ts.rate_bps,
+                fold: ts.fold.clone(),
+                n_matched: ts.n_matched(),
+                n_slots: ts.n_slots(),
+                residual_std: ts.residual_std,
+                ..StreamProvenance::default()
+            };
+            let (analysis, sep_prov) = analyze_slots_with(&diffs, &clean, cfg);
+            match analysis {
                 StreamAnalysis::Single(fit) => {
                     checks::assert_finite_complex(
                         "collision-separation",
                         std::slice::from_ref(&fit.e),
                     );
-                    let bits = decode_single(&diffs, &fit, cfg);
+                    let (bits, trace) = decode_single_traced(&diffs, &fit, cfg);
                     streams.push(DecodedStream {
                         rate: ts.rate,
                         rate_bps: ts.rate_bps,
@@ -174,14 +224,30 @@ impl Decoder {
                         kind: StreamKind::Single,
                         edge_vector: fit.e,
                     });
+                    stream_provs.push(StreamProvenance {
+                        kind: Some(StreamKind::Single),
+                        separation: sep_prov,
+                        anchor: trace.anchor,
+                        path_metric: trace.path_metric,
+                        ..base_prov
+                    });
                 }
                 StreamAnalysis::Collided(fit) => {
                     checks::assert_finite_complex("collision-separation", &[fit.e1, fit.e2]);
                     checks::assert_finite_scalar("collision-separation", fit.noise_var);
+                    // The anchor slot's lattice classification pinned both
+                    // member signs during separation.
+                    let anchor = fit
+                        .assignments
+                        .first()
+                        .map_or(AnchorOutcome::NotEvaluated, |&(a, b)| {
+                            AnchorOutcome::Pinned { a, b }
+                        });
                     for idx in 0..2 {
                         let obs = fit.member_observations(idx, &diffs);
                         let e = if idx == 0 { fit.e1 } else { fit.e2 };
-                        let bits = decode_member(&obs, e, fit.member_emissions(idx), cfg);
+                        let (bits, trace) =
+                            decode_member_traced(&obs, e, fit.member_emissions(idx), cfg);
                         streams.push(DecodedStream {
                             rate: ts.rate,
                             rate_bps: ts.rate_bps,
@@ -191,9 +257,22 @@ impl Decoder {
                             kind: StreamKind::CollisionMember,
                             edge_vector: e,
                         });
+                        stream_provs.push(StreamProvenance {
+                            kind: Some(StreamKind::CollisionMember),
+                            separation: sep_prov.clone(),
+                            anchor,
+                            path_metric: trace.path_metric,
+                            ..base_prov.clone()
+                        });
                     }
                 }
                 StreamAnalysis::Unresolved => {
+                    lf_obs::event!(
+                        Warn,
+                        "stream at {} bps unresolved (k_scores={:?})",
+                        ts.rate_bps,
+                        sep_prov.k_scores
+                    );
                     streams.push(DecodedStream {
                         rate: ts.rate,
                         rate_bps: ts.rate_bps,
@@ -202,6 +281,11 @@ impl Decoder {
                         bits: BitVec::new(),
                         kind: StreamKind::Unresolved,
                         edge_vector: Complex::ZERO,
+                    });
+                    stream_provs.push(StreamProvenance {
+                        kind: Some(StreamKind::Unresolved),
+                        separation: sep_prov,
+                        ..base_prov
                     });
                 }
             }
@@ -213,14 +297,53 @@ impl Decoder {
             analysis: t_end - t_tracking,
             total: t_end - t_start,
         };
+        if self.obs.is_enabled() {
+            self.record_metrics(&streams, edges.len(), n_tracked, &timings);
+        }
         (
             EpochDecode {
                 streams,
                 n_edges: edges.len(),
                 n_tracked,
+                provenance: DecodeProvenance {
+                    n_edges: edges.len(),
+                    n_tracked,
+                    streams: stream_provs,
+                },
             },
             timings,
         )
+    }
+
+    /// Publishes one decode's counts and stage latencies to the registry.
+    fn record_metrics(
+        &self,
+        streams: &[DecodedStream],
+        n_edges: usize,
+        n_tracked: usize,
+        timings: &StageTimings,
+    ) {
+        let obs = &self.obs;
+        obs.counter("pipeline.epochs").inc();
+        obs.counter("pipeline.edges_total").add(n_edges as u64);
+        obs.counter("pipeline.streams.tracked")
+            .add(n_tracked as u64);
+        for s in streams {
+            let name = match s.kind {
+                StreamKind::Single => "pipeline.streams.single",
+                StreamKind::CollisionMember => "pipeline.streams.collision_member",
+                StreamKind::Unresolved => "pipeline.streams.unresolved",
+            };
+            obs.counter(name).inc();
+        }
+        obs.histogram("pipeline.stage.edges.ns")
+            .record_duration(timings.edges);
+        obs.histogram("pipeline.stage.tracking.ns")
+            .record_duration(timings.tracking);
+        obs.histogram("pipeline.stage.analysis.ns")
+            .record_duration(timings.analysis);
+        obs.histogram("pipeline.stage.total.ns")
+            .record_duration(timings.total);
     }
 }
 

@@ -9,8 +9,9 @@
 //! ambiguity that remains.
 
 use crate::config::DecoderConfig;
+use crate::provenance::{SeparationFallback, SeparationProvenance};
 use lf_dsp::geometry::{classify_lattice, fit_parallelogram};
-use lf_dsp::kmeans::{kmeans, select_cluster_count};
+use lf_dsp::kmeans::{kmeans, select_cluster_count_scored};
 use lf_dsp::stats::Gaussian2d;
 use lf_dsp::viterbi::EmissionModel;
 use lf_types::Complex;
@@ -92,9 +93,27 @@ impl CollisionFit {
 /// decodes as garbage, which is exactly the throughput loss the ablation
 /// measures.
 pub fn analyze_slots(diffs: &[Complex], clean: &[bool], cfg: &DecoderConfig) -> StreamAnalysis {
+    analyze_slots_with(diffs, clean, cfg).0
+}
+
+/// [`analyze_slots`] plus a [`SeparationProvenance`] explaining the
+/// choice: which k-means models were scored, which k won, and which
+/// collision gate (if any) redirected the analysis. The analysis result
+/// is byte-identical to [`analyze_slots`] — the provenance is observation
+/// only.
+pub fn analyze_slots_with(
+    diffs: &[Complex],
+    clean: &[bool],
+    cfg: &DecoderConfig,
+) -> (StreamAnalysis, SeparationProvenance) {
+    let mut prov = SeparationProvenance {
+        n_slots: diffs.len(),
+        ..SeparationProvenance::default()
+    };
     if diffs.is_empty() {
-        return StreamAnalysis::Unresolved;
+        return (StreamAnalysis::Unresolved, prov);
     }
+    let _span = lf_obs::span!("pipeline.separate");
     // Fitting set: the clean slots — unless too few remain (a genuinely
     // merged collision whose drift-split edges flag everything), in which
     // case fall back to all slots.
@@ -103,6 +122,7 @@ pub fn analyze_slots(diffs: &[Complex], clean: &[bool], cfg: &DecoderConfig) -> 
         .zip(clean)
         .filter_map(|(d, &c)| c.then_some(*d))
         .collect();
+    prov.n_clean = clean_diffs.len();
     let sel: &[Complex] = if clean_diffs.len() >= cfg.min_slots_for_collision {
         &clean_diffs
     } else {
@@ -110,14 +130,23 @@ pub fn analyze_slots(diffs: &[Complex], clean: &[bool], cfg: &DecoderConfig) -> 
     };
     let check_collision = cfg.stages.iq_separation && sel.len() >= cfg.min_slots_for_collision;
     let (k, fit) = if check_collision {
-        select_cluster_count(sel, &[3, 9], cfg.kmeans_iters, cfg.collision_improvement)
+        let (k, fit, scores) =
+            select_cluster_count_scored(sel, &[3, 9], cfg.kmeans_iters, cfg.collision_improvement);
+        prov.k_scores = scores;
+        (k, fit)
     } else {
+        prov.fallback = Some(SeparationFallback::CollisionSkipped);
         let fit = kmeans(sel, 3, cfg.kmeans_iters);
+        prov.k_scores = vec![(3, fit.inertia)];
         (3, fit)
     };
+    prov.chosen_k = k;
 
     if k <= 3 {
-        return single_fit(diffs, sel, &fit.centroids, &fit.assignments, cfg);
+        return (
+            single_fit(diffs, sel, &fit.centroids, &fit.assignments, cfg),
+            prov,
+        );
     }
 
     // --- 9 clusters: a 2-tag collision. ---
@@ -125,8 +154,13 @@ pub fn analyze_slots(diffs: &[Complex], clean: &[bool], cfg: &DecoderConfig) -> 
         // Nine diffuse clusters without lattice structure: most often a
         // broken or contaminated track rather than a real collision —
         // decode it as a single stream best-effort (the CRCs arbitrate).
+        lf_obs::event!(Warn, "9-cluster fit without lattice structure");
+        prov.fallback = Some(SeparationFallback::NoLattice);
         let single = kmeans(sel, 3, cfg.kmeans_iters);
-        return single_fit(diffs, sel, &single.centroids, &single.assignments, cfg);
+        return (
+            single_fit(diffs, sel, &single.centroids, &single.assignments, cfg),
+            prov,
+        );
     };
     // Phantom-partner gate: noise outliers around the flat cluster can
     // pose as a "collision" with a tiny second edge vector (the lattice
@@ -147,8 +181,16 @@ pub fn analyze_slots(diffs: &[Complex], clean: &[bool], cfg: &DecoderConfig) -> 
     let cross = (para.e1.re * para.e2.im - para.e1.im * para.e2.re).abs();
     let sin_angle = cross / (para.e1.abs() * para.e2.abs()).max(1e-30);
     if small < 0.15 * big || sin_angle < 0.2 {
+        prov.fallback = Some(if small < 0.15 * big {
+            SeparationFallback::PhantomPartner
+        } else {
+            SeparationFallback::NearParallel
+        });
         let single = kmeans(sel, 3, cfg.kmeans_iters);
-        return single_fit(diffs, sel, &single.centroids, &single.assignments, cfg);
+        return (
+            single_fit(diffs, sel, &single.centroids, &single.assignments, cfg),
+            prov,
+        );
     }
     let (mut e1, mut e2) = (para.e1, para.e2);
     // Anchor disambiguation: slot 0 is both tags' anchor rise, so it must
@@ -170,12 +212,15 @@ pub fn analyze_slots(diffs: &[Complex], clean: &[bool], cfg: &DecoderConfig) -> 
         .map(|(&d, &(a, b))| d.distance_sqr(e1.scale(a as f64) + e2.scale(b as f64)))
         .sum::<f64>()
         / diffs.len() as f64;
-    StreamAnalysis::Collided(CollisionFit {
-        e1,
-        e2,
-        assignments,
-        noise_var: residual / 2.0,
-    })
+    (
+        StreamAnalysis::Collided(CollisionFit {
+            e1,
+            e2,
+            assignments,
+            noise_var: residual / 2.0,
+        }),
+        prov,
+    )
 }
 
 /// Builds the single-tag fit from a 3-cluster k-means result over the

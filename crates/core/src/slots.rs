@@ -150,6 +150,7 @@ mod tests {
             slot_times: (0..n_slots).map(|k| offset + k as f64 * period).collect(),
             matched: vec![None; n_slots],
             residual_std: 0.0,
+            fold: crate::provenance::FoldProvenance::default(),
         }
     }
 

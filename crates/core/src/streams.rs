@@ -44,6 +44,7 @@
 
 use crate::config::DecoderConfig;
 use crate::edges::EdgeEvent;
+use crate::provenance::FoldProvenance;
 use lf_dsp::fold::fold_events;
 use lf_types::BitRate;
 
@@ -69,6 +70,11 @@ pub struct TrackedStream {
     /// Residual standard deviation around the fitted period line, in
     /// samples (the arbitration quality metric).
     pub residual_std: f64,
+    /// What the eye-pattern fold looked like when this stream was seeded:
+    /// peak weight, rival peaks, and the single-tag weight ceiling (a
+    /// peak above it means two edge trains folded together — the
+    /// sub-harmonic fusion signature).
+    pub fold: FoldProvenance,
 }
 
 impl TrackedStream {
@@ -128,15 +134,14 @@ pub fn find_streams(
             if matched.iter().any(|&i| claimed[i]) {
                 continue;
             }
-            if std::env::var("LF_DEBUG").is_ok() {
-                eprintln!(
-                    "accept rate={} offset={:.1} matched={} std={:.2}",
-                    cand.rate_bps,
-                    cand.offset,
-                    matched.len(),
-                    cand.residual_std
-                );
-            }
+            lf_obs::event!(
+                Info,
+                "accept rate={} offset={:.1} matched={} std={:.2}",
+                cand.rate_bps,
+                cand.offset,
+                matched.len(),
+                cand.residual_std
+            );
             for i in matched {
                 claimed[i] = true;
             }
@@ -186,7 +191,23 @@ fn gather_candidates(
         let hist = fold_events(&times, &weights, period, nbins);
         let window_bits_actual = window_samples / period;
         let min_weight = (cfg.min_stream_fill * window_bits_actual * 0.5).max(3.0);
-        for (bin, _) in hist.peaks(min_weight, 2) {
+        let peaks = hist.peaks(min_weight, 2);
+        let mean_weight = hist.bins.iter().sum::<f64>() / nbins as f64;
+        for (pi, &(bin, weight)) in peaks.iter().enumerate() {
+            // Fold provenance for this lock: how the chosen peak compared
+            // to its rivals and to what a single tag could produce.
+            let runner_up_weight = peaks
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != pi)
+                .map(|(_, &(_, w))| w)
+                .fold(0.0f64, f64::max);
+            let fold = FoldProvenance {
+                peak_weight: weight,
+                runner_up_weight,
+                mean_weight,
+                single_tag_ceiling: window_bits_actual,
+            };
             let peak_offset = hist.offset_of_bin(bin);
             // Seed: earliest unclaimed edge in the window whose phase sits
             // within ±1.5 bins of the peak.
@@ -197,9 +218,10 @@ fn gather_candidates(
                 d <= 1.5 * bin_width
             });
             let Some(&(seed_idx, _)) = seed else { continue };
-            if let Some(tracked) =
+            if let Some(mut tracked) =
                 track_stream(edges, claimed, seed_idx, rate, period, n_samples, cfg)
             {
+                tracked.fold = fold;
                 candidates.push(tracked);
             }
         }
@@ -287,17 +309,14 @@ fn track_stream(
     // --- Validation ---
     let n_matched = matched.iter().filter(|m| m.is_some()).count();
     if n_matched < 4 {
-        {
-            if std::env::var("LF_DEBUG").is_ok() {
-                eprintln!(
-                    "reject rate={} t0={:.1} n={} reason=too_few",
-                    rate.bps(cfg.rate_plan.base_bps()),
-                    t0,
-                    matched.iter().flatten().count()
-                );
-            }
-            return None;
-        }
+        lf_obs::event!(
+            Debug,
+            "reject rate={} t0={:.1} n={} reason=too_few",
+            rate.bps(cfg.rate_plan.base_bps()),
+            t0,
+            n_matched
+        );
+        return None;
     }
     // Matched density within the active span (frames can end before the
     // epoch does; trailing silence is fine, sparse matches inside the
@@ -305,17 +324,14 @@ fn track_stream(
     let last_matched_slot = matched.iter().rposition(|m| m.is_some()).unwrap_or(0);
     let density = n_matched as f64 / (last_matched_slot + 1) as f64;
     if density < 0.15 {
-        {
-            if std::env::var("LF_DEBUG").is_ok() {
-                eprintln!(
-                    "reject rate={} t0={:.1} n={} reason=density",
-                    rate.bps(cfg.rate_plan.base_bps()),
-                    t0,
-                    matched.iter().flatten().count()
-                );
-            }
-            return None;
-        }
+        lf_obs::event!(
+            Debug,
+            "reject rate={} t0={:.1} n={} reason=density",
+            rate.bps(cfg.rate_plan.base_bps()),
+            t0,
+            n_matched
+        );
+        return None;
     }
     // Rate-alias check: when (almost) all matched slot indices fall into
     // one residue class mod m ≥ 2, the edges are really an m×-slower
@@ -334,17 +350,14 @@ fn track_stream(
         }
         let majority = counts.iter().copied().max().unwrap_or(0);
         if majority as f64 >= 0.85 * matched_slots.len() as f64 {
-            {
-                if std::env::var("LF_DEBUG").is_ok() {
-                    eprintln!(
-                        "reject rate={} t0={:.1} n={} reason=residue_majority",
-                        rate.bps(cfg.rate_plan.base_bps()),
-                        t0,
-                        matched.iter().flatten().count()
-                    );
-                }
-                return None;
-            }
+            lf_obs::event!(
+                Debug,
+                "reject rate={} t0={:.1} n={} reason=residue_majority",
+                rate.bps(cfg.rate_plan.base_bps()),
+                t0,
+                n_matched
+            );
+            return None;
         }
     }
     // Residual dispersion around the fitted line — the arbitration
@@ -487,17 +500,14 @@ fn track_stream(
                 hi - lo > 2.0
             };
             if whole_diverse || timing_banded {
-                {
-                    if std::env::var("LF_DEBUG").is_ok() {
-                        eprintln!(
-                            "reject rate={} t0={:.1} n={} reason=interleave",
-                            rate.bps(cfg.rate_plan.base_bps()),
-                            t0,
-                            matched.iter().flatten().count()
-                        );
-                    }
-                    return None;
-                }
+                lf_obs::event!(
+                    Debug,
+                    "reject rate={} t0={:.1} n={} reason=interleave",
+                    rate.bps(cfg.rate_plan.base_bps()),
+                    t0,
+                    n_matched
+                );
+                return None;
             }
         }
     }
@@ -511,6 +521,9 @@ fn track_stream(
         slot_times,
         matched,
         residual_std,
+        // The caller (gather_candidates) fills this in from the fold peak
+        // that seeded the track.
+        fold: FoldProvenance::default(),
     })
 }
 

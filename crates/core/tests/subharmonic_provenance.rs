@@ -1,0 +1,201 @@
+//! Provenance of the ROADMAP sub-harmonic fusion case (diagnosis only —
+//! the decode fix is future work).
+//!
+//! Two tags whose *edge trains* share a sub-harmonic: tag A signals at
+//! 10 kbps but toggles only every 2nd slot, tag B at 15 kbps toggles only
+//! every 3rd slot — both emit one edge every 200 µs, i.e. both look
+//! 5 kbps-periodic on the air. The folder cannot lock either tag at its
+//! true rate (the every-m-th-slot pattern is exactly the residue-class
+//! alias the tracker rejects), so both collapse onto the shared 5 kbps
+//! sub-harmonic and the epoch decodes with the wrong rates.
+//!
+//! Without provenance that failure reads as "two clean 5 kbps streams".
+//! These tests pin what the diagnostics must record instead: the 5 kbps
+//! fold histogram carries *two* rival peaks (one per tag), so each lock's
+//! [`FoldProvenance`] is ambiguous, the per-k cluster scores are
+//! attached, and [`DecodeProvenance::failing_stage`] names the folding
+//! stage as the first place to look.
+
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
+use lf_channel::air::{synthesize, AirConfig, TagAir};
+use lf_channel::dynamics::StaticChannel;
+use lf_core::config::DecoderConfig;
+use lf_core::pipeline::Decoder;
+use lf_tag::clock::ClockModel;
+use lf_tag::comparator::Comparator;
+use lf_tag::tag::{LfTag, TagConfig};
+use lf_types::{BitRate, BitVec, Complex, RatePlan, SampleRate, TagId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FS_MSPS: f64 = 1.0;
+const BASE_BPS: f64 = 100.0;
+const N_SAMPLES: usize = 20_000;
+
+/// The decoder knows all three true rates — the failure is not a rate-plan
+/// gap, it is the edge trains genuinely carrying only sub-harmonic
+/// structure.
+fn cfg() -> DecoderConfig {
+    let mut c = DecoderConfig::at_sample_rate(SampleRate::from_msps(FS_MSPS));
+    c.rate_plan = RatePlan::from_bps(BASE_BPS, &[5_000.0, 10_000.0, 15_000.0]).unwrap();
+    c
+}
+
+/// Bits that toggle the level at every `stride`-th slot (slot 0 rises:
+/// the anchor). `[1,1,0,0,1,1,…]` for stride 2, `[1,1,1,0,0,0,…]` for
+/// stride 3 — an edge every `stride` slots, nothing in between.
+fn stride_bits(n: usize, stride: usize, skew: usize) -> BitVec {
+    let mut level = false;
+    let mut bits = BitVec::with_capacity(n);
+    for k in 0..n {
+        if k % stride == skew {
+            level = !level;
+        }
+        bits.push(level);
+    }
+    bits
+}
+
+fn synthesize_pair() -> Vec<Complex> {
+    let fs = SampleRate::from_msps(FS_MSPS);
+    let mut rng = StdRng::seed_from_u64(7);
+    let tags = [
+        // Tag A: 10 kbps, toggles every 2nd slot → edges at 0 mod 200 µs.
+        (10_000.0, Complex::new(0.09, 0.05), stride_bits(200, 2, 0)),
+        // Tag B: 15 kbps, toggles every 3rd slot starting at slot 2 →
+        // edges at ~133 mod 200 µs (plus the shared anchor rise at 0).
+        (15_000.0, Complex::new(-0.06, 0.08), stride_bits(300, 3, 2)),
+    ];
+    let mut air_tags = Vec::new();
+    for (i, (rate_bps, h, bits)) in tags.into_iter().enumerate() {
+        let tag = LfTag::new(TagConfig {
+            id: TagId(i as u32),
+            rate: BitRate::from_bps(rate_bps, BASE_BPS).unwrap(),
+            clock: ClockModel {
+                drift: 0.0,
+                jitter_std_s: 0.0,
+            },
+            comparator: Comparator::fixed(0.0),
+        });
+        let plan = tag.plan_epoch(bits, fs, BASE_BPS, &mut rng);
+        air_tags.push(TagAir {
+            events: plan.events,
+            initial_level: 0.0,
+            process: Box::new(StaticChannel(h)),
+        });
+    }
+    let mut air_cfg = AirConfig::paper_default(N_SAMPLES);
+    air_cfg.sample_rate = fs;
+    air_cfg.noise_sigma = 0.002;
+    air_cfg.seed = 11;
+    synthesize(&air_cfg, &air_tags)
+}
+
+#[test]
+fn fused_subharmonic_streams_get_diagnosed() {
+    let signal = synthesize_pair();
+    let decoder = Decoder::new(cfg());
+    let decode = decoder.decode(&signal);
+    let prov = &decode.provenance;
+
+    // The decode is wrong in exactly the ROADMAP way: no stream at either
+    // true rate, everything collapsed onto the 5 kbps sub-harmonic.
+    assert!(
+        !decode.streams.is_empty(),
+        "nothing locked at all: {prov:?}"
+    );
+    for s in &decode.streams {
+        assert_eq!(
+            s.rate_bps, 5_000.0,
+            "expected every lock at the shared sub-harmonic, got {} bps",
+            s.rate_bps
+        );
+    }
+
+    // Stage-1/2 context is recorded.
+    assert!(prov.n_edges > 100, "edge count missing: {}", prov.n_edges);
+    assert_eq!(prov.n_tracked, decode.streams.len());
+    assert_eq!(prov.streams.len(), decode.streams.len());
+
+    // Each 5 kbps lock must record the ambiguous fold: its peak has a
+    // rival of comparable weight (the *other* tag's edge train in the
+    // same fold histogram).
+    for sp in &prov.streams {
+        assert!(
+            sp.fold.is_ambiguous(),
+            "fold not flagged ambiguous: {:?}",
+            sp.fold
+        );
+        assert!(
+            sp.fold.runner_up_weight > 0.5 * sp.fold.peak_weight,
+            "rival peak not recorded: {:?}",
+            sp.fold
+        );
+        assert!(sp.fold.peak_snr() > 2.0, "no usable SNR: {:?}", sp.fold);
+        // The per-k model-selection scores the separation stage tried.
+        assert!(
+            !sp.separation.k_scores.is_empty(),
+            "k-means scores not recorded: {:?}",
+            sp.separation
+        );
+        assert!(sp.separation.chosen_k > 0);
+    }
+
+    // And the epoch-level report names the stage to look at.
+    assert_eq!(prov.failing_stage(), Some("stream-folding"));
+}
+
+/// Pseudorandom payload with the anchor rise first — an ordinary frame.
+fn payload(n: usize, seed: u64) -> BitVec {
+    let mut bits = BitVec::with_capacity(n);
+    bits.push(true);
+    let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    for _ in 1..n {
+        x ^= x >> 13;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 33;
+        bits.push(x & 1 == 1);
+    }
+    bits
+}
+
+#[test]
+fn true_rate_locks_are_not_flagged() {
+    // Control: one tag carrying an ordinary (pseudorandom) payload locks
+    // at its true rate and the fold diagnosis stays quiet — the ambiguity
+    // flag is a fusion signature, not a constant alarm.
+    let fs = SampleRate::from_msps(FS_MSPS);
+    let mut rng = StdRng::seed_from_u64(7);
+    let tag = LfTag::new(TagConfig {
+        id: TagId(0),
+        rate: BitRate::from_bps(10_000.0, BASE_BPS).unwrap(),
+        clock: ClockModel {
+            drift: 0.0,
+            jitter_std_s: 0.0,
+        },
+        comparator: Comparator::fixed(0.0),
+    });
+    let plan = tag.plan_epoch(payload(200, 3), fs, BASE_BPS, &mut rng);
+    let air_tags = vec![TagAir {
+        events: plan.events,
+        initial_level: 0.0,
+        process: Box::new(StaticChannel(Complex::new(0.09, 0.05))),
+    }];
+    let mut air_cfg = AirConfig::paper_default(N_SAMPLES);
+    air_cfg.sample_rate = fs;
+    air_cfg.noise_sigma = 0.002;
+    air_cfg.seed = 11;
+    let signal = synthesize(&air_cfg, &air_tags);
+
+    let decoder = Decoder::new(cfg());
+    let decode = decoder.decode(&signal);
+    let rates: Vec<f64> = decode.streams.iter().map(|s| s.rate_bps).collect();
+    assert_eq!(rates, vec![10_000.0], "control scenario mislocked");
+    assert_eq!(
+        decode.provenance.failing_stage(),
+        None,
+        "clean decode flagged: {:?}",
+        decode.provenance
+    );
+}

@@ -70,6 +70,7 @@ pub fn fold_events(times: &[f64], weights: &[f64], period: f64, nbins: usize) ->
     assert!(period > 0.0, "period must be positive");
     assert!(nbins > 0, "need at least one bin");
     assert_eq!(times.len(), weights.len(), "times/weights length mismatch");
+    let _span = lf_obs::span!("dsp.fold");
     let mut bins = vec![0.0; nbins];
     let mut counts = vec![0usize; nbins];
     for (&t, &w) in times.iter().zip(weights) {

@@ -74,6 +74,7 @@ pub fn fit_parallelogram(centroids: &[Complex], tol: f64) -> Option<Parallelogra
     if centroids.len() < 5 {
         return None;
     }
+    let _span = lf_obs::span!("dsp.parallelogram");
     // The origin cluster is the centroid closest to 0; use it to correct a
     // small DC offset left over from imperfect differential averaging.
     let origin = centroids

@@ -160,12 +160,30 @@ pub fn select_cluster_count(
     max_iters: usize,
     min_improvement: f64,
 ) -> (usize, KMeansResult) {
+    let (k, fit, _) = select_cluster_count_scored(points, candidates, max_iters, min_improvement);
+    (k, fit)
+}
+
+/// [`select_cluster_count`] plus the per-candidate scores: returns
+/// `(best_k, best_fit, scores)` where `scores` holds `(k, inertia)` for
+/// every candidate model actually fitted (in ascending-k order), so a
+/// decode-provenance report can show *how close* the model selection was,
+/// not just what it chose. Candidates skipped by the early-perfect-fit
+/// shortcut are absent from the list.
+pub fn select_cluster_count_scored(
+    points: &[Complex],
+    candidates: &[usize],
+    max_iters: usize,
+    min_improvement: f64,
+) -> (usize, KMeansResult, Vec<(usize, f64)>) {
     assert!(!candidates.is_empty(), "need at least one candidate k");
+    let _span = lf_obs::span!("dsp.kmeans.select");
     let mut sorted: Vec<usize> = candidates.to_vec();
     sorted.sort_unstable();
     sorted.dedup();
     let mut best_k = sorted[0].min(points.len().max(1));
     let mut best = kmeans(points, sorted[0], max_iters);
+    let mut scores = vec![(best_k, best.inertia)];
     // Total scatter of the data; a fit whose residual is a negligible
     // fraction of it is already perfect, and ratios of numerical dust
     // (e.g. 1e-28 vs 1e-32 on noise-free input) must not promote a larger
@@ -176,6 +194,7 @@ pub fn select_cluster_count(
             break;
         }
         let fit = kmeans(points, k, max_iters);
+        scores.push((k.min(points.len()), fit.inertia));
         // A perfect (zero-inertia) smaller fit cannot be improved upon.
         let improvement = if fit.inertia > 0.0 {
             best.inertia / fit.inertia
@@ -189,7 +208,7 @@ pub fn select_cluster_count(
             best = fit;
         }
     }
-    (best_k, best)
+    (best_k, best, scores)
 }
 
 #[cfg(test)]

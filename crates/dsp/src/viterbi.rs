@@ -156,6 +156,7 @@ impl ViterbiDecoder {
         if n == 0 {
             return Vec::new();
         }
+        let _span = lf_obs::span!("dsp.viterbi");
         const NEG_INF: f64 = f64::NEG_INFINITY;
         let mut score = [NEG_INF; 4];
         // First slot: allowed states depend on the level before it.

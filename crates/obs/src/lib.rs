@@ -1,0 +1,43 @@
+//! `lf-obs`: in-tree observability for the Laissez-Faire decoder.
+//!
+//! Three layers, no external dependencies (the build is offline — this
+//! plays the role `tracing` + `metrics` would otherwise, the same way
+//! `lf-rng` stands in for `rand`):
+//!
+//! * **Metrics** — a [`MetricsRegistry`] of named [`Counter`]s (sharded
+//!   across cache lines for worker pools), [`Gauge`]s, and log-bucketed
+//!   [`Histogram`]s; readable as a point-in-time [`Snapshot`] and
+//!   exportable as Prometheus text or JSON lines.
+//! * **Tracing** — [`span!`]/[`event!`] macros recording into a
+//!   fixed-size ring via a thread-local [`ObsContext`], so DSP kernels
+//!   trace without signature plumbing. Span exits feed `span.<name>.ns`
+//!   histograms: the per-stage latency distributions come for free.
+//! * **Context** — [`ObsContext`] ties the two together and travels with
+//!   a decoder; [`ObsContext::disabled`] is a `None` whose every
+//!   operation is a no-op branch (the overhead bench in `lf-bench` holds
+//!   this under 1 % of decode throughput).
+//!
+//! ```
+//! let ctx = lf_obs::ObsContext::new();
+//! {
+//!     let _g = ctx.install();
+//!     let _span = lf_obs::span!("pipeline.edges");
+//!     ctx.counter("epochs.decoded").inc();
+//!     lf_obs::event!(Info, "found {} edges", 42);
+//! }
+//! let snap = ctx.registry_snapshot();
+//! assert!(snap.get("epochs.decoded").is_some());
+//! print!("{}", snap.to_prometheus());
+//! ```
+
+pub mod context;
+pub mod histogram;
+pub mod registry;
+pub mod trace;
+
+pub use context::ObsContext;
+pub use histogram::{HistogramCore, HistogramSnapshot};
+pub use registry::{
+    Counter, Gauge, Histogram, MetricSnapshot, MetricValue, MetricsRegistry, Snapshot,
+};
+pub use trace::{current, RecordKind, SpanGuard, TraceLevel, TraceRecord, TraceRing};

@@ -35,6 +35,7 @@ use crate::source::IqSource;
 use crate::stats::{RuntimeStats, StatsShared};
 use lf_core::config::DecoderConfig;
 use lf_core::pipeline::{Decoder, EpochDecode, StageTimings};
+use lf_obs::ObsContext;
 use lf_types::Complex;
 use std::collections::BTreeMap;
 use std::ops::Range;
@@ -179,6 +180,7 @@ pub struct ReaderRuntime {
     jobs: Arc<BoundedQueue<Job>>,
     results: Arc<BoundedQueue<EpochReport>>,
     stats: Arc<StatsShared>,
+    obs: ObsContext,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
     /// Reports that arrived ahead of their turn, keyed by seq.
@@ -194,9 +196,25 @@ impl ReaderRuntime {
         decoder: Arc<dyn EpochDecoder>,
         cfg: &RuntimeConfig,
     ) -> Self {
+        ReaderRuntime::spawn_with_obs(source, decoder, cfg, ObsContext::disabled())
+    }
+
+    /// [`ReaderRuntime::spawn`] with an observability context. Every
+    /// pipeline thread installs `obs` thread-locally, so `reader.*`
+    /// counters, per-stage latency histograms, spans, and events from all
+    /// workers aggregate into the one shared registry without contention
+    /// (counters are sharded). Pass [`ObsContext::disabled`] (what
+    /// [`ReaderRuntime::spawn`] does) to make every recording a no-op
+    /// while keeping [`ReaderRuntime::stats`] fully functional.
+    pub fn spawn_with_obs<S: IqSource + 'static>(
+        source: S,
+        decoder: Arc<dyn EpochDecoder>,
+        cfg: &RuntimeConfig,
+        obs: ObsContext,
+    ) -> Self {
         let jobs = Arc::new(BoundedQueue::new(cfg.job_queue));
         let results = Arc::new(BoundedQueue::new(cfg.result_queue));
-        let stats = Arc::new(StatsShared::default());
+        let stats = Arc::new(StatsShared::new(&obs));
         let stop = Arc::new(AtomicBool::new(false));
         let mut threads = Vec::new();
 
@@ -208,8 +226,10 @@ impl ReaderRuntime {
             let stop = Arc::clone(&stop);
             let segmenter = OnlineSegmenter::new(cfg.segmenter);
             let policy = cfg.backpressure;
+            let obs = obs.clone();
             let mut source = source;
             threads.push(std::thread::spawn(move || {
+                let _obs_guard = obs.install();
                 ingest(
                     &mut source,
                     segmenter,
@@ -230,13 +250,15 @@ impl ReaderRuntime {
             let stats = Arc::clone(&stats);
             let active = Arc::clone(&active);
             let decoder = Arc::clone(&decoder);
+            let obs = obs.clone();
             threads.push(std::thread::spawn(move || {
+                let _obs_guard = obs.install();
                 while let Some(job) = jobs.pop() {
                     let result = decode_contained(&*decoder, &job);
                     match &result {
                         EpochResult::Decoded { timings, .. } => stats.record_latency(timings),
                         EpochResult::Faulted { .. } => {
-                            stats.faults.fetch_add(1, Ordering::Relaxed);
+                            stats.faults.inc();
                         }
                         EpochResult::Dropped => {}
                     }
@@ -264,6 +286,7 @@ impl ReaderRuntime {
             jobs,
             results,
             stats,
+            obs,
             stop,
             threads,
             reorder: BTreeMap::new(),
@@ -278,6 +301,27 @@ impl ReaderRuntime {
         ReaderRuntime::spawn(source, Arc::new(Decoder::new(decoder_cfg)), &cfg)
     }
 
+    /// [`ReaderRuntime::spawn_decoder`] with an observability context:
+    /// the pipeline decoder itself is built over `obs`, so decode spans
+    /// (`pipeline.*`, `dsp.*`) and metrics land in the same registry as
+    /// the `reader.*` runtime counters.
+    pub fn spawn_decoder_with_obs<S: IqSource + 'static>(
+        source: S,
+        decoder_cfg: DecoderConfig,
+        obs: ObsContext,
+    ) -> Self {
+        let cfg = RuntimeConfig::for_decoder(&decoder_cfg);
+        let decoder = Arc::new(Decoder::with_obs(decoder_cfg, obs.clone()));
+        ReaderRuntime::spawn_with_obs(source, decoder, &cfg, obs)
+    }
+
+    /// The observability context this runtime records into. Disabled
+    /// (all recordings no-ops) unless the runtime was spawned through one
+    /// of the `*_with_obs` constructors.
+    pub fn obs(&self) -> &ObsContext {
+        &self.obs
+    }
+
     /// The next epoch report, in epoch order; blocks while the pipeline
     /// is working. `None` means the stream ended (or the runtime was shut
     /// down) and every report has been delivered.
@@ -285,7 +329,7 @@ impl ReaderRuntime {
         loop {
             if let Some(report) = self.reorder.remove(&self.next_seq) {
                 self.next_seq += 1;
-                self.stats.epochs_out.fetch_add(1, Ordering::Relaxed);
+                self.stats.epochs_out.inc();
                 return Some(report);
             }
             if let Some(report) = self.results.pop() {
@@ -306,7 +350,7 @@ impl ReaderRuntime {
         loop {
             if let Some(report) = self.reorder.remove(&self.next_seq) {
                 self.next_seq += 1;
-                self.stats.epochs_out.fetch_add(1, Ordering::Relaxed);
+                self.stats.epochs_out.inc();
                 return Some(report);
             }
             match self.results.try_pop() {
@@ -375,10 +419,8 @@ fn ingest(
             enqueue_all(&mut segmented, &mut seq, policy, jobs, results, stats);
             break;
         };
-        stats.chunks_in.fetch_add(1, Ordering::Relaxed);
-        stats
-            .samples_in
-            .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+        stats.chunks_in.inc();
+        stats.samples_in.add(chunk.len() as u64);
         segmenter.push_chunk(&chunk, &mut segmented);
         if !enqueue_all(&mut segmented, &mut seq, policy, jobs, results, stats) {
             break;
@@ -397,9 +439,9 @@ fn enqueue_all(
     stats: &StatsShared,
 ) -> bool {
     for epoch in segmented.drain(..) {
-        stats.epochs_in.fetch_add(1, Ordering::Relaxed);
+        stats.epochs_in.inc();
         if epoch.forced_split {
-            stats.forced_splits.fetch_add(1, Ordering::Relaxed);
+            stats.forced_splits.inc();
         }
         let job = Job {
             seq: *seq,
@@ -417,7 +459,7 @@ fn enqueue_all(
             Backpressure::DropOldest => match jobs.push_drop_oldest(job) {
                 Err(_) => return false,
                 Ok(Some(evicted)) => {
-                    stats.epochs_dropped.fetch_add(1, Ordering::Relaxed);
+                    stats.epochs_dropped.inc();
                     // Constant-size tombstone: the consumer must still
                     // see every seq exactly once for exact accounting
                     // (and so reordering never stalls on a hole).

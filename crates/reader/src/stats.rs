@@ -1,14 +1,17 @@
 //! Live runtime statistics: counters, queue depths, latency percentiles.
 //!
-//! Counters are lock-free atomics bumped by the pipeline threads; decode
-//! latencies go into fixed-size rings (last 1024 epochs per stage) under
-//! a short-lived mutex. [`RuntimeStats`] is a self-consistent-enough
-//! snapshot for a poll loop — the runtime keeps serving while it is
-//! taken.
+//! Counters are [`lf_obs`] registry handles — sharded atomics bumped by
+//! the pipeline threads that double as named metrics (`reader.*`) in the
+//! runtime's [`lf_obs::ObsContext`]. Decode latencies additionally go
+//! into fixed-size rings (last 1024 epochs per stage) under a short-lived
+//! mutex: the registry histograms accumulate since startup, while the
+//! rings give *exact* recent-window percentiles. [`RuntimeStats`] is a
+//! self-consistent-enough snapshot for a poll loop — the runtime keeps
+//! serving while it is taken.
 
 use lf_core::pipeline::StageTimings;
+use lf_obs::{Counter, Gauge, Histogram, ObsContext};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
@@ -16,16 +19,34 @@ use std::time::Duration;
 const LATENCY_RING: usize = 1024;
 
 /// Shared mutable statistics, owned by the runtime behind an `Arc`.
-#[derive(Debug, Default)]
+///
+/// Every counter and gauge is a registry handle: when the runtime was
+/// spawned with an enabled [`ObsContext`] they are readable (and
+/// exportable) through that registry under `reader.*` names; with a
+/// disabled context the handles are detached but still count, so
+/// [`RuntimeStats`] works identically either way.
+#[derive(Debug)]
 pub(crate) struct StatsShared {
-    pub chunks_in: AtomicU64,
-    pub samples_in: AtomicU64,
-    pub epochs_in: AtomicU64,
-    pub epochs_out: AtomicU64,
-    pub epochs_dropped: AtomicU64,
-    pub faults: AtomicU64,
-    pub forced_splits: AtomicU64,
+    pub chunks_in: Counter,
+    pub samples_in: Counter,
+    pub epochs_in: Counter,
+    pub epochs_out: Counter,
+    pub epochs_dropped: Counter,
+    pub faults: Counter,
+    pub forced_splits: Counter,
+    job_queue_depth: Gauge,
+    result_queue_depth: Gauge,
+    h_edges: Histogram,
+    h_tracking: Histogram,
+    h_analysis: Histogram,
+    h_total: Histogram,
     latencies: Mutex<LatencyRings>,
+}
+
+impl Default for StatsShared {
+    fn default() -> Self {
+        StatsShared::new(&ObsContext::disabled())
+    }
 }
 
 #[derive(Debug, Default)]
@@ -48,7 +69,32 @@ fn nanos_of(d: Duration) -> u64 {
 }
 
 impl StatsShared {
+    /// Creates the runtime's statistics block, registering every counter,
+    /// gauge, and latency histogram in `obs` under `reader.*` names.
+    pub fn new(obs: &ObsContext) -> Self {
+        StatsShared {
+            chunks_in: obs.counter("reader.chunks_in"),
+            samples_in: obs.counter("reader.samples_in"),
+            epochs_in: obs.counter("reader.epochs_in"),
+            epochs_out: obs.counter("reader.epochs_out"),
+            epochs_dropped: obs.counter("reader.epochs_dropped"),
+            faults: obs.counter("reader.faults"),
+            forced_splits: obs.counter("reader.forced_splits"),
+            job_queue_depth: obs.gauge("reader.job_queue_depth"),
+            result_queue_depth: obs.gauge("reader.result_queue_depth"),
+            h_edges: obs.histogram("reader.stage.edges.ns"),
+            h_tracking: obs.histogram("reader.stage.tracking.ns"),
+            h_analysis: obs.histogram("reader.stage.analysis.ns"),
+            h_total: obs.histogram("reader.stage.total.ns"),
+            latencies: Mutex::new(LatencyRings::default()),
+        }
+    }
+
     pub fn record_latency(&self, t: &StageTimings) {
+        self.h_edges.record_duration(t.edges);
+        self.h_tracking.record_duration(t.tracking);
+        self.h_analysis.record_duration(t.analysis);
+        self.h_total.record_duration(t.total);
         let mut rings = self
             .latencies
             .lock()
@@ -60,6 +106,12 @@ impl StatsShared {
     }
 
     pub fn snapshot(&self, job_queue_depth: usize, result_queue_depth: usize) -> RuntimeStats {
+        // Mirror the instantaneous depths into the gauges so a registry
+        // export taken between polls sees them too.
+        self.job_queue_depth
+            .set(i64::try_from(job_queue_depth).unwrap_or(i64::MAX));
+        self.result_queue_depth
+            .set(i64::try_from(result_queue_depth).unwrap_or(i64::MAX));
         let rings = self
             .latencies
             .lock()
@@ -72,13 +124,13 @@ impl StatsShared {
         };
         drop(rings);
         RuntimeStats {
-            chunks_in: self.chunks_in.load(Ordering::Relaxed),
-            samples_in: self.samples_in.load(Ordering::Relaxed),
-            epochs_in: self.epochs_in.load(Ordering::Relaxed),
-            epochs_out: self.epochs_out.load(Ordering::Relaxed),
-            epochs_dropped: self.epochs_dropped.load(Ordering::Relaxed),
-            faults: self.faults.load(Ordering::Relaxed),
-            forced_splits: self.forced_splits.load(Ordering::Relaxed),
+            chunks_in: self.chunks_in.get(),
+            samples_in: self.samples_in.get(),
+            epochs_in: self.epochs_in.get(),
+            epochs_out: self.epochs_out.get(),
+            epochs_dropped: self.epochs_dropped.get(),
+            faults: self.faults.get(),
+            forced_splits: self.forced_splits.get(),
             job_queue_depth,
             result_queue_depth,
             latency,
@@ -102,6 +154,12 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
+    /// Nearest-rank percentiles over the ring. Degenerate cases are
+    /// exact by construction: an empty ring is all-zero with `count == 0`
+    /// (distinguishable from a real zero-latency sample only by the
+    /// count), and a single sample reports that sample at every
+    /// percentile and as the max — including a saturated `u64::MAX`
+    /// nanosecond reading, which must survive unclipped.
     fn of(ring: &VecDeque<u64>) -> Self {
         if ring.is_empty() {
             return LatencySummary::default();
@@ -109,9 +167,14 @@ impl LatencySummary {
         let mut v: Vec<u64> = ring.iter().copied().collect();
         v.sort_unstable();
         let pick = |p: f64| -> Duration {
-            // Nearest-rank percentile over the sorted ring.
-            let rank = (p / 100.0 * v.len() as f64).ceil().max(1.0) as usize;
-            Duration::from_nanos(v[rank.min(v.len()) - 1])
+            // Nearest-rank percentile over the sorted ring. The clamp to
+            // [1, len] keeps the rank exact at both tails (p→0 picks the
+            // minimum, p→100 the maximum) for any ring length, including
+            // a single sample.
+            let rank = (p / 100.0 * v.len() as f64)
+                .ceil()
+                .clamp(1.0, v.len() as f64) as usize;
+            Duration::from_nanos(v[rank - 1])
         };
         LatencySummary {
             count: v.len(),
@@ -189,6 +252,32 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_is_exact_at_every_percentile() {
+        let mut ring = VecDeque::new();
+        ring.push_back(42_000u64);
+        let s = LatencySummary::of(&ring);
+        assert_eq!(s.count, 1);
+        let exact = Duration::from_nanos(42_000);
+        assert_eq!(s.p50, exact);
+        assert_eq!(s.p90, exact);
+        assert_eq!(s.p99, exact);
+        assert_eq!(s.max, exact);
+    }
+
+    #[test]
+    fn saturated_single_sample_survives_unclipped() {
+        // A Duration too large for u64 nanoseconds saturates on record;
+        // the summary must carry the sentinel through, not mangle it.
+        let mut ring = VecDeque::new();
+        ring.push_back(u64::MAX);
+        let s = LatencySummary::of(&ring);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50, Duration::from_nanos(u64::MAX));
+        assert_eq!(s.p99, Duration::from_nanos(u64::MAX));
+        assert_eq!(s.max, Duration::from_nanos(u64::MAX));
+    }
+
+    #[test]
     fn ring_is_bounded() {
         let stats = StatsShared::default();
         let t = StageTimings {
@@ -203,5 +292,46 @@ mod tests {
         let snap = stats.snapshot(0, 0);
         assert_eq!(snap.latency.total.count, LATENCY_RING);
         assert_eq!(snap.latency.total.p50, Duration::from_micros(6));
+    }
+
+    #[test]
+    fn counters_surface_through_the_registry() {
+        let obs = ObsContext::new();
+        let stats = StatsShared::new(&obs);
+        stats.chunks_in.add(3);
+        stats.epochs_in.inc();
+        let t = StageTimings {
+            edges: Duration::from_micros(1),
+            tracking: Duration::from_micros(2),
+            analysis: Duration::from_micros(3),
+            total: Duration::from_micros(6),
+        };
+        stats.record_latency(&t);
+        let _ = stats.snapshot(2, 1);
+        let snap = obs.registry_snapshot();
+        assert_eq!(
+            snap.get("reader.chunks_in"),
+            Some(&lf_obs::MetricValue::Counter(3))
+        );
+        assert_eq!(
+            snap.get("reader.epochs_in"),
+            Some(&lf_obs::MetricValue::Counter(1))
+        );
+        assert_eq!(
+            snap.get("reader.job_queue_depth"),
+            Some(&lf_obs::MetricValue::Gauge(2))
+        );
+        let Some(lf_obs::MetricValue::Histogram(h)) = snap.get("reader.stage.total.ns") else {
+            panic!("missing total-latency histogram");
+        };
+        assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn disabled_context_still_counts() {
+        let stats = StatsShared::new(&ObsContext::disabled());
+        stats.faults.inc();
+        stats.faults.inc();
+        assert_eq!(stats.snapshot(0, 0).faults, 2);
     }
 }

@@ -141,6 +141,7 @@ impl EpochDecoder for SlowDecoder {
                 streams: vec![],
                 n_edges: samples.len(),
                 n_tracked: 0,
+                provenance: Default::default(),
             },
             StageTimings::default(),
         )
@@ -162,6 +163,7 @@ impl EpochDecoder for PoisonableDecoder {
                 streams: vec![],
                 n_edges: samples.len(),
                 n_tracked: 0,
+                provenance: Default::default(),
             },
             StageTimings::default(),
         )

@@ -209,6 +209,7 @@ mod tests {
             n_edges: 0,
             n_tracked: streams.len(),
             streams,
+            provenance: Default::default(),
         }
     }
 

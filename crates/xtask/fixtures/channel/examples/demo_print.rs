@@ -1,0 +1,7 @@
+// Fixture for tests/meta.rs: examples own their stdout, so nothing in
+// this file may trigger no-println-in-crates. Never compiled.
+
+fn main() {
+    println!("examples are exempt");
+    eprintln!("so is their stderr");
+}

@@ -1,0 +1,28 @@
+// Fixture for tests/meta.rs: stdout/stderr writes in library code (two
+// violations), plus a waived one, a doc-comment mention, and one in test
+// code — the latter three must stay silent. Never compiled.
+
+//! A library module must not println! — that text is a doc comment.
+
+/// Reports progress the wrong way: straight to stdout.
+pub fn report_progress(pct: f64) {
+    println!("progress: {pct}%");
+}
+
+/// Reports a fault the wrong way: straight to stderr.
+pub fn report_fault(msg: &str) {
+    eprintln!("fault: {msg}");
+}
+
+/// Startup banner: sanctioned because this "library" is compiled into the
+/// diagnostic REPL only, which owns its terminal.
+pub fn banner() {
+    println!("lf diagnostic shell"); // xtask: allow(no-println-in-crates)
+}
+
+#[cfg(test)]
+mod tests {
+    fn in_test_code() {
+        println!("tests may print");
+    }
+}

@@ -32,6 +32,13 @@
 //!   failure the streaming runtime's `BoundedQueue` (and its explicit
 //!   backpressure policy) exists to prevent. `mpsc::sync_channel` and
 //!   `lf_reader::BoundedQueue` are the sanctioned alternatives.
+//! * [`Rule::NoPrintlnInCrates`] — library crates never write to
+//!   stdout/stderr with `println!`/`eprintln!` (or their non-newline
+//!   forms). Diagnostics go through `lf_obs::event!`, which lands in the
+//!   installed context's trace ring and metrics — attributable,
+//!   rate-bounded, and silent when no context is installed — instead of
+//!   interleaving with a host application's output. Binaries, examples,
+//!   and test code are exempt: they own their stdout.
 //!
 //! The scanner is deliberately textual (line-oriented with a small amount
 //! of context), not a full parser: the toolchain here is hermetic, so no
@@ -63,6 +70,8 @@ pub enum Rule {
     MissingDocs,
     /// Bare unbounded `mpsc::channel()` in production code.
     UnboundedChannel,
+    /// `println!`/`eprintln!` in library-crate production code.
+    NoPrintlnInCrates,
 }
 
 impl Rule {
@@ -74,6 +83,7 @@ impl Rule {
             Rule::CorePanicPath => "core-panic-path",
             Rule::MissingDocs => "missing-docs",
             Rule::UnboundedChannel => "no-unbounded-channel",
+            Rule::NoPrintlnInCrates => "no-println-in-crates",
         }
     }
 }
@@ -158,6 +168,7 @@ struct Scope {
     core_panic: bool,
     docs: bool,
     time_cast: bool,
+    no_println: bool,
 }
 
 fn scope_of(root: &Path, file: &Path) -> Scope {
@@ -166,11 +177,18 @@ fn scope_of(root: &Path, file: &Path) -> Scope {
     let in_core = rel.contains("core/src");
     let in_dsp = rel.contains("dsp/src");
     let in_types = rel.contains("types/src");
+    // Binaries and examples own their stdout; only library sources are
+    // held to the events-not-println rule.
+    let is_bin = rel.contains("/bin/")
+        || rel.contains("examples/")
+        || rel.ends_with("main.rs")
+        || rel.ends_with("build.rs");
     Scope {
         core_panic: in_core,
         docs: in_core || in_dsp,
         // lf-types owns the sanctioned index/time conversion helpers.
         time_cast: !in_types,
+        no_println: !is_bin,
     }
 }
 
@@ -245,6 +263,22 @@ fn lint_file(root: &Path, file: &Path, text: &str, findings: &mut Vec<Finding>) 
                 message: "`mpsc::channel()` buffers without bound; use \
                           `mpsc::sync_channel` or `lf_reader::BoundedQueue` \
                           so backpressure is explicit"
+                    .into(),
+            });
+        }
+
+        if scope.no_println
+            && !waived(comment, Rule::NoPrintlnInCrates)
+            && !trimmed.starts_with("//")
+            && has_print_macro(code)
+        {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: Rule::NoPrintlnInCrates,
+                message: "library crates emit diagnostics through \
+                          `lf_obs::event!`, not println!/eprintln! \
+                          (binaries and examples own their stdout)"
                     .into(),
             });
         }
@@ -363,6 +397,22 @@ fn has_unbounded_channel(code: &str) -> bool {
     code.contains("mpsc::channel(") || code.contains("mpsc::channel::<")
 }
 
+fn has_print_macro(code: &str) -> bool {
+    // The probes carry their `!` so `pretty_print(x)` or a method named
+    // `print` never fires; `writeln!` to an arbitrary writer is fine.
+    ["println!", "eprintln!", "print!", "eprint!"]
+        .iter()
+        .any(|probe| {
+            code.match_indices(probe).any(|(pos, _)| {
+                // Reject matches that are a suffix of a longer identifier
+                // (`eprintln!` contains `println!` at offset 1).
+                pos == 0
+                    || !code.as_bytes()[pos - 1].is_ascii_alphanumeric()
+                        && code.as_bytes()[pos - 1] != b'_'
+            })
+        })
+}
+
 fn is_pub_fn(trimmed: &str) -> bool {
     trimmed.starts_with("pub fn ")
         || trimmed.starts_with("pub const fn ")
@@ -405,6 +455,18 @@ mod tests {
         ));
         assert!(!has_unbounded_channel("let p = mpsc::sync_channel(4);"));
         assert!(!has_unbounded_channel("queue.channel_estimate()"));
+    }
+
+    #[test]
+    fn print_macro_probe() {
+        assert!(has_print_macro(r#"println!("x = {x}");"#));
+        assert!(has_print_macro(r#"eprintln!("warn");"#));
+        assert!(has_print_macro(r#"print!("{}", snap);"#));
+        // `eprintln!` must count once as eprintln!, not again as a
+        // embedded `println!`.
+        assert!(!has_print_macro("pretty_print(x)"));
+        assert!(!has_print_macro(r#"writeln!(out, "row")"#));
+        assert!(!has_print_macro("self.print_hook()"));
     }
 
     #[test]

@@ -1,12 +1,18 @@
 //! `cargo xtask` — repo-local maintenance commands.
 //!
-//! The only command today is `lint`, the domain-invariant linter (see
-//! [`lint`] for the rules). It runs over the workspace's production code
-//! and exits nonzero on any finding:
+//! * `lint` — the domain-invariant linter (see [`lint`] for the rules).
+//!   Runs over the workspace's production code and exits nonzero on any
+//!   finding.
+//! * `bench-report` — runs the `lf-bench` report binary in release mode
+//!   and validates the `BENCH_<label>.json` artifact it writes (decode
+//!   throughput plus per-stage latency histograms from the instrumented
+//!   pipeline).
 //!
 //! ```text
-//! cargo xtask lint              # lint the repository
-//! cargo xtask lint --root DIR   # lint another tree (used by meta-tests)
+//! cargo xtask lint                    # lint the repository
+//! cargo xtask lint --root DIR         # lint another tree (meta-tests)
+//! cargo xtask bench-report            # → BENCH_local.json
+//! cargo xtask bench-report --label ci # → BENCH_ci.json
 //! ```
 
 use xtask::lint;
@@ -14,13 +20,81 @@ use xtask::lint;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: cargo xtask lint [--root DIR] | bench-report [--label L]";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
+        Some("bench-report") => run_bench_report(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask lint [--root DIR]");
+            eprintln!("{USAGE}");
             ExitCode::from(2)
+        }
+    }
+}
+
+fn run_bench_report(args: &[String]) -> ExitCode {
+    let label = match args {
+        [] => "local".to_owned(),
+        [flag, l] if flag == "--label" => l.clone(),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = workspace_root();
+    let out = root.join(format!("BENCH_{label}.json"));
+    let status = std::process::Command::new(env!("CARGO"))
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "lf-bench",
+            "--bin",
+            "bench_report",
+            "--",
+        ])
+        .arg("--label")
+        .arg(&label)
+        .arg("--out")
+        .arg(&out)
+        .current_dir(&root)
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => {
+            eprintln!("xtask bench-report: bench run failed ({s})");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("xtask bench-report: spawn cargo: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    // Validate the artifact: present, non-empty, JSON-shaped, and
+    // carrying the fields CI diffs against.
+    match std::fs::read_to_string(&out) {
+        Ok(text) => {
+            let t = text.trim();
+            let looks_json = t.starts_with('{') && t.ends_with('}');
+            let has_fields = ["\"label\"", "\"throughput\"", "\"stage_latency\""]
+                .iter()
+                .all(|f| t.contains(f));
+            if looks_json && has_fields {
+                println!("xtask bench-report: wrote {}", out.display());
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "xtask bench-report: {} is not a valid report",
+                    out.display()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask bench-report: read {}: {e}", out.display());
+            ExitCode::FAILURE
         }
     }
 }
@@ -30,7 +104,7 @@ fn run_lint(args: &[String]) -> ExitCode {
         [] => workspace_root(),
         [flag, dir] if flag == "--root" => PathBuf::from(dir),
         _ => {
-            eprintln!("usage: cargo xtask lint [--root DIR]");
+            eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
     };

@@ -28,6 +28,7 @@ fn fixtures_trigger_every_rule() {
         Rule::CorePanicPath,
         Rule::MissingDocs,
         Rule::UnboundedChannel,
+        Rule::NoPrintlnInCrates,
     ] {
         assert!(
             findings.iter().any(|f| f.rule == rule),
@@ -49,6 +50,10 @@ fn fixture_finding_counts_are_exact() {
     assert_eq!(count(Rule::CorePanicPath), 2, "{findings:?}");
     assert_eq!(count(Rule::MissingDocs), 2, "{findings:?}");
     assert_eq!(count(Rule::UnboundedChannel), 1, "{findings:?}");
+    // Two seeded stdout/stderr writes; the waived banner, the doc-comment
+    // mention, the test-module print, and the whole examples/ file are
+    // silent.
+    assert_eq!(count(Rule::NoPrintlnInCrates), 2, "{findings:?}");
 }
 
 #[test]

@@ -2,9 +2,14 @@
 //! segmented into epochs online, decoded by a worker pool, and delivered
 //! in order while the main thread polls live runtime statistics —
 //! throughput counters, queue depths, and per-stage decode latency
-//! percentiles.
+//! percentiles. The runtime and the decoder share one [`ObsContext`], so
+//! the final report is a full metrics-registry snapshot: `reader.*`
+//! runtime counters next to `pipeline.*` stage latency histograms.
 //!
 //! Run with: `cargo run --release --example streaming_reader`
+//!
+//! Set `LF_OBS_EXPORT=snapshot.prom` to additionally write the snapshot
+//! in Prometheus text exposition format (CI archives this artifact).
 
 use lf_backscatter::prelude::*;
 use std::sync::Arc;
@@ -44,7 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          job queue {}, policy {:?}",
         cfg.workers, cfg.job_queue, cfg.backpressure
     );
-    let mut runtime = ReaderRuntime::spawn(source, Arc::new(Decoder::new(decoder_cfg)), &cfg);
+    // One observability context spans the whole stack: the decoder
+    // records pipeline stage spans and metrics into the same registry
+    // the runtime's counters and queue-depth gauges live in.
+    let obs = ObsContext::new();
+    let decoder = Arc::new(Decoder::with_obs(decoder_cfg, obs.clone()));
+    let mut runtime = ReaderRuntime::spawn_with_obs(source, decoder, &cfg, obs.clone());
 
     // Consume reports in epoch order, polling stats as they stream past.
     let mut frames_ok = 0usize;
@@ -107,5 +117,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "offline replay loses nothing"
     );
     assert!(frames_ok > 0, "the stream must carry decodable frames");
+
+    // The registry snapshot: every named metric the session recorded,
+    // runtime counters and pipeline stage histograms side by side.
+    let snap = obs.registry_snapshot();
+    println!();
+    println!("metrics registry ({} metrics):", snap.metrics.len());
+    for m in &snap.metrics {
+        match &m.value {
+            MetricValue::Counter(v) => println!("  {:<32} counter    {v}", m.name),
+            MetricValue::Gauge(v) => println!("  {:<32} gauge      {v}", m.name),
+            MetricValue::Histogram(h) => {
+                let q = |p: f64| h.quantile(p).unwrap_or(0) as f64 / 1e6;
+                println!(
+                    "  {:<32} histogram  n={} p50={:.2}ms p90={:.2}ms p99={:.2}ms max={:.2}ms",
+                    m.name,
+                    h.count,
+                    q(0.5),
+                    q(0.9),
+                    q(0.99),
+                    h.max as f64 / 1e6,
+                );
+            }
+        }
+    }
+    assert!(
+        snap.metrics.len() >= 10,
+        "instrumentation regressed: only {} registry metrics",
+        snap.metrics.len()
+    );
+    for stage in ["edges", "tracking", "analysis", "total"] {
+        let name = format!("pipeline.stage.{stage}.ns");
+        assert!(
+            matches!(snap.get(&name), Some(MetricValue::Histogram(h)) if h.count > 0),
+            "stage histogram {name} missing or empty"
+        );
+    }
+
+    if let Ok(path) = std::env::var("LF_OBS_EXPORT") {
+        std::fs::write(&path, snap.to_prometheus())?;
+        println!("wrote Prometheus snapshot to {path}");
+    }
     Ok(())
 }
