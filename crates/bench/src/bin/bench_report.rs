@@ -16,7 +16,7 @@
 
 use lf_bench::standard_fixture;
 use lf_core::config::DecoderConfig;
-use lf_core::pipeline::Decoder;
+use lf_core::pipeline::{Decoder, StageTimings};
 use lf_obs::{MetricValue, ObsContext, Snapshot};
 use lf_sim::experiments::Scale;
 use std::process::ExitCode;
@@ -111,13 +111,18 @@ fn main() -> ExitCode {
     let snap = obs.registry_snapshot();
 
     let samples_total = args.epochs * fix.signal.len();
-    let stages = ["edges", "tracking", "analysis", "total"]
+    // Stage keys come from the decode graph, so the report tracks the
+    // pipeline's actual shape; "total" is the whole-epoch histogram.
+    let stages = StageTimings::names()
+        .into_iter()
+        .chain(std::iter::once("total"))
         .map(|s| {
             format!(
                 "\"{s}\":{}",
                 stage_json(&snap, &format!("pipeline.stage.{s}.ns"))
             )
         })
+        .collect::<Vec<_>>()
         .join(",");
     let report = format!(
         "{{\n\

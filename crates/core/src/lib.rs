@@ -25,9 +25,11 @@
 //!    Viterbi decoder with Gaussian IQ emissions corrects missed and
 //!    spurious edges; a hard-decision mode exists for the Fig. 9 ablation.
 //!
-//! [`pipeline`] wires the stages together behind [`Decoder`];
-//! [`reliability`] implements the optional reader-side feedback of §3.6
-//! (broadcast retransmit + network-wide rate backoff).
+//! [`graph`] wires the stages together as a stage graph over a shared
+//! per-epoch context (with bounded re-entry for the sub-harmonic carve);
+//! [`pipeline`] exposes it behind the [`Decoder`] facade; [`reliability`]
+//! implements the optional reader-side feedback of §3.6 (broadcast
+//! retransmit + network-wide rate backoff).
 //!
 //! [`lf-tag`]: ../lf_tag/index.html
 
@@ -38,6 +40,7 @@ pub mod config;
 pub mod decode;
 pub mod edges;
 pub mod epoch;
+pub mod graph;
 pub mod pipeline;
 pub mod provenance;
 pub mod reliability;
@@ -47,9 +50,10 @@ pub mod streams;
 
 pub use config::{DecodeStages, DecoderConfig};
 pub use epoch::{decode_session, split_epochs, SessionEpoch};
+pub use graph::{PipelineGraph, Stage, StageOutcome, STAGE_COUNT};
 pub use pipeline::{DecodedStream, Decoder, EpochDecode, StageTimings, StreamKind};
 pub use provenance::{
-    AnchorOutcome, DecodeProvenance, FoldProvenance, SeparationFallback, SeparationProvenance,
-    StreamProvenance,
+    AnchorOutcome, CarveProvenance, DecodeProvenance, FoldProvenance, SeparationFallback,
+    SeparationProvenance, StreamProvenance,
 };
 pub use reliability::{ReaderCommand, ReaderController};

@@ -1,16 +1,17 @@
 //! The assembled decode pipeline: IQ capture in, per-tag bit streams out.
+//!
+//! [`Decoder`] is a thin facade: every entry point — [`Decoder::decode`],
+//! [`Decoder::decode_timed`], obs-enabled or not — runs the same
+//! [`crate::graph::PipelineGraph::run`] path. Stage sequencing, re-entry,
+//! spans, timings, metrics, and provenance all live in the graph runner;
+//! nothing here duplicates them.
 
 use crate::config::DecoderConfig;
-use crate::decode::{decode_member_traced, decode_single_traced};
-use crate::edges::detect_edges;
-use crate::provenance::{AnchorOutcome, DecodeProvenance, StreamProvenance};
-use crate::separate::{analyze_slots_with, StreamAnalysis};
-use crate::slots::{slot_cleanliness, slot_differentials};
-use crate::streams::find_streams;
-use lf_dsp::checks;
+use crate::graph::{stage_names, PipelineGraph, STAGE_COUNT};
+use crate::provenance::DecodeProvenance;
 use lf_obs::ObsContext;
 use lf_types::{BitRate, BitVec, Complex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How a decoded stream was recovered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,31 +55,47 @@ pub struct EpochDecode {
     /// separation splits any).
     pub n_tracked: usize,
     /// Why each stream resolved, collided, or failed: fold peaks, cluster
-    /// model scores, anchor outcomes, path metrics. Observation only —
-    /// nothing in it feeds back into the decode.
+    /// model scores, carve attempts, anchor outcomes, path metrics.
+    /// Observation only — nothing in it feeds back into the decode.
     pub provenance: DecodeProvenance,
 }
 
 /// Wall-clock cost of each pipeline stage for one epoch decode.
 ///
-/// The streaming runtime (`lf-reader`) aggregates these into per-stage
-/// latency percentiles; offline users can ignore them via [`Decoder::decode`].
-/// Stage boundaries follow the module structure: stage 1 is edge
-/// detection (including input sanitizing), stage 2 is stream
-/// folding/tracking, and "analysis" covers stages 3–5 (slot
-/// differentials, collision separation, bit decode) whose work
-/// interleaves per tracked stream.
+/// The per-stage slots are derived from the decode graph:
+/// [`StageTimings::names`]`()[i]` labels `per_stage[i]`, so adding a stage
+/// to the graph automatically adds its timing slot — nothing here is
+/// hand-maintained. A re-entered stage accumulates all its executions
+/// into its one slot. The streaming runtime (`lf-reader`) aggregates
+/// these into per-stage latency percentiles; offline users can ignore
+/// them via [`Decoder::decode`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageTimings {
-    /// Input sanitizing + edge detection (§3.1).
-    pub edges: Duration,
-    /// Eye-pattern folding and drift tracking (§3.2).
-    pub tracking: Duration,
-    /// Slot differentials, collision separation, and bit recovery
-    /// (§3.3–3.5), summed over all tracked streams.
-    pub analysis: Duration,
+    /// Per-stage wall clock, index-aligned with [`StageTimings::names`].
+    pub per_stage: [Duration; STAGE_COUNT],
     /// Whole-epoch decode wall clock (≥ the sum of the stages).
     pub total: Duration,
+}
+
+impl StageTimings {
+    /// The graph's stage names, index-aligned with `per_stage`.
+    pub fn names() -> [&'static str; STAGE_COUNT] {
+        stage_names()
+    }
+
+    /// The timing of the named stage, or `None` if the graph has no stage
+    /// of that name.
+    pub fn get(&self, name: &str) -> Option<Duration> {
+        Self::names()
+            .iter()
+            .position(|&n| n == name)
+            .map(|i| self.per_stage[i])
+    }
+
+    /// Iterates `(stage name, duration)` in graph order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, Duration)> + '_ {
+        Self::names().into_iter().zip(self.per_stage)
+    }
 }
 
 /// The LF-Backscatter reader decoder.
@@ -128,7 +145,7 @@ impl Decoder {
     /// stage boundary) panics naming the stage, so numeric taint is caught
     /// at its source instead of decaying into a wrong decode.
     pub fn decode(&self, signal: &[Complex]) -> EpochDecode {
-        self.decode_timed(signal).0
+        PipelineGraph::run(&self.cfg, &self.obs, signal).0
     }
 
     /// Decodes one epoch and reports the wall-clock cost of each stage.
@@ -137,213 +154,7 @@ impl Decoder {
     /// observation only and never influence the result, so a timed decode
     /// of a capture is byte-identical to an untimed one.
     pub fn decode_timed(&self, signal: &[Complex]) -> (EpochDecode, StageTimings) {
-        // Install the context for the duration of the decode: every
-        // `span!`/`event!` below (and in the dsp kernels underneath) finds
-        // it through the thread local. Disabled context ⇒ the guard clears
-        // the slot and all of them are no-ops.
-        let _obs_guard = self.obs.install();
-        let _span_total = lf_obs::span!("pipeline.total");
-        let t_start = Instant::now();
-        let cfg = &self.cfg;
-        checks::assert_finite_complex("input", signal);
-        let sanitized: Option<Vec<Complex>> = if signal.iter().all(|s| s.is_finite()) {
-            None
-        } else {
-            Some(
-                signal
-                    .iter()
-                    .map(|s| if s.is_finite() { *s } else { Complex::ZERO })
-                    .collect(),
-            )
-        };
-        let signal: &[Complex] = sanitized.as_deref().unwrap_or(signal);
-        let edges = {
-            let _span = lf_obs::span!("pipeline.edges");
-            detect_edges(signal, cfg)
-        };
-        for e in &edges {
-            checks::assert_finite_scalar("edge-detection", e.time);
-            checks::assert_finite_scalar("edge-detection", e.strength);
-            checks::assert_finite_complex("edge-detection", std::slice::from_ref(&e.diff));
-        }
-        let t_edges = Instant::now();
-        let tracked = {
-            let _span = lf_obs::span!("pipeline.tracking");
-            find_streams(&edges, signal.len(), cfg)
-        };
-        for ts in &tracked {
-            checks::assert_finite_scalar("stream-tracking", ts.offset);
-            checks::assert_finite_scalar("stream-tracking", ts.period_est);
-            checks::assert_finite_f64("stream-tracking", &ts.slot_times);
-        }
-        let n_tracked = tracked.len();
-        let t_tracking = Instant::now();
-        let _span_analysis = lf_obs::span!("pipeline.analysis");
-
-        // Edge ownership across all tracked streams: stream k's window
-        // trimming must respect edges matched by the *other* streams but
-        // keep its own orphan companions (see lf_core::slots).
-        let mut owner: Vec<Option<usize>> = vec![None; edges.len()];
-        for (si, ts) in tracked.iter().enumerate() {
-            for m in ts.matched.iter().flatten() {
-                owner[*m] = Some(si);
-            }
-        }
-        let mut streams = Vec::new();
-        let mut stream_provs: Vec<StreamProvenance> = Vec::new();
-        for (si, ts) in tracked.iter().enumerate() {
-            let owned_by_others: Vec<bool> =
-                owner.iter().map(|o| o.is_some_and(|s| s != si)).collect();
-            let diffs = slot_differentials(signal, ts, &edges, &owned_by_others, cfg);
-            checks::assert_finite_complex("slot-differentials", &diffs);
-            let clean = slot_cleanliness(ts, &edges, &owned_by_others, cfg);
-            // The per-stream provenance skeleton: what the fold and the
-            // tracker saw; the analysis/decode stages fill in the rest.
-            let base_prov = StreamProvenance {
-                rate_bps: ts.rate_bps,
-                fold: ts.fold.clone(),
-                n_matched: ts.n_matched(),
-                n_slots: ts.n_slots(),
-                residual_std: ts.residual_std,
-                ..StreamProvenance::default()
-            };
-            let (analysis, sep_prov) = analyze_slots_with(&diffs, &clean, cfg);
-            match analysis {
-                StreamAnalysis::Single(fit) => {
-                    checks::assert_finite_complex(
-                        "collision-separation",
-                        std::slice::from_ref(&fit.e),
-                    );
-                    let (bits, trace) = decode_single_traced(&diffs, &fit, cfg);
-                    streams.push(DecodedStream {
-                        rate: ts.rate,
-                        rate_bps: ts.rate_bps,
-                        offset: ts.offset,
-                        period: ts.period_est,
-                        bits,
-                        kind: StreamKind::Single,
-                        edge_vector: fit.e,
-                    });
-                    stream_provs.push(StreamProvenance {
-                        kind: Some(StreamKind::Single),
-                        separation: sep_prov,
-                        anchor: trace.anchor,
-                        path_metric: trace.path_metric,
-                        ..base_prov
-                    });
-                }
-                StreamAnalysis::Collided(fit) => {
-                    checks::assert_finite_complex("collision-separation", &[fit.e1, fit.e2]);
-                    checks::assert_finite_scalar("collision-separation", fit.noise_var);
-                    // The anchor slot's lattice classification pinned both
-                    // member signs during separation.
-                    let anchor = fit
-                        .assignments
-                        .first()
-                        .map_or(AnchorOutcome::NotEvaluated, |&(a, b)| {
-                            AnchorOutcome::Pinned { a, b }
-                        });
-                    for idx in 0..2 {
-                        let obs = fit.member_observations(idx, &diffs);
-                        let e = if idx == 0 { fit.e1 } else { fit.e2 };
-                        let (bits, trace) =
-                            decode_member_traced(&obs, e, fit.member_emissions(idx), cfg);
-                        streams.push(DecodedStream {
-                            rate: ts.rate,
-                            rate_bps: ts.rate_bps,
-                            offset: ts.offset,
-                            period: ts.period_est,
-                            bits,
-                            kind: StreamKind::CollisionMember,
-                            edge_vector: e,
-                        });
-                        stream_provs.push(StreamProvenance {
-                            kind: Some(StreamKind::CollisionMember),
-                            separation: sep_prov.clone(),
-                            anchor,
-                            path_metric: trace.path_metric,
-                            ..base_prov.clone()
-                        });
-                    }
-                }
-                StreamAnalysis::Unresolved => {
-                    lf_obs::event!(
-                        Warn,
-                        "stream at {} bps unresolved (k_scores={:?})",
-                        ts.rate_bps,
-                        sep_prov.k_scores
-                    );
-                    streams.push(DecodedStream {
-                        rate: ts.rate,
-                        rate_bps: ts.rate_bps,
-                        offset: ts.offset,
-                        period: ts.period_est,
-                        bits: BitVec::new(),
-                        kind: StreamKind::Unresolved,
-                        edge_vector: Complex::ZERO,
-                    });
-                    stream_provs.push(StreamProvenance {
-                        kind: Some(StreamKind::Unresolved),
-                        separation: sep_prov,
-                        ..base_prov
-                    });
-                }
-            }
-        }
-        let t_end = Instant::now();
-        let timings = StageTimings {
-            edges: t_edges - t_start,
-            tracking: t_tracking - t_edges,
-            analysis: t_end - t_tracking,
-            total: t_end - t_start,
-        };
-        if self.obs.is_enabled() {
-            self.record_metrics(&streams, edges.len(), n_tracked, &timings);
-        }
-        (
-            EpochDecode {
-                streams,
-                n_edges: edges.len(),
-                n_tracked,
-                provenance: DecodeProvenance {
-                    n_edges: edges.len(),
-                    n_tracked,
-                    streams: stream_provs,
-                },
-            },
-            timings,
-        )
-    }
-
-    /// Publishes one decode's counts and stage latencies to the registry.
-    fn record_metrics(
-        &self,
-        streams: &[DecodedStream],
-        n_edges: usize,
-        n_tracked: usize,
-        timings: &StageTimings,
-    ) {
-        let obs = &self.obs;
-        obs.counter("pipeline.epochs").inc();
-        obs.counter("pipeline.edges_total").add(n_edges as u64);
-        obs.counter("pipeline.streams.tracked")
-            .add(n_tracked as u64);
-        for s in streams {
-            let name = match s.kind {
-                StreamKind::Single => "pipeline.streams.single",
-                StreamKind::CollisionMember => "pipeline.streams.collision_member",
-                StreamKind::Unresolved => "pipeline.streams.unresolved",
-            };
-            obs.counter(name).inc();
-        }
-        obs.histogram("pipeline.stage.edges.ns")
-            .record_duration(timings.edges);
-        obs.histogram("pipeline.stage.tracking.ns")
-            .record_duration(timings.tracking);
-        obs.histogram("pipeline.stage.analysis.ns")
-            .record_duration(timings.analysis);
-        obs.histogram("pipeline.stage.total.ns")
-            .record_duration(timings.total);
+        PipelineGraph::run(&self.cfg, &self.obs, signal)
     }
 }
 
@@ -637,5 +448,36 @@ mod tests {
         let signal = synthesize(&air_cfg, &[]);
         let decode = Decoder::new(cfg()).decode(&signal);
         assert!(decode.streams.is_empty(), "noise alone produced streams");
+    }
+
+    #[test]
+    fn decode_and_decode_timed_agree() {
+        // Both entry points are the same graph run: the decoded streams
+        // must be identical and the timings self-consistent.
+        let setup = build(
+            vec![(
+                10_000.0,
+                Complex::new(0.1, 0.05),
+                Comparator::fixed(100e-6),
+                0.0,
+                payload(60, 5),
+            )],
+            10_000,
+            0.003,
+        );
+        let decoder = Decoder::new(cfg());
+        let plain = decoder.decode(&setup.signal);
+        let (timed, timings) = decoder.decode_timed(&setup.signal);
+        assert_eq!(plain.streams.len(), timed.streams.len());
+        for (a, b) in plain.streams.iter().zip(&timed.streams) {
+            assert_eq!(a.rate_bps, b.rate_bps);
+            assert_eq!(a.bits, b.bits);
+        }
+        assert!(timings.total >= timings.per_stage.iter().sum::<Duration>());
+        assert_eq!(StageTimings::names().len(), STAGE_COUNT);
+        for (name, d) in timings.iter() {
+            assert_eq!(timings.get(name), Some(d));
+        }
+        assert_eq!(timings.get("no-such-stage"), None);
     }
 }

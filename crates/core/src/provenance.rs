@@ -55,6 +55,31 @@ impl FoldProvenance {
     }
 }
 
+/// The sub-harmonic carve attempted on an ambiguously-folded stream: the
+/// graph re-entry that re-folds the unclaimed residual edges at candidate
+/// harmonics and re-tracks the stream at the winning one. An *accepted*
+/// carve is a recovery gate — the fused lock was explained and replaced —
+/// so [`StreamProvenance::failing_stage`] stops naming the folding stage.
+/// A rejected carve leaves the fused lock (and the flag) in place.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CarveProvenance {
+    /// The harmonic multiple the split test chose (carved rate =
+    /// `harmonic` × the fused rate).
+    pub harmonic: u32,
+    /// Unclaimed, direction-matched residual edges supporting the carve.
+    pub n_residual: usize,
+    /// Peak weight of the residual re-fold at the carved sub-period.
+    pub residual_peak: f64,
+    /// Matched slots of the fused track before the carve.
+    pub n_matched_before: usize,
+    /// Matched slots of the re-tracked stream (0 when the re-track found
+    /// nothing).
+    pub n_matched_after: usize,
+    /// Whether the re-track explained enough additional edges to replace
+    /// the fused track.
+    pub accepted: bool,
+}
+
 /// Which gate redirected the collision analysis (§3.3–3.4), when one did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SeparationFallback {
@@ -131,6 +156,9 @@ pub struct StreamProvenance {
     pub residual_std: f64,
     /// What the cluster analysis saw.
     pub separation: SeparationProvenance,
+    /// The sub-harmonic carve attempted on this stream, when the graph's
+    /// split test fired (`None` when no carve was attempted).
+    pub carve: Option<CarveProvenance>,
     /// How the anchor bit resolved.
     pub anchor: AnchorOutcome,
     /// The Viterbi path metric of the kept decode (log-domain; larger is
@@ -143,7 +171,11 @@ impl StreamProvenance {
     /// in pipeline order, or `None` for a clean decode. The names match
     /// the stage names used by the `strict-checks` taint guards.
     pub fn failing_stage(&self) -> Option<&'static str> {
-        if self.fold.is_ambiguous() {
+        // An ambiguous fold is a failure unless the sub-harmonic carve
+        // explained it: an accepted carve replaced the fused lock with the
+        // true-rate track (keeping the ambiguous fold record as evidence),
+        // which makes the carve a recovery gate, not a failure.
+        if self.fold.is_ambiguous() && !self.carve.as_ref().is_some_and(|c| c.accepted) {
             return Some("stream-folding");
         }
         if self.kind == Some(StreamKind::Unresolved)
@@ -316,6 +348,54 @@ mod tests {
         };
         assert_eq!(prov.failing_stage(), Some("collision-separation"));
         assert_eq!(prov.anomalies().count(), 1);
+    }
+
+    #[test]
+    fn accepted_carve_turns_fold_ambiguity_into_a_recovery() {
+        let p = StreamProvenance {
+            kind: Some(StreamKind::Single),
+            anchor: AnchorOutcome::Satisfied,
+            fold: FoldProvenance {
+                peak_weight: 60.0,
+                runner_up_weight: 55.0,
+                mean_weight: 1.0,
+                single_tag_ceiling: 75.0,
+            },
+            carve: Some(CarveProvenance {
+                harmonic: 2,
+                n_residual: 9,
+                residual_peak: 9.0,
+                n_matched_before: 91,
+                n_matched_after: 100,
+                accepted: true,
+            }),
+            ..StreamProvenance::default()
+        };
+        assert!(p.fold.is_ambiguous(), "test premise: the fold is flagged");
+        assert_eq!(p.failing_stage(), None);
+    }
+
+    #[test]
+    fn rejected_carve_keeps_the_fold_flag() {
+        let p = StreamProvenance {
+            kind: Some(StreamKind::Single),
+            anchor: AnchorOutcome::Satisfied,
+            fold: FoldProvenance {
+                peak_weight: 60.0,
+                runner_up_weight: 55.0,
+                mean_weight: 1.0,
+                single_tag_ceiling: 75.0,
+            },
+            carve: Some(CarveProvenance {
+                harmonic: 2,
+                n_residual: 4,
+                n_matched_before: 91,
+                n_matched_after: 92,
+                ..CarveProvenance::default()
+            }),
+            ..StreamProvenance::default()
+        };
+        assert_eq!(p.failing_stage(), Some("stream-folding"));
     }
 
     #[test]

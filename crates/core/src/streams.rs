@@ -45,8 +45,44 @@
 use crate::config::DecoderConfig;
 use crate::edges::EdgeEvent;
 use crate::provenance::FoldProvenance;
-use lf_dsp::fold::fold_events;
+use lf_dsp::fold::FoldTable;
 use lf_types::BitRate;
+
+/// Which structural alias validations a tracking pass applies.
+///
+/// The blind stream search runs them all: they exist to stop a candidate
+/// from locking onto an alias of the true rate. A sub-harmonic *carve*
+/// re-track suspends them — the carve's split test has already
+/// established that the harmonic structure is real (residual edges on the
+/// sub-grid), and the residue-majority check would otherwise veto exactly
+/// the lock the carve is trying to make. The size gates (too few matches,
+/// sparse density) always apply.
+#[derive(Debug, Clone, Copy)]
+struct TrackChecks {
+    residue_majority: bool,
+    up_alias: bool,
+    interleave: bool,
+}
+
+impl TrackChecks {
+    /// All structural validations on — the blind search.
+    fn all() -> Self {
+        TrackChecks {
+            residue_majority: true,
+            up_alias: true,
+            interleave: true,
+        }
+    }
+
+    /// Alias validations suspended — the carve re-track.
+    fn carve() -> Self {
+        TrackChecks {
+            residue_majority: false,
+            up_alias: false,
+            interleave: false,
+        }
+    }
+}
 
 /// A stream locked by the folder+tracker.
 #[derive(Debug, Clone)]
@@ -104,11 +140,18 @@ pub fn find_streams(
     cfg: &DecoderConfig,
 ) -> Vec<TrackedStream> {
     let mut claimed = vec![false; edges.len()];
+    // One resumable fold table over the whole edge arena: each gather
+    // round re-folds the still-active events at every candidate period;
+    // claiming a stream's edges retires them from every later fold
+    // without rebuilding the event arrays.
+    let mut table = FoldTable::with_unit_weights(edges.iter().map(|e| e.time).collect());
     let mut streams: Vec<TrackedStream> = Vec::new();
     for _round in 0..4 {
         let mut candidates = Vec::new();
         for &rate in cfg.rate_plan.rates() {
-            candidates.extend(gather_candidates(edges, &claimed, rate, n_samples, cfg));
+            candidates.extend(gather_candidates(
+                edges, &claimed, &table, rate, n_samples, cfg,
+            ));
         }
         // Rank by explanatory power weighted by track quality: matched
         // edges times a Gaussian penalty on residual dispersion. This puts
@@ -144,6 +187,7 @@ pub fn find_streams(
             );
             for i in matched {
                 claimed[i] = true;
+                table.retire(i);
             }
             streams.push(cand);
             accepted_any = true;
@@ -157,9 +201,12 @@ pub fn find_streams(
 
 /// One gather pass: fold the unclaimed edges at every rate, track each
 /// peak, return all candidates that pass the structural validations.
+/// `table` is the epoch's resumable fold table; its active set mirrors
+/// `!claimed`.
 fn gather_candidates(
     edges: &[EdgeEvent],
     claimed: &[bool],
+    table: &FoldTable,
     rate: BitRate,
     n_samples: usize,
     cfg: &DecoderConfig,
@@ -186,9 +233,7 @@ fn gather_candidates(
         if in_window.is_empty() {
             return candidates;
         }
-        let times: Vec<f64> = in_window.iter().map(|&(_, t)| t).collect();
-        let weights = vec![1.0; times.len()];
-        let hist = fold_events(&times, &weights, period, nbins);
+        let hist = table.fold_within(period, nbins, window_samples);
         let window_bits_actual = window_samples / period;
         let min_weight = (cfg.min_stream_fill * window_bits_actual * 0.5).max(3.0);
         let peaks = hist.peaks(min_weight, 2);
@@ -218,9 +263,16 @@ fn gather_candidates(
                 d <= 1.5 * bin_width
             });
             let Some(&(seed_idx, _)) = seed else { continue };
-            if let Some(mut tracked) =
-                track_stream(edges, claimed, seed_idx, rate, period, n_samples, cfg)
-            {
+            if let Some(mut tracked) = track_stream(
+                edges,
+                claimed,
+                seed_idx,
+                rate,
+                period,
+                n_samples,
+                cfg,
+                TrackChecks::all(),
+            ) {
                 tracked.fold = fold;
                 candidates.push(tracked);
             }
@@ -229,9 +281,36 @@ fn gather_candidates(
     candidates
 }
 
+/// Re-tracks a carved stream at a harmonic of its fused rate, seeded from
+/// a known-good edge, matching only unclaimed edges. The structural alias
+/// validations are suspended ([`TrackChecks::carve`]) — the caller's
+/// split test already established the harmonic structure — but the size
+/// gates (too few matches, sparse density) still apply.
+pub(crate) fn retrack_at_harmonic(
+    edges: &[EdgeEvent],
+    claimed: &[bool],
+    seed_idx: usize,
+    rate: BitRate,
+    n_samples: usize,
+    cfg: &DecoderConfig,
+) -> Option<TrackedStream> {
+    let nominal_period = cfg.period_samples(rate.bps(cfg.rate_plan.base_bps()));
+    track_stream(
+        edges,
+        claimed,
+        seed_idx,
+        rate,
+        nominal_period,
+        n_samples,
+        cfg,
+        TrackChecks::carve(),
+    )
+}
+
 /// Tracks one stream from a seed edge, matching only unclaimed edges.
-/// Returns `None` when the candidate fails the structural validations
-/// (too few matches, rate aliases).
+/// Returns `None` when the candidate fails the validations `checks`
+/// selects (too few matches, rate aliases).
+#[allow(clippy::too_many_arguments)]
 fn track_stream(
     edges: &[EdgeEvent],
     claimed: &[bool],
@@ -240,6 +319,7 @@ fn track_stream(
     nominal_period: f64,
     n_samples: usize,
     cfg: &DecoderConfig,
+    checks: TrackChecks,
 ) -> Option<TrackedStream> {
     // Matching tolerance: the slot prediction is good to ~a sample right
     // after a match, but while *coasting* over flat (no-edge) slots the
@@ -343,21 +423,23 @@ fn track_stream(
         .enumerate()
         .filter_map(|(i, m)| m.map(|_| i))
         .collect();
-    for m in [2usize, 3, 4, 5] {
-        let mut counts = vec![0usize; m];
-        for &s in &matched_slots {
-            counts[s % m] += 1;
-        }
-        let majority = counts.iter().copied().max().unwrap_or(0);
-        if majority as f64 >= 0.85 * matched_slots.len() as f64 {
-            lf_obs::event!(
-                Debug,
-                "reject rate={} t0={:.1} n={} reason=residue_majority",
-                rate.bps(cfg.rate_plan.base_bps()),
-                t0,
-                n_matched
-            );
-            return None;
+    if checks.residue_majority {
+        for m in [2usize, 3, 4, 5] {
+            let mut counts = vec![0usize; m];
+            for &s in &matched_slots {
+                counts[s % m] += 1;
+            }
+            let majority = counts.iter().copied().max().unwrap_or(0);
+            if majority as f64 >= 0.85 * matched_slots.len() as f64 {
+                lf_obs::event!(
+                    Debug,
+                    "reject rate={} t0={:.1} n={} reason=residue_majority",
+                    rate.bps(cfg.rate_plan.base_bps()),
+                    t0,
+                    n_matched
+                );
+                return None;
+            }
         }
     }
     // Residual dispersion around the fitted line — the arbitration
@@ -385,7 +467,7 @@ fn track_stream(
     // edges. The tell: the *inter-slot* positions (slot + j·period/m)
     // hold about as many unexplained edges as the track matched. Reject
     // and let the faster hypothesis claim the stream whole.
-    for m in [2usize, 3] {
+    for m in [2usize, 3].into_iter().filter(|_| checks.up_alias) {
         let Ok(sup) = BitRate::from_multiple(rate.multiple().saturating_mul(m as u32)) else {
             continue;
         };
@@ -455,7 +537,7 @@ fn track_stream(
         .enumerate()
         .filter_map(|(i, m)| m.map(|idx| (i, edges[idx].diff)))
         .collect();
-    if ediffs.len() >= 6 && matched_pairs.len() >= 6 {
+    if checks.interleave && ediffs.len() >= 6 && matched_pairs.len() >= 6 {
         let all: Vec<lf_types::Complex> = ediffs.iter().map(|&(_, d)| d).collect();
         let whole_diverse = collinearity_ratio(&all) > 0.2;
         for m in [2usize, 3] {

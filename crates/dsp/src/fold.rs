@@ -86,6 +86,104 @@ pub fn fold_events(times: &[f64], weights: &[f64], period: f64, nbins: usize) ->
     }
 }
 
+/// A resumable fold accumulator over a fixed set of weighted events.
+///
+/// The stream search folds the *same* event set many times: once per
+/// candidate rate per gather round, with events dropping out as accepted
+/// streams claim them, and once more per candidate harmonic when a fused
+/// stream's residual edges are re-folded. `FoldTable` holds the event set
+/// once and folds any still-active subset at any period on demand —
+/// [`FoldTable::retire`] removes a claimed event from every later fold
+/// without rebuilding the time/weight arrays.
+#[derive(Debug, Clone)]
+pub struct FoldTable {
+    times: Vec<f64>,
+    weights: Vec<f64>,
+    active: Vec<bool>,
+}
+
+impl FoldTable {
+    /// Builds a table over `times`/`weights` (all events active).
+    ///
+    /// Panics if the slices disagree in length.
+    pub fn new(times: Vec<f64>, weights: Vec<f64>) -> Self {
+        assert_eq!(times.len(), weights.len(), "times/weights length mismatch");
+        let active = vec![true; times.len()];
+        FoldTable {
+            times,
+            weights,
+            active,
+        }
+    }
+
+    /// Builds a table with unit weights.
+    pub fn with_unit_weights(times: Vec<f64>) -> Self {
+        let weights = vec![1.0; times.len()];
+        FoldTable::new(times, weights)
+    }
+
+    /// Number of events in the table (active or not).
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when the table holds no events at all.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Number of events still active.
+    pub fn n_active(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Whether event `i` is still active.
+    pub fn is_active(&self, i: usize) -> bool {
+        self.active.get(i).copied().unwrap_or(false)
+    }
+
+    /// Removes event `i` from all subsequent folds (a stream claimed it).
+    /// Out-of-range indices are ignored.
+    pub fn retire(&mut self, i: usize) {
+        if let Some(a) = self.active.get_mut(i) {
+            *a = false;
+        }
+    }
+
+    /// Folds the active events at `period` into `nbins` bins.
+    ///
+    /// Panics if `period` or `nbins` is non-positive.
+    pub fn fold(&self, period: f64, nbins: usize) -> FoldedHistogram {
+        self.fold_within(period, nbins, f64::INFINITY)
+    }
+
+    /// Folds the active events with `time < t_max` at `period` into
+    /// `nbins` bins — the drift-safe-window fold of the stream search.
+    ///
+    /// Panics if `period` or `nbins` is non-positive.
+    pub fn fold_within(&self, period: f64, nbins: usize, t_max: f64) -> FoldedHistogram {
+        assert!(period > 0.0, "period must be positive");
+        assert!(nbins > 0, "need at least one bin");
+        let _span = lf_obs::span!("dsp.fold");
+        let mut bins = vec![0.0; nbins];
+        let mut counts = vec![0usize; nbins];
+        for ((&t, &w), &live) in self.times.iter().zip(&self.weights).zip(&self.active) {
+            if !live || t >= t_max {
+                continue;
+            }
+            let phase = t.rem_euclid(period) / period;
+            let bin = ((phase * nbins as f64) as usize).min(nbins - 1);
+            bins[bin] += w;
+            counts[bin] += 1;
+        }
+        FoldedHistogram {
+            bins,
+            counts,
+            period,
+        }
+    }
+}
+
 /// Folds a dense strength series (one value per sample) at `period` samples.
 pub fn fold_series(series: &[f64], period: f64, nbins: usize) -> FoldedHistogram {
     assert!(period > 0.0, "period must be positive");
@@ -184,5 +282,58 @@ mod tests {
     #[should_panic(expected = "period must be positive")]
     fn zero_period_panics() {
         let _ = fold_events(&[1.0], &[1.0], 0.0, 10);
+    }
+
+    #[test]
+    fn fold_table_matches_fold_events_when_all_active() {
+        let times: Vec<f64> = (0..50).map(|k| 25.0 + 100.0 * k as f64).collect();
+        let weights: Vec<f64> = (0..50).map(|k| 1.0 + (k % 3) as f64).collect();
+        let table = FoldTable::new(times.clone(), weights.clone());
+        let a = table.fold(100.0, 50);
+        let b = fold_events(&times, &weights, 100.0, 50);
+        assert_eq!(a.bins, b.bins);
+        assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn retired_events_leave_the_fold() {
+        let times: Vec<f64> = (0..10).map(|k| 25.0 + 100.0 * k as f64).collect();
+        let mut table = FoldTable::with_unit_weights(times);
+        assert_eq!(table.n_active(), 10);
+        for i in 0..5 {
+            table.retire(i);
+        }
+        assert_eq!(table.n_active(), 5);
+        assert!(!table.is_active(0));
+        assert!(table.is_active(5));
+        let h = table.fold(100.0, 50);
+        assert_eq!(h.bins.iter().sum::<f64>(), 5.0);
+        // Retiring out of range is a no-op, not a panic.
+        table.retire(10_000);
+        assert_eq!(table.n_active(), 5);
+    }
+
+    #[test]
+    fn fold_within_respects_the_window() {
+        let times: Vec<f64> = (0..20).map(|k| 25.0 + 100.0 * k as f64).collect();
+        let table = FoldTable::with_unit_weights(times);
+        let h = table.fold_within(100.0, 50, 1000.0);
+        // Only the 10 events strictly before t = 1000 fold.
+        assert_eq!(h.bins.iter().sum::<f64>(), 10.0);
+        let full = table.fold(100.0, 50);
+        assert_eq!(full.bins.iter().sum::<f64>(), 20.0);
+    }
+
+    #[test]
+    fn fold_table_refolds_at_a_sub_period() {
+        // Events every 200 samples look 5 kbps-periodic; re-folding the
+        // same table at the 100-sample sub-period is the carve's re-fold.
+        let times: Vec<f64> = (0..30).map(|k| 100.0 + 200.0 * k as f64).collect();
+        let table = FoldTable::with_unit_weights(times);
+        let coarse = table.fold(200.0, 100);
+        let fine = table.fold(100.0, 50);
+        assert_eq!(coarse.bins.iter().sum::<f64>(), 30.0);
+        assert_eq!(fine.bins.iter().sum::<f64>(), 30.0);
+        assert_eq!(fine.peaks(10.0, 2).len(), 1);
     }
 }

@@ -16,10 +16,14 @@
 //! nothing.
 //!
 //! Span nesting is tracked per thread: each record carries the dotted
-//! path of open spans (`pipeline.analysis.dsp.kmeans`), and every span
+//! path of open spans (`pipeline.separation.dsp.kmeans`), and every span
 //! exit also records its duration into the registry histogram
 //! `span.<name>.ns`, which is how the per-stage latency histograms in the
-//! metrics snapshot are fed.
+//! metrics snapshot are fed. The `pipeline.<stage>` span names are not
+//! chosen here: the decode stage graph (`lf_core::graph`) declares one
+//! static span name per stage and the graph runner opens it around each
+//! stage execution, so the span tree always mirrors the pipeline's real
+//! shape.
 
 use crate::context::ObsContext;
 use std::cell::RefCell;

@@ -8,8 +8,14 @@
 //! rings give *exact* recent-window percentiles. [`RuntimeStats`] is a
 //! self-consistent-enough snapshot for a poll loop — the runtime keeps
 //! serving while it is taken.
+//!
+//! The per-stage breakdown is derived from the decode graph itself
+//! ([`StageTimings::names`]), so a stage added to `lf_core::graph` shows
+//! up here — and in the `reader.stage.<name>.ns` registry metrics —
+//! without this file changing.
 
 use lf_core::pipeline::StageTimings;
+use lf_core::STAGE_COUNT;
 use lf_obs::{Counter, Gauge, Histogram, ObsContext};
 use std::collections::VecDeque;
 use std::sync::{Mutex, PoisonError};
@@ -36,9 +42,9 @@ pub(crate) struct StatsShared {
     pub forced_splits: Counter,
     job_queue_depth: Gauge,
     result_queue_depth: Gauge,
-    h_edges: Histogram,
-    h_tracking: Histogram,
-    h_analysis: Histogram,
+    /// One histogram per decode stage, in graph order; registered once at
+    /// construction so the per-epoch path never formats a metric name.
+    h_stages: [Histogram; STAGE_COUNT],
     h_total: Histogram,
     latencies: Mutex<LatencyRings>,
 }
@@ -51,9 +57,7 @@ impl Default for StatsShared {
 
 #[derive(Debug, Default)]
 struct LatencyRings {
-    edges: VecDeque<u64>,
-    tracking: VecDeque<u64>,
-    analysis: VecDeque<u64>,
+    per_stage: [VecDeque<u64>; STAGE_COUNT],
     total: VecDeque<u64>,
 }
 
@@ -72,6 +76,7 @@ impl StatsShared {
     /// Creates the runtime's statistics block, registering every counter,
     /// gauge, and latency histogram in `obs` under `reader.*` names.
     pub fn new(obs: &ObsContext) -> Self {
+        let names = StageTimings::names();
         StatsShared {
             chunks_in: obs.counter("reader.chunks_in"),
             samples_in: obs.counter("reader.samples_in"),
@@ -82,26 +87,26 @@ impl StatsShared {
             forced_splits: obs.counter("reader.forced_splits"),
             job_queue_depth: obs.gauge("reader.job_queue_depth"),
             result_queue_depth: obs.gauge("reader.result_queue_depth"),
-            h_edges: obs.histogram("reader.stage.edges.ns"),
-            h_tracking: obs.histogram("reader.stage.tracking.ns"),
-            h_analysis: obs.histogram("reader.stage.analysis.ns"),
+            h_stages: std::array::from_fn(|i| {
+                obs.histogram(&format!("reader.stage.{}.ns", names[i]))
+            }),
             h_total: obs.histogram("reader.stage.total.ns"),
             latencies: Mutex::new(LatencyRings::default()),
         }
     }
 
     pub fn record_latency(&self, t: &StageTimings) {
-        self.h_edges.record_duration(t.edges);
-        self.h_tracking.record_duration(t.tracking);
-        self.h_analysis.record_duration(t.analysis);
+        for (h, d) in self.h_stages.iter().zip(t.per_stage) {
+            h.record_duration(d);
+        }
         self.h_total.record_duration(t.total);
         let mut rings = self
             .latencies
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        push_ring(&mut rings.edges, nanos_of(t.edges));
-        push_ring(&mut rings.tracking, nanos_of(t.tracking));
-        push_ring(&mut rings.analysis, nanos_of(t.analysis));
+        for (ring, d) in rings.per_stage.iter_mut().zip(t.per_stage) {
+            push_ring(ring, nanos_of(d));
+        }
         push_ring(&mut rings.total, nanos_of(t.total));
     }
 
@@ -117,9 +122,7 @@ impl StatsShared {
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         let latency = StageLatencies {
-            edges: LatencySummary::of(&rings.edges),
-            tracking: LatencySummary::of(&rings.tracking),
-            analysis: LatencySummary::of(&rings.analysis),
+            per_stage: std::array::from_fn(|i| LatencySummary::of(&rings.per_stage[i])),
             total: LatencySummary::of(&rings.total),
         };
         drop(rings);
@@ -186,17 +189,36 @@ impl LatencySummary {
     }
 }
 
-/// Per-stage latency summaries, matching `lf_core::StageTimings`.
+/// Per-stage latency summaries, indexed like `lf_core::StageTimings` —
+/// one entry per decode-graph stage, in execution order.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageLatencies {
-    /// Edge detection (§3.1).
-    pub edges: LatencySummary,
-    /// Stream folding/tracking (§3.2).
-    pub tracking: LatencySummary,
-    /// Slot analysis through bit decode (§3.3–3.5).
-    pub analysis: LatencySummary,
+    /// One summary per decode stage, in graph order.
+    pub per_stage: [LatencySummary; STAGE_COUNT],
     /// Whole-epoch decode.
     pub total: LatencySummary,
+}
+
+impl StageLatencies {
+    /// The stage names, in the same order as [`StageLatencies::per_stage`]
+    /// (`"total"` is separate — it is the whole-epoch latency, not a
+    /// stage).
+    pub fn names() -> [&'static str; STAGE_COUNT] {
+        StageTimings::names()
+    }
+
+    /// The summary for the stage called `name`, if there is one.
+    pub fn get(&self, name: &str) -> Option<LatencySummary> {
+        Self::names()
+            .iter()
+            .position(|&n| n == name)
+            .map(|i| self.per_stage[i])
+    }
+
+    /// `(stage name, summary)` pairs in execution order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, LatencySummary)> + '_ {
+        Self::names().into_iter().zip(self.per_stage)
+    }
 }
 
 /// A point-in-time view of the runtime.
@@ -228,6 +250,17 @@ pub struct RuntimeStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A timings block with stage `i` taking `i + 1` µs and the total
+    /// their sum — distinct values so index mix-ups show up.
+    fn sample_timings() -> StageTimings {
+        let per_stage: [Duration; STAGE_COUNT] =
+            std::array::from_fn(|i| Duration::from_micros(i as u64 + 1));
+        StageTimings {
+            per_stage,
+            total: per_stage.iter().sum::<Duration>(),
+        }
+    }
 
     #[test]
     fn percentiles_over_known_ring() {
@@ -280,18 +313,28 @@ mod tests {
     #[test]
     fn ring_is_bounded() {
         let stats = StatsShared::default();
-        let t = StageTimings {
-            edges: Duration::from_micros(1),
-            tracking: Duration::from_micros(2),
-            analysis: Duration::from_micros(3),
-            total: Duration::from_micros(6),
-        };
+        let t = sample_timings();
         for _ in 0..(LATENCY_RING + 50) {
             stats.record_latency(&t);
         }
         let snap = stats.snapshot(0, 0);
         assert_eq!(snap.latency.total.count, LATENCY_RING);
-        assert_eq!(snap.latency.total.p50, Duration::from_micros(6));
+        assert_eq!(snap.latency.total.p50, t.total);
+    }
+
+    #[test]
+    fn stage_summaries_follow_graph_order() {
+        let stats = StatsShared::default();
+        let t = sample_timings();
+        stats.record_latency(&t);
+        let snap = stats.snapshot(0, 0);
+        for (i, (name, summary)) in snap.latency.iter().enumerate() {
+            assert_eq!(summary.count, 1, "stage {name}");
+            assert_eq!(summary.p50, t.per_stage[i], "stage {name}");
+            assert_eq!(snap.latency.get(name), Some(summary));
+        }
+        assert_eq!(snap.latency.get("total"), None);
+        assert_eq!(snap.latency.get("no-such-stage"), None);
     }
 
     #[test]
@@ -300,13 +343,7 @@ mod tests {
         let stats = StatsShared::new(&obs);
         stats.chunks_in.add(3);
         stats.epochs_in.inc();
-        let t = StageTimings {
-            edges: Duration::from_micros(1),
-            tracking: Duration::from_micros(2),
-            analysis: Duration::from_micros(3),
-            total: Duration::from_micros(6),
-        };
-        stats.record_latency(&t);
+        stats.record_latency(&sample_timings());
         let _ = stats.snapshot(2, 1);
         let snap = obs.registry_snapshot();
         assert_eq!(
@@ -321,6 +358,14 @@ mod tests {
             snap.get("reader.job_queue_depth"),
             Some(&lf_obs::MetricValue::Gauge(2))
         );
+        // Every stage histogram is registered under its graph name.
+        for name in StageLatencies::names() {
+            let key = format!("reader.stage.{name}.ns");
+            let Some(lf_obs::MetricValue::Histogram(h)) = snap.get(&key) else {
+                panic!("missing stage histogram {key}");
+            };
+            assert_eq!(h.count, 1, "{key}");
+        }
         let Some(lf_obs::MetricValue::Histogram(h)) = snap.get("reader.stage.total.ns") else {
             panic!("missing total-latency histogram");
         };

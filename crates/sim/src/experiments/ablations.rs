@@ -168,7 +168,9 @@ pub fn detection_threshold_sweep(seed: u64) -> Vec<ThresholdPoint> {
             let mut cfg = DecoderConfig::at_sample_rate(sc.sample_rate);
             cfg.rate_plan = sc.rate_plan.clone();
             cfg.detect_threshold_k = k;
-            let edges = detect_edges(&signal, &cfg);
+            // Counts raw detections at this threshold next to the full
+            // decode.
+            let edges = detect_edges(&signal, &cfg); // xtask: allow(no-stage-bypass)
             let decode = Decoder::new(cfg).decode(&signal);
             let decoded = decode.streams.iter().any(|s| {
                 (s.offset - truth.offset).abs() < 8.0

@@ -69,11 +69,13 @@ pub fn run(seed: u64) -> Fig5 {
 
     let mut cfg = DecoderConfig::at_sample_rate(fs);
     cfg.rate_plan = literal_plan(100.0, &[10_000.0]);
-    let edges = detect_edges(&signal, &cfg);
-    let streams = find_streams(&edges, signal.len(), &cfg);
+    // Fig. 5 visualizes the separation stage's raw inputs, so it taps
+    // the stages directly.
+    let edges = detect_edges(&signal, &cfg); // xtask: allow(no-stage-bypass)
+    let streams = find_streams(&edges, signal.len(), &cfg); // xtask: allow(no-stage-bypass)
     let diffs = streams
         .first()
-        .map(|s| slot_differentials(&signal, s, &edges, &vec![false; edges.len()], &cfg))
+        .map(|s| slot_differentials(&signal, s, &edges, &vec![false; edges.len()], &cfg)) // xtask: allow(no-stage-bypass)
         .unwrap_or_default();
     if diffs.is_empty() {
         return Fig5 {

@@ -150,9 +150,11 @@ fn one_trial(p: &ThroughputParams, rate_bps: f64, n_background: usize, seed: u64
 
     let mut cfg = DecoderConfig::at_sample_rate(fs);
     cfg.rate_plan = p.rate_plan.clone();
-    let edges = detect_edges(&signal, &cfg);
-    let streams = find_streams(&edges, signal.len(), &cfg);
-    // The merged stream is the one at the forced offset.
+    // Stage-isolation experiment: Table 2 probes the separation stage
+    // directly on a hand-built collision.
+    let edges = detect_edges(&signal, &cfg); // xtask: allow(no-stage-bypass)
+    let streams = find_streams(&edges, signal.len(), &cfg); // xtask: allow(no-stage-bypass)
+                                                            // The merged stream is the one at the forced offset.
     let forced_offset = 100e-6 * fs.sps();
     let Some(merged) = streams
         .iter()
@@ -169,9 +171,10 @@ fn one_trial(p: &ThroughputParams, rate_bps: f64, n_background: usize, seed: u64
             owned_by_others[*m] = true;
         }
     }
-    let diffs = slot_differentials(&signal, merged, &edges, &owned_by_others, &cfg);
-    let clean = lf_core::slots::slot_cleanliness(merged, &edges, &owned_by_others, &cfg);
-    let StreamAnalysis::Collided(fit) = analyze_slots(&diffs, &clean, &cfg) else {
+    let diffs = slot_differentials(&signal, merged, &edges, &owned_by_others, &cfg); // xtask: allow(no-stage-bypass)
+    let clean = lf_core::slots::slot_cleanliness(merged, &edges, &owned_by_others, &cfg); // xtask: allow(no-stage-bypass)
+    let analysis = analyze_slots(&diffs, &clean, &cfg); // xtask: allow(no-stage-bypass)
+    let StreamAnalysis::Collided(fit) = analysis else {
         return 0.0;
     };
 

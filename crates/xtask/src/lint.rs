@@ -32,6 +32,17 @@
 //!   failure the streaming runtime's `BoundedQueue` (and its explicit
 //!   backpressure policy) exists to prevent. `mpsc::sync_channel` and
 //!   `lf_reader::BoundedQueue` are the sanctioned alternatives.
+//! * [`Rule::NoStageBypass`] — library code outside `lf-core` never calls
+//!   the decode pipeline's stage internals (`detect_edges`,
+//!   `find_streams`, `slot_differentials`, `analyze_slots`,
+//!   `decode_single`, …) directly. The stage graph
+//!   (`lf_core::graph::PipelineGraph`, behind the `Decoder` facade) is
+//!   the only sanctioned composition: it owns stage ordering, re-entry,
+//!   and the single instrumentation point, so a hand-rolled pipeline
+//!   silently loses provenance, spans, and the sub-harmonic carve.
+//!   Binaries, examples, and benches own their own experiments and are
+//!   exempt; simulation experiments that deliberately measure one stage
+//!   in isolation carry explicit waivers.
 //! * [`Rule::NoPrintlnInCrates`] — library crates never write to
 //!   stdout/stderr with `println!`/`eprintln!` (or their non-newline
 //!   forms). Diagnostics go through `lf_obs::event!`, which lands in the
@@ -72,6 +83,9 @@ pub enum Rule {
     UnboundedChannel,
     /// `println!`/`eprintln!` in library-crate production code.
     NoPrintlnInCrates,
+    /// Direct call of a decode-stage internal from library code outside
+    /// `lf-core`.
+    NoStageBypass,
 }
 
 impl Rule {
@@ -84,6 +98,7 @@ impl Rule {
             Rule::MissingDocs => "missing-docs",
             Rule::UnboundedChannel => "no-unbounded-channel",
             Rule::NoPrintlnInCrates => "no-println-in-crates",
+            Rule::NoStageBypass => "no-stage-bypass",
         }
     }
 }
@@ -169,6 +184,7 @@ struct Scope {
     docs: bool,
     time_cast: bool,
     no_println: bool,
+    stage_bypass: bool,
 }
 
 fn scope_of(root: &Path, file: &Path) -> Scope {
@@ -189,6 +205,9 @@ fn scope_of(root: &Path, file: &Path) -> Scope {
         // lf-types owns the sanctioned index/time conversion helpers.
         time_cast: !in_types,
         no_println: !is_bin,
+        // lf-core composes its own stages; binaries/examples run their
+        // own experiments. Everything else goes through the graph.
+        stage_bypass: !in_core && !is_bin,
     }
 }
 
@@ -281,6 +300,23 @@ fn lint_file(root: &Path, file: &Path, text: &str, findings: &mut Vec<Finding>) 
                           (binaries and examples own their stdout)"
                     .into(),
             });
+        }
+
+        if scope.stage_bypass && !waived(comment, Rule::NoStageBypass) && !trimmed.starts_with("//")
+        {
+            if let Some(what) = stage_bypass_call(code) {
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line: lineno,
+                    rule: Rule::NoStageBypass,
+                    message: format!(
+                        "`{}` is a decode-stage internal; compose stages \
+                         through `Decoder`/`PipelineGraph` so ordering, \
+                         re-entry, and provenance are owned by the graph",
+                        what.trim_end_matches('(')
+                    ),
+                });
+            }
         }
 
         if scope.docs && !waived(comment, Rule::MissingDocs) && is_pub_fn(trimmed) && !prev_doc {
@@ -413,6 +449,33 @@ fn has_print_macro(code: &str) -> bool {
         })
 }
 
+/// The decode pipeline's stage entry points: only `lf-core`'s stage graph
+/// composes these. Each probe carries its call paren so a mention in a
+/// path or doc string never fires, and the prefix check below rejects
+/// matches inside longer identifiers.
+const STAGE_INTERNALS: &[&str] = &[
+    "detect_edges(",
+    "find_streams(",
+    "slot_differentials(",
+    "slot_cleanliness(",
+    "analyze_slots(",
+    "analyze_slots_with(",
+    "decode_single(",
+    "decode_single_traced(",
+    "decode_member(",
+    "decode_member_traced(",
+];
+
+fn stage_bypass_call(code: &str) -> Option<&'static str> {
+    STAGE_INTERNALS.iter().copied().find(|probe| {
+        code.match_indices(probe).any(|(pos, _)| {
+            pos == 0
+                || !code.as_bytes()[pos - 1].is_ascii_alphanumeric()
+                    && code.as_bytes()[pos - 1] != b'_'
+        })
+    })
+}
+
 fn is_pub_fn(trimmed: &str) -> bool {
     trimmed.starts_with("pub fn ")
         || trimmed.starts_with("pub const fn ")
@@ -467,6 +530,22 @@ mod tests {
         assert!(!has_print_macro("pretty_print(x)"));
         assert!(!has_print_macro(r#"writeln!(out, "row")"#));
         assert!(!has_print_macro("self.print_hook()"));
+    }
+
+    #[test]
+    fn stage_bypass_probe() {
+        assert_eq!(
+            stage_bypass_call("let edges = detect_edges(&signal, &cfg);"),
+            Some("detect_edges(")
+        );
+        assert_eq!(
+            stage_bypass_call("let (a, p) = analyze_slots_with(&d, &c, &cfg);"),
+            Some("analyze_slots_with(")
+        );
+        // Longer identifiers that merely end in a probe name stay silent.
+        assert_eq!(stage_bypass_call("my_detect_edges(&signal)"), None);
+        // Mentions without a call do not fire.
+        assert_eq!(stage_bypass_call("use lf_core::edges::detect_edges;"), None);
     }
 
     #[test]

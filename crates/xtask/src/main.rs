@@ -6,13 +6,16 @@
 //! * `bench-report` — runs the `lf-bench` report binary in release mode
 //!   and validates the `BENCH_<label>.json` artifact it writes (decode
 //!   throughput plus per-stage latency histograms from the instrumented
-//!   pipeline).
+//!   pipeline). With `--baseline FILE` it additionally compares the new
+//!   report's epoch-decode throughput against an archived report and
+//!   fails if it regressed by more than 10%.
 //!
 //! ```text
 //! cargo xtask lint                    # lint the repository
 //! cargo xtask lint --root DIR         # lint another tree (meta-tests)
 //! cargo xtask bench-report            # → BENCH_local.json
 //! cargo xtask bench-report --label ci # → BENCH_ci.json
+//! cargo xtask bench-report --label pr --baseline BENCH_ci.json
 //! ```
 
 use xtask::lint;
@@ -20,7 +23,8 @@ use xtask::lint;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cargo xtask lint [--root DIR] | bench-report [--label L]";
+const USAGE: &str =
+    "usage: cargo xtask lint [--root DIR] | bench-report [--label L] [--baseline FILE]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,14 +39,19 @@ fn main() -> ExitCode {
 }
 
 fn run_bench_report(args: &[String]) -> ExitCode {
-    let label = match args {
-        [] => "local".to_owned(),
-        [flag, l] if flag == "--label" => l.clone(),
-        _ => {
-            eprintln!("{USAGE}");
-            return ExitCode::from(2);
+    let mut label = "local".to_owned();
+    let mut baseline: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match (flag.as_str(), it.next()) {
+            ("--label", Some(l)) => label = l.clone(),
+            ("--baseline", Some(f)) => baseline = Some(PathBuf::from(f)),
+            _ => {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
         }
-    };
+    }
     let root = workspace_root();
     let out = root.join(format!("BENCH_{label}.json"));
     let status = std::process::Command::new(env!("CARGO"))
@@ -83,7 +92,10 @@ fn run_bench_report(args: &[String]) -> ExitCode {
                 .all(|f| t.contains(f));
             if looks_json && has_fields {
                 println!("xtask bench-report: wrote {}", out.display());
-                ExitCode::SUCCESS
+                match baseline {
+                    Some(base) => check_throughput_floor(t, &root.join(base)),
+                    None => ExitCode::SUCCESS,
+                }
             } else {
                 eprintln!(
                     "xtask bench-report: {} is not a valid report",
@@ -97,6 +109,55 @@ fn run_bench_report(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// How much of the baseline's epoch-decode throughput the new report must
+/// retain: CI fails on a >10% regression.
+const THROUGHPUT_FLOOR: f64 = 0.9;
+
+/// Compares `"epochs_per_s"` between the fresh report and an archived
+/// baseline report. Both numbers come from the same fixed scenario, so
+/// the ratio is a direct like-for-like throughput check.
+fn check_throughput_floor(report: &str, baseline_path: &std::path::Path) -> ExitCode {
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "xtask bench-report: read baseline {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let (Some(new_eps), Some(base_eps)) = (epochs_per_s(report), epochs_per_s(&baseline)) else {
+        eprintln!("xtask bench-report: missing \"epochs_per_s\" in report or baseline");
+        return ExitCode::FAILURE;
+    };
+    let floor = base_eps * THROUGHPUT_FLOOR;
+    if new_eps < floor {
+        eprintln!(
+            "xtask bench-report: throughput regression: {new_eps:.3} epochs/s \
+             vs baseline {base_eps:.3} (floor {floor:.3})"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "xtask bench-report: throughput ok: {new_eps:.3} epochs/s vs baseline {base_eps:.3} \
+         ({:+.1}%)",
+        (new_eps / base_eps - 1.0) * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+/// Extracts the `"epochs_per_s"` value from a report without a JSON
+/// parser (the report format is hand-rolled and stable).
+fn epochs_per_s(report: &str) -> Option<f64> {
+    let key = "\"epochs_per_s\":";
+    let rest = &report[report.find(key)? + key.len()..];
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 fn run_lint(args: &[String]) -> ExitCode {

@@ -29,6 +29,7 @@ fn fixtures_trigger_every_rule() {
         Rule::MissingDocs,
         Rule::UnboundedChannel,
         Rule::NoPrintlnInCrates,
+        Rule::NoStageBypass,
     ] {
         assert!(
             findings.iter().any(|f| f.rule == rule),
@@ -54,6 +55,9 @@ fn fixture_finding_counts_are_exact() {
     // mention, the test-module print, and the whole examples/ file are
     // silent.
     assert_eq!(count(Rule::NoPrintlnInCrates), 2, "{findings:?}");
+    // Two seeded stage-internal calls in library code; the waived
+    // isolation measurement and the test-module call are silent.
+    assert_eq!(count(Rule::NoStageBypass), 2, "{findings:?}");
 }
 
 #[test]

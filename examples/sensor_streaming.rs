@@ -88,6 +88,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(stats.epochs_out, epochs, "every epoch must be delivered");
     assert_eq!(stats.epochs_dropped, 0, "block policy loses nothing");
 
+    // Where the decode time went, stage by stage (names straight from
+    // the decode graph).
+    let per_stage = stats
+        .latency
+        .iter()
+        .map(|(name, s)| format!("{name} {:.2} ms", s.p50.as_secs_f64() * 1e3))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!("per-stage decode p50: {per_stage}");
+
     println!("over {epochs} epochs of {:.0} ms:", epoch_secs * 1e3);
     for (i, (ok, sent)) in totals.iter().enumerate() {
         let rate = rates[i];

@@ -73,7 +73,7 @@ pub mod prelude {
     };
     pub use lf_channel::linkbudget::LinkBudget;
     pub use lf_core::config::{DecodeStages, DecoderConfig};
-    pub use lf_core::pipeline::{DecodedStream, Decoder, EpochDecode, StreamKind};
+    pub use lf_core::pipeline::{DecodedStream, Decoder, EpochDecode, StageTimings, StreamKind};
     pub use lf_core::reliability::{ReaderCommand, ReaderController};
     pub use lf_obs::{MetricValue, ObsContext, Snapshot};
     pub use lf_reader::{
