@@ -1,0 +1,78 @@
+//! Criterion benches of the decode pipeline's hot paths at the standard
+//! CI scale (8 tags, 60 k samples, ~26 tracked streams): edge detection
+//! over the shared prefix sums, the slots stage's per-stream differential
+//! sweep, and the robust threshold's selection-based medians. These are
+//! the kernels the hot-path overhaul rewrote; the full-pipeline numbers
+//! live in the `pipeline` bench and `BENCH_ci.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lf_bench::standard_fixture;
+use lf_core::config::DecoderConfig;
+use lf_core::edges::{detect_edges, PrefixSums};
+use lf_core::slots::{edge_owners_into, foreign_edges_into, slot_cleanliness, slot_differentials};
+use lf_core::streams::find_streams;
+use lf_dsp::peaks::robust_threshold;
+use lf_sim::experiments::Scale;
+use std::hint::black_box;
+
+fn decoder_cfg(fix: &lf_bench::Fixture) -> DecoderConfig {
+    let mut cfg = DecoderConfig::at_sample_rate(fix.scenario.sample_rate);
+    cfg.rate_plan = fix.scenario.rate_plan.clone();
+    cfg
+}
+
+/// Edge detection over one 60 k-sample epoch (prefix-sum build, squared-
+/// magnitude series, robust threshold, peak selection, survivor sqrt).
+fn bench_detect_edges(c: &mut Criterion) {
+    let fix = standard_fixture(Scale::Quick, 8, 1);
+    let cfg = decoder_cfg(&fix);
+    c.bench_function("hotpath_detect_edges_60k", |b| {
+        b.iter(|| detect_edges(black_box(&fix.signal), &cfg));
+    });
+}
+
+/// The whole slots stage at CI scale: the epoch ownership index plus the
+/// per-stream foreign-edge list, differentials, and cleanliness mask for
+/// every tracked stream (~26), all over one shared prefix-sum table.
+fn bench_slot_differentials(c: &mut Criterion) {
+    let fix = standard_fixture(Scale::Quick, 8, 1);
+    let cfg = decoder_cfg(&fix);
+    let sums = PrefixSums::new(&fix.signal);
+    let edges = detect_edges(&fix.signal, &cfg);
+    let streams = find_streams(&edges, fix.signal.len(), &cfg);
+    assert!(!streams.is_empty(), "fixture produced no streams");
+    let mut owner = Vec::new();
+    let mut foreign = Vec::new();
+    c.bench_function("hotpath_slot_differentials_all_streams", |b| {
+        b.iter(|| {
+            edge_owners_into(&streams, edges.len(), &mut owner);
+            let mut n_slots = 0usize;
+            for (si, ts) in streams.iter().enumerate() {
+                foreign_edges_into(ts, si, &edges, &owner, &cfg, &mut foreign);
+                let diffs = slot_differentials(black_box(&sums), ts, &foreign, &cfg);
+                let clean = slot_cleanliness(ts, &foreign, &cfg);
+                n_slots += diffs.len().min(clean.len());
+            }
+            n_slots
+        });
+    });
+}
+
+/// The robust (median + MAD) threshold over a 60 k-point magnitude
+/// series — the quickselect path that replaced two full sorts.
+fn bench_robust_threshold(c: &mut Criterion) {
+    let fix = standard_fixture(Scale::Quick, 8, 1);
+    let series: Vec<f64> = fix.signal.iter().map(|s| s.norm_sqr()).collect();
+    assert!(series.len() >= 60_000, "series below CI scale");
+    c.bench_function("hotpath_robust_threshold_60k", |b| {
+        b.iter(|| robust_threshold(black_box(&series), 6.0));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_detect_edges,
+    bench_slot_differentials,
+    bench_robust_threshold
+);
+criterion_main!(benches);

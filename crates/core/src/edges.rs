@@ -14,7 +14,8 @@
 //! (median + k·MAD) threshold, at least an edge-width apart.
 
 use crate::config::DecoderConfig;
-use lf_dsp::peaks::{find_peaks, robust_threshold};
+use lf_dsp::peaks::find_peaks;
+use lf_dsp::stats::median_inplace;
 use lf_types::Complex;
 
 /// A detected candidate edge.
@@ -30,25 +31,59 @@ pub struct EdgeEvent {
 }
 
 /// Prefix sums over a complex signal, for O(1) range means.
-pub(crate) struct PrefixSums {
+///
+/// Built **once per epoch** (inside the pipeline's reusable
+/// [`DecodeScratch`](crate::DecodeScratch)) and borrowed by both the edges
+/// and slots stages — the slots stage used to rebuild this 60k-entry table
+/// for every one of ~26 tracked streams. The `no-epoch-rescan` xtask lint
+/// rule enforces that discipline: production code may not call
+/// [`PrefixSums::new`] outside the epoch-context setup.
+#[derive(Debug, Clone)]
+pub struct PrefixSums {
     sums: Vec<Complex>,
 }
 
+impl Default for PrefixSums {
+    /// A table over zero samples; [`PrefixSums::rebuild`] before use.
+    fn default() -> Self {
+        PrefixSums {
+            sums: vec![Complex::ZERO],
+        }
+    }
+}
+
 impl PrefixSums {
-    pub(crate) fn new(signal: &[Complex]) -> Self {
-        let mut sums = Vec::with_capacity(signal.len() + 1);
-        sums.push(Complex::ZERO);
+    /// Builds the table over `signal`. Hot-path code should hold one table
+    /// per epoch and [`PrefixSums::rebuild`] it instead of constructing
+    /// anew (see the `no-epoch-rescan` lint rule).
+    pub fn new(signal: &[Complex]) -> Self {
+        let mut table = PrefixSums::default();
+        table.rebuild(signal);
+        table
+    }
+
+    /// Recomputes the table over `signal`, reusing the allocation. The
+    /// accumulation order is identical to [`PrefixSums::new`], so the two
+    /// produce bitwise-equal tables.
+    pub fn rebuild(&mut self, signal: &[Complex]) {
+        self.sums.clear();
+        self.sums.reserve(signal.len() + 1);
+        self.sums.push(Complex::ZERO);
         let mut acc = Complex::ZERO;
         for &s in signal {
             acc += s;
-            sums.push(acc);
+            self.sums.push(acc);
         }
-        PrefixSums { sums }
+    }
+
+    /// Number of signal samples the table covers.
+    pub fn n_samples(&self) -> usize {
+        self.sums.len().saturating_sub(1)
     }
 
     /// Mean of `signal[lo..hi]`, clamped to bounds; zero when empty.
-    pub(crate) fn mean(&self, lo: isize, hi: isize) -> Complex {
-        let n = (self.sums.len() - 1) as isize;
+    pub fn mean(&self, lo: isize, hi: isize) -> Complex {
+        let n = self.sums.len().saturating_sub(1) as isize;
         let lo = lo.clamp(0, n) as usize;
         let hi = hi.clamp(0, n) as usize;
         if lo >= hi {
@@ -68,11 +103,36 @@ pub(crate) fn differential_at(sums: &PrefixSums, t: f64, guard: f64, window: usi
 }
 
 /// Detects candidate edges over the whole capture.
+///
+/// Convenience entry point that builds its own prefix-sum table and
+/// scratch; the pipeline threads a per-epoch table and reusable buffers
+/// through [`detect_edges_with`] instead.
 pub fn detect_edges(signal: &[Complex], cfg: &DecoderConfig) -> Vec<EdgeEvent> {
-    if signal.len() < 4 * cfg.detect_window {
+    let sums = PrefixSums::new(signal); // one-shot entry point: xtask: allow(no-epoch-rescan)
+    detect_edges_with(&sums, cfg, &mut Vec::new(), &mut Vec::new())
+}
+
+/// Detects candidate edges using a pre-built prefix-sum table and two
+/// reusable scratch buffers (`msq` for the squared-magnitude series,
+/// `select` for the quickselect workspace).
+///
+/// The hot loop works on **squared** magnitudes — the per-sample `sqrt`
+/// (via `hypot` in `Complex::abs`) was ~a third of the stage cost. The
+/// threshold statistics and the peak cutoff are mapped so the result is
+/// exactly what thresholding the sqrt series would produce: order
+/// statistics commute with the monotone `sqrt`, and the peak predicate
+/// `msq >= sqrt_cutoff(T)` is equivalent to `sqrt(msq) >= T` (see
+/// [`sqrt_cutoff`]). Only surviving peaks pay a `sqrt`/`hypot`.
+pub(crate) fn detect_edges_with(
+    sums: &PrefixSums,
+    cfg: &DecoderConfig,
+    msq: &mut Vec<f64>,
+    select: &mut Vec<f64>,
+) -> Vec<EdgeEvent> {
+    let n = sums.n_samples();
+    if n < 4 * cfg.detect_window {
         return Vec::new();
     }
-    let sums = PrefixSums::new(signal);
     // Guard of half an edge width keeps the averaging windows on the flat
     // regions on either side of the ramp.
     let guard = (cfg.edge_width / 2.0).ceil();
@@ -80,30 +140,32 @@ pub fn detect_edges(signal: &[Complex], cfg: &DecoderConfig) -> Vec<EdgeEvent> {
     // nothing and the "differential" is just the raw signal level — a fake
     // edge the size of the environment reflection.
     let margin = guard as usize + cfg.detect_window;
-    let magnitude: Vec<f64> = (0..signal.len())
-        .map(|t| {
-            if t < margin || t + margin >= signal.len() {
-                0.0
-            } else {
-                differential_at(&sums, t as f64, guard, cfg.detect_window).abs()
-            }
-        })
-        .collect();
+    msq.clear();
+    msq.reserve(n);
+    msq.extend((0..n).map(|t| {
+        if t < margin || t + margin >= n {
+            0.0
+        } else {
+            differential_at(sums, t as f64, guard, cfg.detect_window).norm_sqr()
+        }
+    }));
     // Two-part threshold: the robust (median + k·MAD) floor handles noisy
     // captures; the relative floor handles nearly noise-free ones, where
     // MAD collapses to ~0 and floating-point dust would otherwise read as
     // peaks. 3 % of the strongest differential keeps tags within a ~30×
     // amplitude range (≈1–5 m spread under the d⁻⁴ law) detectable.
-    let max_mag = magnitude.iter().copied().fold(0.0_f64, f64::max);
-    if max_mag <= 0.0 {
+    let max_msq = msq.iter().copied().fold(0.0_f64, f64::max);
+    if max_msq <= 0.0 {
         return Vec::new();
     }
-    let threshold = robust_threshold(&magnitude, cfg.detect_threshold_k).max(0.03 * max_mag);
+    let max_mag = max_msq.sqrt();
+    let threshold =
+        robust_threshold_of_sqrt(msq, select, cfg.detect_threshold_k).max(0.03 * max_mag);
     let min_dist = cfg.edge_width.ceil() as usize;
-    find_peaks(&magnitude, threshold, min_dist.max(1))
+    find_peaks(msq, sqrt_cutoff(threshold), min_dist.max(1))
         .into_iter()
         .map(|p| {
-            let diff = differential_at(&sums, p.index as f64, guard, cfg.detect_window);
+            let diff = differential_at(sums, p.index as f64, guard, cfg.detect_window);
             EdgeEvent {
                 time: p.index as f64,
                 diff,
@@ -111,6 +173,72 @@ pub fn detect_edges(signal: &[Complex], cfg: &DecoderConfig) -> Vec<EdgeEvent> {
             }
         })
         .collect()
+}
+
+/// `median + k·MAD·1.4826` of the element-wise square roots of `msq`,
+/// without materializing the sqrt series: the median of `sqrt(x)` is the
+/// sqrt of the median of `x` (order statistics commute with monotone
+/// maps), so only the deviation pass — whose MAD does *not* commute
+/// through squaring — takes one `sqrt` per sample.
+fn robust_threshold_of_sqrt(msq: &[f64], select: &mut Vec<f64>, k: f64) -> f64 {
+    if msq.is_empty() {
+        return 0.0;
+    }
+    select.clear();
+    select.extend_from_slice(msq);
+    let mid = select.len() / 2;
+    let odd = select.len() % 2 == 1;
+    let med = {
+        let (lower, m, _) = select.select_nth_unstable_by(mid, f64::total_cmp);
+        if odd {
+            m.sqrt()
+        } else {
+            let hi = m.sqrt();
+            let lo = lower
+                .iter()
+                .copied()
+                .max_by(f64::total_cmp)
+                .unwrap_or(*m)
+                .sqrt();
+            0.5 * (lo + hi)
+        }
+    };
+    select.clear();
+    select.extend(msq.iter().map(|&v| (v.sqrt() - med).abs()));
+    let mad = median_inplace(select);
+    med + k * mad * 1.4826
+}
+
+/// The smallest non-negative `f64` whose square root reaches `t`, so that
+/// `msq >= sqrt_cutoff(t)` holds exactly when `msq.sqrt() >= t`. IEEE
+/// `sqrt` is correctly rounded (hence monotone), so the boundary sits
+/// within a few ulps of `t*t`; a short bit-level walk pins it down.
+fn sqrt_cutoff(t: f64) -> f64 {
+    if t <= 0.0 {
+        return 0.0;
+    }
+    let mut y = t * t;
+    if !y.is_finite() {
+        return f64::INFINITY;
+    }
+    for _ in 0..8 {
+        if y <= 0.0 {
+            break;
+        }
+        let down = f64::from_bits(y.to_bits() - 1);
+        if down.sqrt() >= t {
+            y = down;
+        } else {
+            break;
+        }
+    }
+    for _ in 0..8 {
+        if y.sqrt() >= t {
+            break;
+        }
+        y = f64::from_bits(y.to_bits() + 1);
+    }
+    y
 }
 
 #[cfg(test)]
@@ -228,5 +356,65 @@ mod tests {
         assert!(sums.mean(2, 5).approx_eq(Complex::new(3.0, -1.0), 1e-12));
         assert_eq!(sums.mean(5, 5), Complex::ZERO);
         assert!(sums.mean(-10, 2).approx_eq(Complex::new(0.5, -1.0), 1e-12));
+        assert_eq!(sums.n_samples(), 10);
+    }
+
+    #[test]
+    fn rebuild_matches_new_and_reuses() {
+        let a: Vec<Complex> = (0..50).map(|k| Complex::new(k as f64, 0.5)).collect();
+        let b: Vec<Complex> = (0..20).map(|k| Complex::new(-1.0, k as f64)).collect();
+        let mut reused = PrefixSums::new(&a);
+        reused.rebuild(&b);
+        let fresh = PrefixSums::new(&b);
+        assert_eq!(reused.n_samples(), fresh.n_samples());
+        for lo in 0..20 {
+            for hi in lo..=20 {
+                let m1 = reused.mean(lo as isize, hi as isize);
+                let m2 = fresh.mean(lo as isize, hi as isize);
+                assert_eq!(m1.re.to_bits(), m2.re.to_bits());
+                assert_eq!(m1.im.to_bits(), m2.im.to_bits());
+            }
+        }
+        let empty = PrefixSums::default();
+        assert_eq!(empty.n_samples(), 0);
+        assert_eq!(empty.mean(0, 5), Complex::ZERO);
+    }
+
+    /// `sqrt_cutoff(t)` must be the *exact* boundary: its sqrt reaches
+    /// `t`, its predecessor's does not.
+    #[test]
+    fn sqrt_cutoff_is_the_exact_boundary() {
+        let mut t = 1.734e-9_f64;
+        for _ in 0..2000 {
+            let y = sqrt_cutoff(t);
+            assert!(y.sqrt() >= t, "t={t:e}: sqrt({y:e}) < t");
+            if y > 0.0 {
+                let below = f64::from_bits(y.to_bits() - 1);
+                assert!(below.sqrt() < t, "t={t:e}: cutoff {y:e} not minimal");
+            }
+            t *= 1.0137;
+        }
+        assert_eq!(sqrt_cutoff(0.0).to_bits(), 0);
+        assert_eq!(sqrt_cutoff(-1.0).to_bits(), 0);
+    }
+
+    /// The scratch-threaded squared-domain path must return exactly what
+    /// the convenience wrapper returns, with dirty reused buffers.
+    #[test]
+    fn detect_edges_with_matches_wrapper() {
+        let h = Complex::new(0.1, 0.06);
+        let sig = steps(700, &[100, 260, 430, 600], h, Complex::new(0.3, -0.1));
+        let expected = detect_edges(&sig, &cfg());
+        let sums = PrefixSums::new(&sig);
+        let mut msq = vec![7.0; 3];
+        let mut select = vec![-2.0; 9000];
+        let got = detect_edges_with(&sums, &cfg(), &mut msq, &mut select);
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(g.time.to_bits(), e.time.to_bits());
+            assert_eq!(g.diff.re.to_bits(), e.diff.re.to_bits());
+            assert_eq!(g.diff.im.to_bits(), e.diff.im.to_bits());
+            assert_eq!(g.strength.to_bits(), e.strength.to_bits());
+        }
     }
 }

@@ -37,16 +37,17 @@
 
 use crate::config::DecoderConfig;
 use crate::decode::{decode_member_traced, decode_single_traced};
-use crate::edges::{detect_edges, EdgeEvent};
+use crate::edges::{detect_edges_with, EdgeEvent, PrefixSums};
 use crate::pipeline::{DecodedStream, EpochDecode, StageTimings, StreamKind};
 use crate::provenance::{
     AnchorOutcome, CarveProvenance, DecodeProvenance, SeparationProvenance, StreamProvenance,
 };
+use crate::scratch::DecodeScratch;
 use crate::separate::{analyze_slots_with, StreamAnalysis};
-use crate::slots::{slot_cleanliness, slot_differentials};
-use crate::streams::{find_streams, retrack_at_harmonic, TrackedStream};
+use crate::slots::{edge_owners_into, foreign_edges_into, slot_cleanliness, slot_differentials};
+use crate::streams::{find_streams_with, retrack_at_harmonic, TrackedStream};
 use lf_dsp::checks;
-use lf_dsp::fold::FoldTable;
+use lf_dsp::fold::{FoldTable, FoldedHistogram};
 use lf_obs::{ObsContext, SpanGuard};
 use lf_types::{BitRate, BitVec, Complex};
 use std::time::{Duration, Instant};
@@ -152,6 +153,17 @@ struct StreamUnit {
 pub struct EpochContext<'a> {
     cfg: &'a DecoderConfig,
     signal: &'a [Complex],
+    /// Epoch-wide prefix sums, built once by the runner and shared by the
+    /// edges and slots stages (the hot-path contract: no stage rebuilds
+    /// them — see the `no-epoch-rescan` lint).
+    sums: &'a PrefixSums,
+    /// Borrowed views into the caller's [`DecodeScratch`].
+    msq: &'a mut Vec<f64>,
+    select: &'a mut Vec<f64>,
+    owner: &'a mut Vec<Option<usize>>,
+    foreign: &'a mut Vec<(f64, Complex)>,
+    unowned: &'a mut Vec<bool>,
+    fold_hist: &'a mut FoldedHistogram,
     edges: Vec<EdgeEvent>,
     tracked: Vec<TrackedStream>,
     units: Vec<StreamUnit>,
@@ -166,10 +178,28 @@ pub struct EpochContext<'a> {
 }
 
 impl<'a> EpochContext<'a> {
-    fn new(cfg: &'a DecoderConfig, signal: &'a [Complex]) -> Self {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        cfg: &'a DecoderConfig,
+        signal: &'a [Complex],
+        sums: &'a PrefixSums,
+        msq: &'a mut Vec<f64>,
+        select: &'a mut Vec<f64>,
+        owner: &'a mut Vec<Option<usize>>,
+        foreign: &'a mut Vec<(f64, Complex)>,
+        unowned: &'a mut Vec<bool>,
+        fold_hist: &'a mut FoldedHistogram,
+    ) -> Self {
         EpochContext {
             cfg,
             signal,
+            sums,
+            msq,
+            select,
+            owner,
+            foreign,
+            unowned,
+            fold_hist,
             edges: Vec::new(),
             tracked: Vec::new(),
             units: Vec::new(),
@@ -195,7 +225,7 @@ impl Stage for EdgesStage {
         "pipeline.stage.edges.ns"
     }
     fn run(&self, ctx: &mut EpochContext<'_>) -> StageOutcome {
-        ctx.edges = detect_edges(ctx.signal, ctx.cfg);
+        ctx.edges = detect_edges_with(ctx.sums, ctx.cfg, ctx.msq, ctx.select);
         for e in &ctx.edges {
             checks::assert_finite_scalar("edge-detection", e.time);
             checks::assert_finite_scalar("edge-detection", e.strength);
@@ -222,7 +252,7 @@ impl Stage for FoldingStage {
     }
     fn run(&self, ctx: &mut EpochContext<'_>) -> StageOutcome {
         if ctx.carve_requests.is_empty() {
-            ctx.tracked = find_streams(&ctx.edges, ctx.signal.len(), ctx.cfg);
+            ctx.tracked = find_streams_with(&ctx.edges, ctx.signal.len(), ctx.cfg, ctx.fold_hist);
             ctx.carve_attempted = vec![false; ctx.tracked.len()];
             ctx.carves = vec![None; ctx.tracked.len()];
         } else {
@@ -259,22 +289,17 @@ impl Stage for SlotsStage {
         "pipeline.stage.slots.ns"
     }
     fn run(&self, ctx: &mut EpochContext<'_>) -> StageOutcome {
-        // Edge ownership across all tracked streams: stream k's window
-        // trimming must respect edges matched by the *other* streams but
-        // keep its own orphan companions (see lf_core::slots).
-        let mut owner: Vec<Option<usize>> = vec![None; ctx.edges.len()];
-        for (si, ts) in ctx.tracked.iter().enumerate() {
-            for m in ts.matched.iter().flatten() {
-                owner[*m] = Some(si);
-            }
-        }
+        // Edge ownership across all tracked streams, computed once per
+        // epoch: stream k's window trimming must respect edges matched by
+        // the *other* streams but keep its own orphan companions (see
+        // lf_core::slots).
+        edge_owners_into(&ctx.tracked, ctx.edges.len(), ctx.owner);
         ctx.units.clear();
         for (si, ts) in ctx.tracked.iter().enumerate() {
-            let owned_by_others: Vec<bool> =
-                owner.iter().map(|o| o.is_some_and(|s| s != si)).collect();
-            let diffs = slot_differentials(ctx.signal, ts, &ctx.edges, &owned_by_others, ctx.cfg);
+            foreign_edges_into(ts, si, &ctx.edges, &*ctx.owner, ctx.cfg, ctx.foreign);
+            let diffs = slot_differentials(ctx.sums, ts, ctx.foreign, ctx.cfg);
             checks::assert_finite_complex("slot-differentials", &diffs);
-            let clean = slot_cleanliness(ts, &ctx.edges, &owned_by_others, ctx.cfg);
+            let clean = slot_cleanliness(ts, ctx.foreign, ctx.cfg);
             ctx.units.push(StreamUnit {
                 diffs,
                 clean,
@@ -461,10 +486,11 @@ impl Stage for CarveStage {
             return StageOutcome::Advance;
         }
         // Edges no tracked stream explains — the carve's raw material.
-        let mut unowned = vec![true; ctx.edges.len()];
+        ctx.unowned.clear();
+        ctx.unowned.resize(ctx.edges.len(), true);
         for ts in &ctx.tracked {
             for m in ts.matched.iter().flatten() {
-                if let Some(slot) = unowned.get_mut(*m) {
+                if let Some(slot) = ctx.unowned.get_mut(*m) {
                     *slot = false;
                 }
             }
@@ -486,7 +512,7 @@ impl Stage for CarveStage {
             if collided {
                 continue;
             }
-            if let Some(req) = evaluate_carve(ctx, si, &unowned) {
+            if let Some(req) = evaluate_carve(ctx, si) {
                 requests.push(req);
             }
         }
@@ -504,10 +530,12 @@ impl Stage for CarveStage {
 }
 
 /// The split test for one fused stream: collect unclaimed residual edges
-/// along the stream's own channel direction, score candidate harmonics by
-/// how many residuals sit on the harmonic's sub-grid, and re-fold the
-/// residual train at the winning sub-period as the evidence record.
-fn evaluate_carve(ctx: &EpochContext<'_>, si: usize, unowned: &[bool]) -> Option<CarveRequest> {
+/// (the carve stage's `ctx.unowned` mask) along the stream's own channel
+/// direction, score candidate harmonics by how many residuals sit on the
+/// harmonic's sub-grid, and re-fold the residual train at the winning
+/// sub-period as the evidence record.
+fn evaluate_carve(ctx: &EpochContext<'_>, si: usize) -> Option<CarveRequest> {
+    let unowned: &[bool] = ctx.unowned;
     let ts = ctx.tracked.get(si)?;
     let dir = principal_direction(&ctx.edges, ts)?;
     let span_start = *ts.slot_times.first()?;
@@ -700,6 +728,22 @@ impl PipelineGraph {
         obs: &ObsContext,
         signal: &[Complex],
     ) -> (EpochDecode, StageTimings) {
+        let mut scratch = DecodeScratch::default();
+        Self::run_with(cfg, obs, signal, &mut scratch)
+    }
+
+    /// [`PipelineGraph::run`] with caller-owned [`DecodeScratch`]: a
+    /// long-running worker reuses one scratch across epochs and pays zero
+    /// steady-state allocation for the prefix sums, the edge-detection
+    /// series, the ownership index, and the fold histogram. Decode output
+    /// is bit-identical to a fresh scratch (the buffers carry no state
+    /// between epochs).
+    pub fn run_with(
+        cfg: &DecoderConfig,
+        obs: &ObsContext,
+        signal: &[Complex],
+        scratch: &mut DecodeScratch,
+    ) -> (EpochDecode, StageTimings) {
         // Install the context for the duration of the decode: every
         // `span!`/`event!` below (and in the dsp kernels underneath) finds
         // it through the thread local. Disabled context ⇒ the guard clears
@@ -719,7 +763,23 @@ impl PipelineGraph {
             )
         };
         let signal: &[Complex] = sanitized.as_deref().unwrap_or(signal);
-        let mut ctx = EpochContext::new(cfg, signal);
+        // The one prefix-sum pass over the epoch, shared by the edges and
+        // slots stages. Built after sanitization so the sums can never see
+        // a non-finite sample; counted in `total` but in no stage slot
+        // (epoch setup, not stage work).
+        let DecodeScratch {
+            prefix,
+            msq,
+            select,
+            owner,
+            foreign,
+            unowned,
+            fold_hist,
+        } = scratch;
+        prefix.rebuild(signal);
+        let mut ctx = EpochContext::new(
+            cfg, signal, prefix, msq, select, owner, foreign, unowned, fold_hist,
+        );
         let mut per_stage = [Duration::ZERO; STAGE_COUNT];
         let mut i = 0usize;
         let mut reentries = 0usize;

@@ -44,6 +44,7 @@ pub mod graph;
 pub mod pipeline;
 pub mod provenance;
 pub mod reliability;
+pub mod scratch;
 pub mod separate;
 pub mod slots;
 pub mod streams;
@@ -57,3 +58,4 @@ pub use provenance::{
     SeparationProvenance, StreamProvenance,
 };
 pub use reliability::{ReaderCommand, ReaderController};
+pub use scratch::DecodeScratch;

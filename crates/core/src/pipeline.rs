@@ -9,8 +9,10 @@
 use crate::config::DecoderConfig;
 use crate::graph::{stage_names, PipelineGraph, STAGE_COUNT};
 use crate::provenance::DecodeProvenance;
+use crate::scratch::DecodeScratch;
 use lf_obs::ObsContext;
 use lf_types::{BitRate, BitVec, Complex};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// How a decoded stream was recovered.
@@ -99,10 +101,28 @@ impl StageTimings {
 }
 
 /// The LF-Backscatter reader decoder.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Decoder {
     cfg: DecoderConfig,
     obs: ObsContext,
+    /// Pool of reusable per-epoch scratch buffers: `decode`/`decode_timed`
+    /// check one out for the duration of the call and return it, so
+    /// repeated decodes through one `Decoder` allocate only on their first
+    /// epoch. Workers that own their concurrency (e.g. `lf-reader`) bypass
+    /// the pool via [`Decoder::decode_timed_with`].
+    scratch: Mutex<Vec<DecodeScratch>>,
+}
+
+impl Clone for Decoder {
+    /// Clones the configuration and obs handle; the scratch pool is not
+    /// cloned (each clone starts with an empty pool and warms its own).
+    fn clone(&self) -> Self {
+        Decoder {
+            cfg: self.cfg.clone(),
+            obs: self.obs.clone(),
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl Decoder {
@@ -112,6 +132,7 @@ impl Decoder {
         Decoder {
             cfg,
             obs: ObsContext::disabled(),
+            scratch: Mutex::new(Vec::new()),
         }
     }
 
@@ -120,7 +141,11 @@ impl Decoder {
     /// aggregates into the same registry — counters are sharded, so this
     /// adds no cross-worker contention.
     pub fn with_obs(cfg: DecoderConfig, obs: ObsContext) -> Self {
-        Decoder { cfg, obs }
+        Decoder {
+            cfg,
+            obs,
+            scratch: Mutex::new(Vec::new()),
+        }
     }
 
     /// The decoder's observability context (disabled unless constructed
@@ -145,7 +170,7 @@ impl Decoder {
     /// stage boundary) panics naming the stage, so numeric taint is caught
     /// at its source instead of decaying into a wrong decode.
     pub fn decode(&self, signal: &[Complex]) -> EpochDecode {
-        PipelineGraph::run(&self.cfg, &self.obs, signal).0
+        self.decode_timed(signal).0
     }
 
     /// Decodes one epoch and reports the wall-clock cost of each stage.
@@ -154,7 +179,41 @@ impl Decoder {
     /// observation only and never influence the result, so a timed decode
     /// of a capture is byte-identical to an untimed one.
     pub fn decode_timed(&self, signal: &[Complex]) -> (EpochDecode, StageTimings) {
-        PipelineGraph::run(&self.cfg, &self.obs, signal)
+        let mut scratch = self.checkout();
+        let out = self.decode_timed_with(signal, &mut scratch);
+        self.checkin(scratch);
+        out
+    }
+
+    /// [`Decoder::decode_timed`] with a caller-owned [`DecodeScratch`],
+    /// bypassing the internal pool. A long-running worker holds one
+    /// scratch and reuses it across epochs; decode output is bit-identical
+    /// to the pooled entry points.
+    pub fn decode_timed_with(
+        &self,
+        signal: &[Complex],
+        scratch: &mut DecodeScratch,
+    ) -> (EpochDecode, StageTimings) {
+        PipelineGraph::run_with(&self.cfg, &self.obs, signal, scratch)
+    }
+
+    /// Checks a scratch out of the pool (allocating a fresh one the first
+    /// time). A poisoned pool lock only means another decode panicked
+    /// mid-epoch; the buffers carry no cross-epoch state, so recovery is
+    /// safe.
+    fn checkout(&self) -> DecodeScratch {
+        self.scratch
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn checkin(&self, scratch: DecodeScratch) {
+        self.scratch
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(scratch);
     }
 }
 

@@ -8,28 +8,57 @@
 //! §3.1 breaks (a neighbour's edge inside the window shifts the mean).
 //! This is pure reader-side bookkeeping, exactly in the spirit of pushing
 //! all complexity to the reader.
+//!
+//! Hot-path layout: the caller builds the epoch-wide [`PrefixSums`] and the
+//! edge→owner index **once** ([`edge_owners`]) and computes each stream's
+//! foreign-edge list **once** ([`foreign_edges`]); [`slot_differentials`]
+//! and [`slot_cleanliness`] then consume those shared views. The old
+//! signatures rebuilt the prefix sums and the foreign list per call — an
+//! O(streams × samples) rescan this decomposition removes.
 
 use crate::config::DecoderConfig;
 use crate::edges::{EdgeEvent, PrefixSums};
 use crate::streams::TrackedStream;
 use lf_types::Complex;
 
+/// Builds the epoch-wide edge→owner index: `owner[i]` is the index (into
+/// `streams`) of the accepted stream whose tracker matched edge `i`, or
+/// `None` for an orphan. Matched sets are disjoint across accepted
+/// streams, so the map is well-defined. Build it once per epoch and share
+/// it across every [`foreign_edges`] call.
+pub fn edge_owners(streams: &[TrackedStream], n_edges: usize) -> Vec<Option<usize>> {
+    let mut owner = Vec::new();
+    edge_owners_into(streams, n_edges, &mut owner);
+    owner
+}
+
+/// As [`edge_owners`], but reusing a caller-owned buffer.
+pub fn edge_owners_into(streams: &[TrackedStream], n_edges: usize, out: &mut Vec<Option<usize>>) {
+    out.clear();
+    out.resize(n_edges, None);
+    for (si, s) in streams.iter().enumerate() {
+        for &m in s.matched.iter().flatten() {
+            if let Some(slot) = out.get_mut(m) {
+                *slot = Some(si);
+            }
+        }
+    }
+}
+
 /// The slot-differential observations of one stream: `diffs[k]` is the IQ
 /// differential across slot boundary `k` (≈ +e for a rising edge, −e
-/// falling, ~0 for no toggle).
+/// falling, ~0 for no toggle). `foreign` is the stream's foreign-edge list
+/// from [`foreign_edges`], `sums` the shared epoch prefix-sum table.
 pub fn slot_differentials(
-    signal: &[Complex],
+    sums: &PrefixSums,
     stream: &TrackedStream,
-    all_edges: &[EdgeEvent],
-    owned_by_others: &[bool],
+    foreign: &[(f64, Complex)],
     cfg: &DecoderConfig,
 ) -> Vec<Complex> {
-    let foreign = foreign_edges(stream, all_edges, owned_by_others, cfg);
-    let sums = PrefixSums::new(signal);
     let guard = cfg.edge_width.ceil() + 1.0;
-    // Â§3.1 averages "a set of points between the previous edge to the
+    // §3.1 averages "a set of points between the previous edge to the
     // current edge": use (almost) the whole flat half-period on each side
-    // â maximal noise averaging, never straddling the adjacent boundary.
+    // — maximal noise averaging, never straddling the adjacent boundary.
     // Everything is prefix-sum based, so wide windows cost nothing.
     let w = ((stream.period_est / 2.0 - 2.0 * guard).floor() as usize).clamp(2, 4096) as f64;
 
@@ -71,13 +100,12 @@ pub fn slot_differentials(
 /// differential carries its full step. Cancellation subtracts the
 /// measured step, but the residual is that measurement’s own error, so
 /// the cluster-model stage still prefers to fit on unaffected slots.
+/// `foreign` is the same list [`slot_differentials`] consumes.
 pub fn slot_cleanliness(
     stream: &TrackedStream,
-    all_edges: &[EdgeEvent],
-    owned_by_others: &[bool],
+    foreign: &[(f64, Complex)],
     cfg: &DecoderConfig,
 ) -> Vec<bool> {
-    let foreign = foreign_edges(stream, all_edges, owned_by_others, cfg);
     let radius = cfg.edge_width.ceil() + 1.0 + 2.0 * cfg.edge_width;
     stream
         .slot_times
@@ -89,45 +117,61 @@ pub fn slot_cleanliness(
         .collect()
 }
 
-/// The (time, measured step) of every edge that is *foreign* to a stream
-/// — the ones its differential must cancel:
+/// The (time, measured step) of every edge that is *foreign* to the stream
+/// at index `stream_index` — the ones its differential must cancel:
 ///
-/// * edges owned (matched) by **other** accepted streams;
-/// * **orphan** edges (owned by nobody) far from this stream’s slot grid
-///   — unexplained level shifts, cancelled conservatively.
+/// * edges owned (matched) by **other** accepted streams
+///   (`owner[i] == Some(j)`, `j != stream_index`);
+/// * **orphan** edges (`owner[i] == None`) far from this stream’s slot
+///   grid — unexplained level shifts, cancelled conservatively.
 ///
 /// Orphan edges *near* a slot boundary are companions: in a merged
 /// collision only the strongest of the coincident edges is matched, and
 /// the others are the second tag’s half of exactly the transition the
 /// 9-cluster separation wants to see. Cancelling them would reduce the
 /// slot differential to one tag’s edge and destroy the lattice.
-fn foreign_edges(
+pub fn foreign_edges(
     stream: &TrackedStream,
+    stream_index: usize,
     all_edges: &[EdgeEvent],
-    owned_by_others: &[bool],
+    owner: &[Option<usize>],
     cfg: &DecoderConfig,
 ) -> Vec<(f64, Complex)> {
-    let own: std::collections::HashSet<usize> = stream.matched.iter().flatten().copied().collect();
+    let mut out = Vec::new();
+    foreign_edges_into(stream, stream_index, all_edges, owner, cfg, &mut out);
+    out
+}
+
+/// As [`foreign_edges`], but reusing a caller-owned buffer.
+pub fn foreign_edges_into(
+    stream: &TrackedStream,
+    stream_index: usize,
+    all_edges: &[EdgeEvent],
+    owner: &[Option<usize>],
+    cfg: &DecoderConfig,
+    out: &mut Vec<(f64, Complex)>,
+) {
     let companion_radius = (2.0 * cfg.edge_width).max(stream.period_est / 64.0) + cfg.edge_width;
-    all_edges
-        .iter()
-        .enumerate()
-        .filter_map(|(i, e)| {
-            if own.contains(&i) {
-                return None;
+    out.clear();
+    for (i, e) in all_edges.iter().enumerate() {
+        match owner.get(i).copied().flatten() {
+            Some(si) if si == stream_index => continue,
+            Some(_) => {
+                out.push((e.time, e.diff));
+                continue;
             }
-            if owned_by_others.get(i).copied().unwrap_or(false) {
-                return Some((e.time, e.diff));
-            }
-            // Orphan: companion if near the slot grid.
-            let idx = stream.slot_times.partition_point(|&t| t < e.time);
-            let near = [idx.wrapping_sub(1), idx]
-                .iter()
-                .filter_map(|&j| stream.slot_times.get(j))
-                .any(|&t| (t - e.time).abs() <= companion_radius);
-            (!near).then_some((e.time, e.diff))
-        })
-        .collect()
+            None => {}
+        }
+        // Orphan: companion if near the slot grid.
+        let idx = stream.slot_times.partition_point(|&t| t < e.time);
+        let near = [idx.wrapping_sub(1), idx]
+            .iter()
+            .filter_map(|&j| stream.slot_times.get(j))
+            .any(|&t| (t - e.time).abs() <= companion_radius);
+        if !near {
+            out.push((e.time, e.diff));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -178,7 +222,7 @@ mod tests {
         let bits = [true, false, false, true, true, false];
         let sig = nrz_signal(&bits, 100.0, 100.0, h, 1000);
         let st = stream(100.0, 100.0, 6);
-        let diffs = slot_differentials(&sig, &st, &[], &[], &cfg());
+        let diffs = slot_differentials(&PrefixSums::new(&sig), &st, &[], &cfg());
         assert_eq!(diffs.len(), 6);
         // Slot 0: rise (+h); slot 1: fall (−h); slot 2: flat (0);
         // slot 3: rise; slot 4: flat; slot 5: fall.
@@ -205,21 +249,25 @@ mod tests {
             }
         }
         let st = stream(500.0, 100.0, 1);
+        let sums = PrefixSums::new(&sig);
         // Without knowledge of B's edge: the differential is pulled toward
         // hb (the "after" window has full hb, the "before" only part).
-        let unmasked = slot_differentials(&sig, &st, &[], &[], &cfg());
+        let unmasked = slot_differentials(&sums, &st, &[], &cfg());
         assert!(
             unmasked[0].abs() > 0.03,
             "expected corruption: {}",
             unmasked[0]
         );
-        // With B's edge claimed, masking recovers a near-zero differential.
+        // With B's edge claimed by another stream, masking recovers a
+        // near-zero differential.
         let b_edge = EdgeEvent {
             time: 485.0,
             diff: hb,
             strength: hb.abs(),
         };
-        let masked = slot_differentials(&sig, &st, &[b_edge], &[true], &cfg());
+        let foreign = foreign_edges(&st, 0, &[b_edge], &[Some(1)], &cfg());
+        assert_eq!(foreign.len(), 1);
+        let masked = slot_differentials(&sums, &st, &foreign, &cfg());
         assert!(
             masked[0].abs() < unmasked[0].abs() / 3.0,
             "masking did not help: {} vs {}",
@@ -241,13 +289,9 @@ mod tests {
             }
         }
         let st = stream(200.0, 100.0, 1); // own boundary at 200, no own edge
-        let foreign = [EdgeEvent {
-            time: 160.0,
-            diff: hb,
-            strength: hb.abs(),
-        }];
-        let corrupted = slot_differentials(&sig, &st, &[], &[], &cfg());
-        let cancelled = slot_differentials(&sig, &st, &foreign, &[true], &cfg());
+        let sums = PrefixSums::new(&sig);
+        let corrupted = slot_differentials(&sums, &st, &[], &cfg());
+        let cancelled = slot_differentials(&sums, &st, &[(160.0, hb)], &cfg());
         assert!(
             corrupted[0].abs() > 5.0 * cancelled[0].abs().max(1e-6),
             "cancellation did not help: {} vs {}",
@@ -261,15 +305,16 @@ mod tests {
     fn boundary_slots_clamp_to_signal() {
         let sig = vec![Complex::ONE; 100];
         let st = stream(0.0, 50.0, 3); // slot at 0 and at 100 touch the ends
-        let diffs = slot_differentials(&sig, &st, &[], &[], &cfg());
+        let diffs = slot_differentials(&PrefixSums::new(&sig), &st, &[], &cfg());
         assert_eq!(diffs.len(), 3);
         assert!(diffs.iter().all(|d| d.is_finite()));
     }
 
     #[test]
     fn own_edges_are_not_masked() {
-        // The stream's own matched edge at a boundary must not be excluded
-        // from its own differential computation.
+        // The stream's own matched edge at a boundary must not appear in
+        // its foreign list (and so not be cancelled out of its own
+        // differential).
         let h = Complex::new(0.1, 0.0);
         let bits = [true];
         let sig = nrz_signal(&bits, 100.0, 100.0, h, 300);
@@ -280,7 +325,48 @@ mod tests {
             strength: h.abs(),
         };
         st.matched = vec![Some(0)];
-        let diffs = slot_differentials(&sig, &st, &[own_edge], &[false], &cfg());
+        let owner = edge_owners(std::slice::from_ref(&st), 1);
+        assert_eq!(owner, vec![Some(0)]);
+        let foreign = foreign_edges(&st, 0, &[own_edge], &owner, &cfg());
+        assert!(foreign.is_empty());
+        let diffs = slot_differentials(&PrefixSums::new(&sig), &st, &foreign, &cfg());
         assert!(diffs[0].approx_eq(h, 1e-9));
+    }
+
+    #[test]
+    fn orphans_near_the_grid_are_companions_far_ones_are_foreign() {
+        let st = stream(100.0, 100.0, 4); // boundaries at 100..400
+        let h = Complex::new(0.05, 0.0);
+        let mk = |time: f64| EdgeEvent {
+            time,
+            diff: h,
+            strength: h.abs(),
+        };
+        // Orphan right on a boundary → companion (kept out of the list);
+        // orphan mid-slot → cancelled as foreign.
+        let edges = [mk(201.0), mk(250.0)];
+        let foreign = foreign_edges(&st, 0, &edges, &[None, None], &cfg());
+        assert_eq!(foreign.len(), 1);
+        assert!((foreign[0].0 - 250.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_owners_indexes_all_streams() {
+        let mut a = stream(100.0, 100.0, 3);
+        let mut b = stream(150.0, 100.0, 3);
+        a.matched = vec![Some(0), None, Some(2)];
+        b.matched = vec![None, Some(1), None];
+        let owner = edge_owners(&[a, b], 4);
+        assert_eq!(owner, vec![Some(0), Some(1), Some(0), None]);
+    }
+
+    #[test]
+    fn cleanliness_flags_only_straddling_foreign_edges() {
+        let st = stream(100.0, 100.0, 3);
+        let hb = Complex::new(0.0, 0.1);
+        // One foreign edge right at boundary 200, one far from any.
+        let foreign = [(201.0, hb), (350.0, hb)];
+        let clean = slot_cleanliness(&st, &foreign, &cfg());
+        assert_eq!(clean, vec![true, false, true]);
     }
 }

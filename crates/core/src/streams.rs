@@ -139,6 +139,20 @@ pub fn find_streams(
     n_samples: usize,
     cfg: &DecoderConfig,
 ) -> Vec<TrackedStream> {
+    let mut hist = lf_dsp::fold::FoldedHistogram::default();
+    find_streams_with(edges, n_samples, cfg, &mut hist)
+}
+
+/// As [`find_streams`], but folding into a caller-owned scratch histogram
+/// — the search folds once per candidate rate per gather round (~16 folds
+/// per epoch), and the pipeline's reusable scratch keeps those folds from
+/// allocating fresh bin arrays each time.
+pub(crate) fn find_streams_with(
+    edges: &[EdgeEvent],
+    n_samples: usize,
+    cfg: &DecoderConfig,
+    hist: &mut lf_dsp::fold::FoldedHistogram,
+) -> Vec<TrackedStream> {
     let mut claimed = vec![false; edges.len()];
     // One resumable fold table over the whole edge arena: each gather
     // round re-folds the still-active events at every candidate period;
@@ -150,7 +164,7 @@ pub fn find_streams(
         let mut candidates = Vec::new();
         for &rate in cfg.rate_plan.rates() {
             candidates.extend(gather_candidates(
-                edges, &claimed, &table, rate, n_samples, cfg,
+                edges, &claimed, &table, rate, n_samples, cfg, hist,
             ));
         }
         // Rank by explanatory power weighted by track quality: matched
@@ -203,6 +217,7 @@ pub fn find_streams(
 /// peak, return all candidates that pass the structural validations.
 /// `table` is the epoch's resumable fold table; its active set mirrors
 /// `!claimed`.
+#[allow(clippy::too_many_arguments)]
 fn gather_candidates(
     edges: &[EdgeEvent],
     claimed: &[bool],
@@ -210,6 +225,7 @@ fn gather_candidates(
     rate: BitRate,
     n_samples: usize,
     cfg: &DecoderConfig,
+    hist: &mut lf_dsp::fold::FoldedHistogram,
 ) -> Vec<TrackedStream> {
     let mut candidates = Vec::new();
     let base = cfg.rate_plan.base_bps();
@@ -233,7 +249,8 @@ fn gather_candidates(
         if in_window.is_empty() {
             return candidates;
         }
-        let hist = table.fold_within(period, nbins, window_samples);
+        table.fold_within_to(period, nbins, window_samples, hist);
+        let hist = &*hist;
         let window_bits_actual = window_samples / period;
         let min_weight = (cfg.min_stream_fill * window_bits_actual * 0.5).max(3.0);
         let peaks = hist.peaks(min_weight, 2);

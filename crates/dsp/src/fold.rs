@@ -22,6 +22,18 @@ pub struct FoldedHistogram {
     pub period: f64,
 }
 
+impl Default for FoldedHistogram {
+    /// An empty placeholder (no bins, unit period) for reusable scratch
+    /// histograms that [`FoldTable::fold_within_to`] overwrites before use.
+    fn default() -> Self {
+        FoldedHistogram {
+            bins: Vec::new(),
+            counts: Vec::new(),
+            period: 1.0,
+        }
+    }
+}
+
 impl FoldedHistogram {
     /// Width of one bin in samples.
     pub fn bin_width(&self) -> f64 {
@@ -162,24 +174,39 @@ impl FoldTable {
     ///
     /// Panics if `period` or `nbins` is non-positive.
     pub fn fold_within(&self, period: f64, nbins: usize, t_max: f64) -> FoldedHistogram {
+        let mut out = FoldedHistogram {
+            bins: Vec::new(),
+            counts: Vec::new(),
+            period,
+        };
+        self.fold_within_to(period, nbins, t_max, &mut out);
+        out
+    }
+
+    /// As [`FoldTable::fold_within`], but accumulates into a caller-owned
+    /// histogram instead of allocating one. The stream search folds the
+    /// same table once per candidate rate per gather round; reusing `out`
+    /// keeps those ~16 folds per epoch from allocating 2×`nbins` buffers
+    /// each time.
+    ///
+    /// Panics if `period` or `nbins` is non-positive.
+    pub fn fold_within_to(&self, period: f64, nbins: usize, t_max: f64, out: &mut FoldedHistogram) {
         assert!(period > 0.0, "period must be positive");
         assert!(nbins > 0, "need at least one bin");
         let _span = lf_obs::span!("dsp.fold");
-        let mut bins = vec![0.0; nbins];
-        let mut counts = vec![0usize; nbins];
+        out.period = period;
+        out.bins.clear();
+        out.bins.resize(nbins, 0.0);
+        out.counts.clear();
+        out.counts.resize(nbins, 0);
         for ((&t, &w), &live) in self.times.iter().zip(&self.weights).zip(&self.active) {
             if !live || t >= t_max {
                 continue;
             }
             let phase = t.rem_euclid(period) / period;
             let bin = ((phase * nbins as f64) as usize).min(nbins - 1);
-            bins[bin] += w;
-            counts[bin] += 1;
-        }
-        FoldedHistogram {
-            bins,
-            counts,
-            period,
+            out.bins[bin] += w;
+            out.counts[bin] += 1;
         }
     }
 }
@@ -322,6 +349,21 @@ mod tests {
         assert_eq!(h.bins.iter().sum::<f64>(), 10.0);
         let full = table.fold(100.0, 50);
         assert_eq!(full.bins.iter().sum::<f64>(), 20.0);
+    }
+
+    #[test]
+    fn fold_within_to_reuses_and_matches() {
+        let times: Vec<f64> = (0..20).map(|k| 25.0 + 100.0 * k as f64).collect();
+        let table = FoldTable::with_unit_weights(times);
+        let fresh = table.fold_within(100.0, 50, 1000.0);
+        let mut out = FoldedHistogram::default();
+        // Dirty the scratch with a differently-shaped fold first: the
+        // second fold must fully overwrite it.
+        table.fold_within_to(77.0, 13, f64::INFINITY, &mut out);
+        table.fold_within_to(100.0, 50, 1000.0, &mut out);
+        assert_eq!(out.bins, fresh.bins);
+        assert_eq!(out.counts, fresh.counts);
+        assert_eq!(out.period, fresh.period);
     }
 
     #[test]

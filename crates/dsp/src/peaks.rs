@@ -51,19 +51,24 @@ pub fn find_peaks(series: &[f64], threshold: f64, min_distance: usize) -> Vec<Pe
     if min_distance <= 1 || candidates.len() <= 1 {
         return candidates;
     }
-    // Dead-zone suppression: keep strongest first.
+    // Dead-zone suppression: keep strongest first. The kept set stays
+    // sorted by index, so a candidate only has to clear its nearest kept
+    // neighbour on each side — every other kept peak is further away.
+    // Replaces the old all-pairs scan (O(k²) for k candidates) without
+    // changing which peaks survive: the strongest-first visit order and
+    // the distance predicate are identical.
     let mut by_strength: Vec<usize> = (0..candidates.len()).collect();
     by_strength.sort_by(|&a, &b| candidates[b].value.total_cmp(&candidates[a].value));
     let mut kept = vec![false; candidates.len()];
-    let mut kept_indices: Vec<usize> = Vec::new();
+    let mut kept_sorted: Vec<usize> = Vec::with_capacity(candidates.len());
     for &c in &by_strength {
         let idx = candidates[c].index;
-        if kept_indices
-            .iter()
-            .all(|&k| idx.abs_diff(k) >= min_distance)
-        {
+        let pos = kept_sorted.partition_point(|&k| k < idx);
+        let left_ok = pos == 0 || idx - kept_sorted[pos - 1] >= min_distance;
+        let right_ok = pos == kept_sorted.len() || kept_sorted[pos] - idx >= min_distance;
+        if left_ok && right_ok {
             kept[c] = true;
-            kept_indices.push(idx);
+            kept_sorted.insert(pos, idx);
         }
     }
     let mut out: Vec<Peak> = candidates
@@ -81,12 +86,24 @@ pub fn find_peaks(series: &[f64], threshold: f64, min_distance: usize) -> Vec<Pe
 /// a mean/σ threshold would be dragged up by the very edges we want to
 /// detect.
 pub fn robust_threshold(series: &[f64], k: f64) -> f64 {
-    if series.is_empty() {
+    let mut buf = series.to_vec();
+    robust_threshold_inplace(&mut buf, k)
+}
+
+/// As [`robust_threshold`], but permutes `buf` instead of allocating: one
+/// quickselect for the median, an in-place rewrite to absolute deviations,
+/// and a second quickselect for the MAD. The deviations are computed from
+/// the permuted buffer, which holds the same multiset of values — the MAD
+/// (an order statistic) is bit-identical to the allocating version's.
+pub fn robust_threshold_inplace(buf: &mut [f64], k: f64) -> f64 {
+    if buf.is_empty() {
         return 0.0;
     }
-    let med = crate::stats::median(series);
-    let deviations: Vec<f64> = series.iter().map(|x| (x - med).abs()).collect();
-    let mad = crate::stats::median(&deviations);
+    let med = crate::stats::median_inplace(buf);
+    for x in buf.iter_mut() {
+        *x = (*x - med).abs();
+    }
+    let mad = crate::stats::median_inplace(buf);
     med + k * mad * 1.4826
 }
 
@@ -160,6 +177,68 @@ mod tests {
         let th = robust_threshold(&s, 6.0);
         assert!(th < 1.0, "threshold {th} dragged up by spikes");
         assert!(th >= 0.1);
+    }
+
+    /// The sorted-insertion dead zone must keep exactly the peaks the old
+    /// all-pairs scan kept, and the in-place robust threshold must be
+    /// bit-identical to the allocating reference, across a spread of
+    /// pseudo-random series.
+    #[test]
+    fn optimized_paths_match_reference_bitwise() {
+        let reference_threshold = |series: &[f64], k: f64| -> f64 {
+            if series.is_empty() {
+                return 0.0;
+            }
+            let med = crate::stats::median(series);
+            let deviations: Vec<f64> = series.iter().map(|x| (x - med).abs()).collect();
+            let mad = crate::stats::median(&deviations);
+            med + k * mad * 1.4826
+        };
+        let reference_peaks = |series: &[f64], threshold: f64, min_distance: usize| {
+            // Candidates come from the shared plateau scan; only the dead
+            // zone differed, so re-run it the O(k²) way.
+            let candidates = find_peaks(series, threshold, 1);
+            let mut by_strength: Vec<usize> = (0..candidates.len()).collect();
+            by_strength.sort_by(|&a, &b| candidates[b].value.total_cmp(&candidates[a].value));
+            let mut kept_indices: Vec<usize> = Vec::new();
+            for &c in &by_strength {
+                let idx = candidates[c].index;
+                if kept_indices
+                    .iter()
+                    .all(|&k| idx.abs_diff(k) >= min_distance)
+                {
+                    kept_indices.push(idx);
+                }
+            }
+            kept_indices.sort_unstable();
+            kept_indices
+        };
+        let mut state = 0x2545_f491_4f6c_dd1d_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1_u64 << 53) as f64
+        };
+        for round in 0..8 {
+            let n = 200 + round * 37;
+            let series: Vec<f64> = (0..n).map(|_| next()).collect();
+            let k = 3.0 + round as f64;
+            let th = reference_threshold(&series, k);
+            let mut buf = series.clone();
+            assert_eq!(robust_threshold(&series, k).to_bits(), th.to_bits());
+            assert_eq!(
+                robust_threshold_inplace(&mut buf, k).to_bits(),
+                th.to_bits()
+            );
+            for min_distance in [2_usize, 5, 17] {
+                let got: Vec<usize> = find_peaks(&series, th, min_distance)
+                    .iter()
+                    .map(|p| p.index)
+                    .collect();
+                assert_eq!(got, reference_peaks(&series, th, min_distance));
+            }
+        }
     }
 
     #[test]

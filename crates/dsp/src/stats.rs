@@ -167,28 +167,42 @@ pub fn variance(xs: &[f64]) -> f64 {
 
 /// Median of a slice (0 if empty). Does not require pre-sorted input.
 pub fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    median_inplace(&mut v)
+}
+
+/// Median by in-place quickselect (0 if empty). Permutes `xs`; O(n)
+/// expected instead of the O(n log n) full sort, and bit-identical to the
+/// sort-based median: `total_cmp` is a total order in which ties are
+/// bitwise-equal values, so "max of the lower partition" is the same value
+/// a sort would have left at `len/2 - 1`.
+pub fn median_inplace(xs: &mut [f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    let mut v = xs.to_vec();
-    v.sort_by(f64::total_cmp);
-    let mid = v.len() / 2;
-    if v.len() % 2 == 1 {
-        v[mid]
+    let mid = xs.len() / 2;
+    let odd = xs.len() % 2 == 1;
+    let (lower, m, _) = xs.select_nth_unstable_by(mid, f64::total_cmp);
+    if odd {
+        *m
     } else {
-        0.5 * (v[mid - 1] + v[mid])
+        let hi = *m;
+        let lo = lower.iter().copied().max_by(f64::total_cmp).unwrap_or(hi);
+        0.5 * (lo + hi)
     }
 }
 
-/// Percentile (0–100) of a slice via nearest-rank; 0 if empty.
+/// Percentile (0–100) of a slice via nearest-rank; 0 if empty. Uses
+/// quickselect rather than a full sort — the selected value is exactly the
+/// element a sort would have placed at that rank.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
     let mut v = xs.to_vec();
-    v.sort_by(f64::total_cmp);
     let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
-    v[rank.min(v.len() - 1)]
+    let rank = rank.min(v.len() - 1);
+    *v.select_nth_unstable_by(rank, f64::total_cmp).1
 }
 
 #[cfg(test)]
@@ -276,5 +290,39 @@ mod tests {
         assert_eq!(percentile(&xs, 0.0), 1.0);
         assert_eq!(percentile(&xs, 100.0), 5.0);
         assert_eq!(percentile(&xs, 50.0), 3.0);
+    }
+
+    /// The quickselect median must be bit-identical to the full-sort
+    /// median it replaced, including duplicate runs and signed zeros.
+    #[test]
+    fn quickselect_matches_sort_median_bitwise() {
+        let sort_median = |xs: &[f64]| -> f64 {
+            let mut v = xs.to_vec();
+            v.sort_by(f64::total_cmp);
+            let mid = v.len() / 2;
+            if v.len() % 2 == 1 {
+                v[mid]
+            } else {
+                0.5 * (v[mid - 1] + v[mid])
+            }
+        };
+        let cases: Vec<Vec<f64>> = vec![
+            vec![0.3],
+            vec![2.0, 2.0, 2.0, 2.0],
+            vec![-0.0, 0.0, -0.0, 0.0],
+            vec![1.5, -3.0, 7.25, 0.5, 2.0, -1.0],
+            (0..257)
+                .map(|k| ((k * 7919) % 263) as f64 * 0.125)
+                .collect(),
+        ];
+        for xs in &cases {
+            let mut buf = xs.clone();
+            assert_eq!(
+                median_inplace(&mut buf).to_bits(),
+                sort_median(xs).to_bits(),
+                "case {xs:?}"
+            );
+            assert_eq!(median(xs).to_bits(), sort_median(xs).to_bits());
+        }
     }
 }

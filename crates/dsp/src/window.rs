@@ -11,27 +11,45 @@ use lf_types::Complex;
 /// `window` must be ≥ 1; even widths are biased half a sample late, which
 /// is irrelevant for our use (thresholding a magnitude series).
 pub fn moving_average(series: &[f64], window: usize) -> Vec<f64> {
+    let mut prefix = Vec::new();
+    let mut out = Vec::new();
+    moving_average_into(series, window, &mut prefix, &mut out);
+    out
+}
+
+/// As [`moving_average`], but writes into caller-owned buffers (`prefix`
+/// holds the running prefix sums, `out` the averages) so repeated calls
+/// reuse their allocations. Produces exactly the same values as
+/// [`moving_average`]: the prefix-sum construction and the per-window
+/// difference are unchanged.
+pub fn moving_average_into(
+    series: &[f64],
+    window: usize,
+    prefix: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) {
     assert!(window >= 1, "window must be >= 1");
     let n = series.len();
+    prefix.clear();
+    out.clear();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     let half = window / 2;
     // Prefix sums for O(n).
-    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.reserve(n + 1);
     prefix.push(0.0);
     let mut acc = 0.0;
     for &v in series {
         acc += v;
         prefix.push(acc);
     }
-    (0..n)
-        .map(|i| {
-            let lo = i.saturating_sub(half);
-            let hi = (i + window - half).min(n);
-            (prefix[hi] - prefix[lo]) / (hi - lo) as f64
-        })
-        .collect()
+    out.reserve(n);
+    out.extend((0..n).map(|i| {
+        let lo = i.saturating_sub(half);
+        let hi = (i + window - half).min(n);
+        (prefix[hi] - prefix[lo]) / (hi - lo) as f64
+    }));
 }
 
 /// Mean of `series[lo..hi]` with the bounds clamped to the series; returns
@@ -89,6 +107,16 @@ mod tests {
     fn moving_average_window_one_is_identity() {
         let s = [1.0, -2.0, 3.5];
         assert_eq!(moving_average(&s, 1), s.to_vec());
+    }
+
+    #[test]
+    fn moving_average_into_reuses_and_matches() {
+        let s: Vec<f64> = (0..40).map(|k| (k as f64 * 0.37).sin()).collect();
+        let fresh = moving_average(&s, 7);
+        let mut prefix = vec![9.9; 3]; // dirty scratch must be overwritten
+        let mut out = vec![1.0; 100];
+        moving_average_into(&s, 7, &mut prefix, &mut out);
+        assert_eq!(out, fresh);
     }
 
     #[test]

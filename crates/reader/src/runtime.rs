@@ -35,6 +35,7 @@ use crate::source::IqSource;
 use crate::stats::{RuntimeStats, StatsShared};
 use lf_core::config::DecoderConfig;
 use lf_core::pipeline::{Decoder, EpochDecode, StageTimings};
+use lf_core::DecodeScratch;
 use lf_obs::ObsContext;
 use lf_types::Complex;
 use std::collections::BTreeMap;
@@ -46,14 +47,28 @@ use std::thread::JoinHandle;
 
 /// An epoch decoder the worker pool can share. Implemented by
 /// `lf_core::Decoder`; tests and ablations can substitute their own.
+///
+/// Each worker thread owns one [`DecodeScratch`] for its whole lifetime
+/// and passes it to every decode, so a decoder built on
+/// [`lf_core::PipelineGraph`](lf_core::PipelineGraph) allocates its epoch
+/// buffers once per worker, not once per epoch. Decoders that don't reuse
+/// buffers simply ignore the argument.
 pub trait EpochDecoder: Send + Sync + 'static {
     /// Decodes one segmented epoch, reporting per-stage timings.
-    fn decode_epoch(&self, samples: &[Complex]) -> (EpochDecode, StageTimings);
+    fn decode_epoch(
+        &self,
+        samples: &[Complex],
+        scratch: &mut DecodeScratch,
+    ) -> (EpochDecode, StageTimings);
 }
 
 impl EpochDecoder for Decoder {
-    fn decode_epoch(&self, samples: &[Complex]) -> (EpochDecode, StageTimings) {
-        self.decode_timed(samples)
+    fn decode_epoch(
+        &self,
+        samples: &[Complex],
+        scratch: &mut DecodeScratch,
+    ) -> (EpochDecode, StageTimings) {
+        self.decode_timed_with(samples, scratch)
     }
 }
 
@@ -164,9 +179,18 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Runs one job through the decoder with panic containment.
-fn decode_contained(decoder: &dyn EpochDecoder, job: &Job) -> EpochResult {
-    match std::panic::catch_unwind(AssertUnwindSafe(|| decoder.decode_epoch(&job.samples))) {
+/// Runs one job through the decoder with panic containment. The worker's
+/// scratch buffers carry no cross-epoch state, so reusing them after a
+/// contained panic is safe (every stage clears or rebuilds its buffer
+/// before reading it).
+fn decode_contained(
+    decoder: &dyn EpochDecoder,
+    job: &Job,
+    scratch: &mut DecodeScratch,
+) -> EpochResult {
+    match std::panic::catch_unwind(AssertUnwindSafe(|| {
+        decoder.decode_epoch(&job.samples, scratch)
+    })) {
         Ok((decode, timings)) => EpochResult::Decoded { decode, timings },
         Err(payload) => EpochResult::Faulted {
             message: panic_message(payload),
@@ -253,8 +277,11 @@ impl ReaderRuntime {
             let obs = obs.clone();
             threads.push(std::thread::spawn(move || {
                 let _obs_guard = obs.install();
+                // One scratch per worker, reused across every epoch this
+                // worker decodes (zero steady-state decode allocation).
+                let mut scratch = DecodeScratch::default();
                 while let Some(job) = jobs.pop() {
-                    let result = decode_contained(&*decoder, &job);
+                    let result = decode_contained(&*decoder, &job, &mut scratch);
                     match &result {
                         EpochResult::Decoded { timings, .. } => stats.record_latency(timings),
                         EpochResult::Faulted { .. } => {
@@ -489,6 +516,7 @@ pub fn sequential_decode<S: IqSource>(
     let mut segmented: Vec<SegmentedEpoch> = Vec::new();
     let mut reports = Vec::new();
     let mut seq = 0u64;
+    let mut scratch = DecodeScratch::default();
     let mut decode_pending = |segmented: &mut Vec<SegmentedEpoch>,
                               reports: &mut Vec<EpochReport>| {
         for epoch in segmented.drain(..) {
@@ -499,7 +527,7 @@ pub fn sequential_decode<S: IqSource>(
                 samples: epoch.samples,
             };
             seq += 1;
-            let result = decode_contained(decoder, &job);
+            let result = decode_contained(decoder, &job, &mut scratch);
             reports.push(EpochReport {
                 seq: job.seq,
                 range: job.range,

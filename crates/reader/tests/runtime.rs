@@ -134,7 +134,11 @@ struct SlowDecoder {
 }
 
 impl EpochDecoder for SlowDecoder {
-    fn decode_epoch(&self, samples: &[Complex]) -> (EpochDecode, StageTimings) {
+    fn decode_epoch(
+        &self,
+        samples: &[Complex],
+        _scratch: &mut lf_core::DecodeScratch,
+    ) -> (EpochDecode, StageTimings) {
         std::thread::sleep(self.delay);
         (
             EpochDecode {
@@ -153,7 +157,11 @@ impl EpochDecoder for SlowDecoder {
 struct PoisonableDecoder;
 
 impl EpochDecoder for PoisonableDecoder {
-    fn decode_epoch(&self, samples: &[Complex]) -> (EpochDecode, StageTimings) {
+    fn decode_epoch(
+        &self,
+        samples: &[Complex],
+        _scratch: &mut lf_core::DecodeScratch,
+    ) -> (EpochDecode, StageTimings) {
         assert!(
             !samples.iter().any(|s| s.re > 2.0),
             "poisoned epoch payload"

@@ -12,8 +12,8 @@ use crate::report::Table;
 use lf_channel::air::{synthesize, AirConfig, TagAir};
 use lf_channel::dynamics::StaticChannel;
 use lf_core::config::DecoderConfig;
-use lf_core::edges::detect_edges;
-use lf_core::slots::slot_differentials;
+use lf_core::edges::{detect_edges, PrefixSums};
+use lf_core::slots::{foreign_edges, slot_differentials};
 use lf_core::streams::find_streams;
 use lf_dsp::geometry::fit_parallelogram;
 use lf_dsp::kmeans::kmeans;
@@ -73,9 +73,18 @@ pub fn run(seed: u64) -> Fig5 {
     // the stages directly.
     let edges = detect_edges(&signal, &cfg); // xtask: allow(no-stage-bypass)
     let streams = find_streams(&edges, signal.len(), &cfg); // xtask: allow(no-stage-bypass)
+    let sums = PrefixSums::new(&signal); // xtask: allow(no-epoch-rescan)
+
+    // No ownership index: every edge is unowned, so the fused stream's own
+    // edges survive through the companion path — the raw collided scatter
+    // the figure is about.
+    let owner: Vec<Option<usize>> = vec![None; edges.len()];
     let diffs = streams
         .first()
-        .map(|s| slot_differentials(&signal, s, &edges, &vec![false; edges.len()], &cfg)) // xtask: allow(no-stage-bypass)
+        .map(|s| {
+            let foreign = foreign_edges(s, 0, &edges, &owner, &cfg); // xtask: allow(no-stage-bypass)
+            slot_differentials(&sums, s, &foreign, &cfg) // xtask: allow(no-stage-bypass)
+        })
         .unwrap_or_default();
     if diffs.is_empty() {
         return Fig5 {

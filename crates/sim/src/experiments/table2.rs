@@ -16,9 +16,9 @@ use lf_channel::coeff::TagPlacement;
 use lf_channel::dynamics::StaticChannel;
 use lf_channel::linkbudget::LinkBudget;
 use lf_core::config::DecoderConfig;
-use lf_core::edges::detect_edges;
+use lf_core::edges::{detect_edges, PrefixSums};
 use lf_core::separate::{analyze_slots, StreamAnalysis};
-use lf_core::slots::slot_differentials;
+use lf_core::slots::{foreign_edges, slot_differentials};
 use lf_core::streams::find_streams;
 use lf_tag::clock::ClockModel;
 use lf_tag::comparator::Comparator;
@@ -156,23 +156,32 @@ fn one_trial(p: &ThroughputParams, rate_bps: f64, n_background: usize, seed: u64
     let streams = find_streams(&edges, signal.len(), &cfg); // xtask: allow(no-stage-bypass)
                                                             // The merged stream is the one at the forced offset.
     let forced_offset = 100e-6 * fs.sps();
-    let Some(merged) = streams
+    let Some((mi, merged)) = streams
         .iter()
-        .find(|s| (s.offset - forced_offset).abs() < period / 2.0)
+        .enumerate()
+        .find(|(_, s)| (s.offset - forced_offset).abs() < period / 2.0)
     else {
         return 0.0;
     };
-    let mut owned_by_others = vec![false; edges.len()];
-    for s in &streams {
-        if (s.offset - merged.offset).abs() < 1.0 {
-            continue; // the merged stream itself
+    // Ownership index for the slots stage. Streams folding onto the
+    // merged offset (the collision itself can surface as several tracks)
+    // are left unowned, so their edges fall to the orphan-companion path
+    // exactly as the merged stream's own edges do.
+    let mut owner: Vec<Option<usize>> = vec![None; edges.len()];
+    for (si, s) in streams.iter().enumerate() {
+        if si != mi && (s.offset - merged.offset).abs() < 1.0 {
+            continue; // a sibling track of the merged stream
         }
         for m in s.matched.iter().flatten() {
-            owned_by_others[*m] = true;
+            if let Some(slot) = owner.get_mut(*m) {
+                *slot = Some(si);
+            }
         }
     }
-    let diffs = slot_differentials(&signal, merged, &edges, &owned_by_others, &cfg); // xtask: allow(no-stage-bypass)
-    let clean = lf_core::slots::slot_cleanliness(merged, &edges, &owned_by_others, &cfg); // xtask: allow(no-stage-bypass)
+    let sums = PrefixSums::new(&signal); // xtask: allow(no-epoch-rescan)
+    let foreign = foreign_edges(merged, mi, &edges, &owner, &cfg); // xtask: allow(no-stage-bypass)
+    let diffs = slot_differentials(&sums, merged, &foreign, &cfg); // xtask: allow(no-stage-bypass)
+    let clean = lf_core::slots::slot_cleanliness(merged, &foreign, &cfg); // xtask: allow(no-stage-bypass)
     let analysis = analyze_slots(&diffs, &clean, &cfg); // xtask: allow(no-stage-bypass)
     let StreamAnalysis::Collided(fit) = analysis else {
         return 0.0;

@@ -43,6 +43,13 @@
 //!   Binaries, examples, and benches own their own experiments and are
 //!   exempt; simulation experiments that deliberately measure one stage
 //!   in isolation carry explicit waivers.
+//! * [`Rule::NoEpochRescan`] — `PrefixSums::new` runs once per epoch, in
+//!   the stage graph's epoch setup (`lf_core::graph`). The prefix-sum
+//!   table is O(samples) to build and is *the* shared input of the edges
+//!   and slots stages; a stage (or any other production code) that builds
+//!   its own re-scans the whole epoch and silently reintroduces the
+//!   O(streams × samples) cost the hot-path overhaul removed. One-shot
+//!   entry points and stage-isolation experiments carry explicit waivers.
 //! * [`Rule::NoPrintlnInCrates`] — library crates never write to
 //!   stdout/stderr with `println!`/`eprintln!` (or their non-newline
 //!   forms). Diagnostics go through `lf_obs::event!`, which lands in the
@@ -86,6 +93,8 @@ pub enum Rule {
     /// Direct call of a decode-stage internal from library code outside
     /// `lf-core`.
     NoStageBypass,
+    /// `PrefixSums::new` outside the stage graph's epoch setup.
+    NoEpochRescan,
 }
 
 impl Rule {
@@ -99,6 +108,7 @@ impl Rule {
             Rule::UnboundedChannel => "no-unbounded-channel",
             Rule::NoPrintlnInCrates => "no-println-in-crates",
             Rule::NoStageBypass => "no-stage-bypass",
+            Rule::NoEpochRescan => "no-epoch-rescan",
         }
     }
 }
@@ -185,6 +195,7 @@ struct Scope {
     time_cast: bool,
     no_println: bool,
     stage_bypass: bool,
+    epoch_rescan: bool,
 }
 
 fn scope_of(root: &Path, file: &Path) -> Scope {
@@ -208,6 +219,9 @@ fn scope_of(root: &Path, file: &Path) -> Scope {
         // lf-core composes its own stages; binaries/examples run their
         // own experiments. Everything else goes through the graph.
         stage_bypass: !in_core && !is_bin,
+        // The stage graph's epoch setup is the one sanctioned build site
+        // of the per-epoch prefix sums.
+        epoch_rescan: !(in_core && rel.ends_with("graph.rs")),
     }
 }
 
@@ -317,6 +331,23 @@ fn lint_file(root: &Path, file: &Path, text: &str, findings: &mut Vec<Finding>) 
                     ),
                 });
             }
+        }
+
+        if scope.epoch_rescan
+            && !waived(comment, Rule::NoEpochRescan)
+            && !trimmed.starts_with("//")
+            && has_epoch_rescan(code)
+        {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: Rule::NoEpochRescan,
+                message: "`PrefixSums::new` re-scans the whole epoch; the \
+                          stage graph builds the table once per epoch and \
+                          shares it — take a `&PrefixSums` (or reuse a \
+                          `DecodeScratch`) instead"
+                    .into(),
+            });
         }
 
         if scope.docs && !waived(comment, Rule::MissingDocs) && is_pub_fn(trimmed) && !prev_doc {
@@ -476,6 +507,16 @@ fn stage_bypass_call(code: &str) -> Option<&'static str> {
     })
 }
 
+fn has_epoch_rescan(code: &str) -> bool {
+    // The probe carries its call paren; the prefix check rejects matches
+    // inside longer identifiers (`MyPrefixSums::new(` stays silent).
+    const PROBE: &str = "PrefixSums::new(";
+    code.match_indices(PROBE).any(|(pos, _)| {
+        pos == 0
+            || !code.as_bytes()[pos - 1].is_ascii_alphanumeric() && code.as_bytes()[pos - 1] != b'_'
+    })
+}
+
 fn is_pub_fn(trimmed: &str) -> bool {
     trimmed.starts_with("pub fn ")
         || trimmed.starts_with("pub const fn ")
@@ -546,6 +587,18 @@ mod tests {
         assert_eq!(stage_bypass_call("my_detect_edges(&signal)"), None);
         // Mentions without a call do not fire.
         assert_eq!(stage_bypass_call("use lf_core::edges::detect_edges;"), None);
+    }
+
+    #[test]
+    fn epoch_rescan_probe() {
+        assert!(has_epoch_rescan("let sums = PrefixSums::new(signal);"));
+        assert!(has_epoch_rescan(
+            "detect_with(&lf_core::edges::PrefixSums::new(&signal), cfg)"
+        ));
+        // Longer identifiers that merely end in the probe stay silent, as
+        // do mentions without a call.
+        assert!(!has_epoch_rescan("let s = MyPrefixSums::new(signal);"));
+        assert!(!has_epoch_rescan("use lf_core::edges::PrefixSums;"));
     }
 
     #[test]

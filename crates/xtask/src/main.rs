@@ -7,8 +7,9 @@
 //!   and validates the `BENCH_<label>.json` artifact it writes (decode
 //!   throughput plus per-stage latency histograms from the instrumented
 //!   pipeline). With `--baseline FILE` it additionally compares the new
-//!   report's epoch-decode throughput against an archived report and
-//!   fails if it regressed by more than 10%.
+//!   report against an archived report and fails if epoch-decode
+//!   throughput regressed by more than 10% or any per-stage latency
+//!   median (`p50_ns`) regressed by more than 15%.
 //!
 //! ```text
 //! cargo xtask lint                    # lint the repository
@@ -115,9 +116,15 @@ fn run_bench_report(args: &[String]) -> ExitCode {
 /// retain: CI fails on a >10% regression.
 const THROUGHPUT_FLOOR: f64 = 0.9;
 
-/// Compares `"epochs_per_s"` between the fresh report and an archived
-/// baseline report. Both numbers come from the same fixed scenario, so
-/// the ratio is a direct like-for-like throughput check.
+/// How far any single stage's latency median may rise over the baseline:
+/// CI fails when a stage's `p50_ns` exceeds 1.15× its archived value. The
+/// whole-epoch throughput floor can hide one stage quietly regressing
+/// while another improves; this gate pins each stage individually.
+const STAGE_P50_CEILING: f64 = 1.15;
+
+/// Compares `"epochs_per_s"` and the per-stage `p50_ns` medians between
+/// the fresh report and an archived baseline report. Both come from the
+/// same fixed scenario, so the ratios are direct like-for-like checks.
 fn check_throughput_floor(report: &str, baseline_path: &std::path::Path) -> ExitCode {
     let baseline = match std::fs::read_to_string(baseline_path) {
         Ok(b) => b,
@@ -146,7 +153,109 @@ fn check_throughput_floor(report: &str, baseline_path: &std::path::Path) -> Exit
          ({:+.1}%)",
         (new_eps / base_eps - 1.0) * 100.0
     );
-    ExitCode::SUCCESS
+    check_stage_p50_ceiling(report, &baseline)
+}
+
+/// The per-stage half of the baseline comparison: every stage present in
+/// the baseline must stay within [`STAGE_P50_CEILING`]× its archived
+/// `p50_ns`. A stage the new report no longer carries (a renamed graph)
+/// fails loudly rather than silently passing.
+fn check_stage_p50_ceiling(report: &str, baseline: &str) -> ExitCode {
+    match stage_p50_failures(report, baseline) {
+        Ok(checked) => {
+            for (stage, new_p50, base_p50) in checked {
+                println!(
+                    "xtask bench-report: stage \"{stage}\" p50 ok: {new_p50:.0} ns vs \
+                     baseline {base_p50:.0} ({:+.1}%)",
+                    (new_p50 / base_p50 - 1.0) * 100.0
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(failures) => {
+            for f in failures {
+                eprintln!("xtask bench-report: {f}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The checkable core of the per-stage gate: `Ok` carries every
+/// `(stage, new_p50, base_p50)` pair that passed; `Err` carries the
+/// failure messages.
+#[allow(clippy::type_complexity)]
+fn stage_p50_failures(
+    report: &str,
+    baseline: &str,
+) -> Result<Vec<(String, f64, f64)>, Vec<String>> {
+    let new_stages = stage_p50s(report);
+    let base_stages = stage_p50s(baseline);
+    if base_stages.is_empty() {
+        return Err(vec!["baseline carries no stage_latency medians".to_owned()]);
+    }
+    let mut passed = Vec::new();
+    let mut failures = Vec::new();
+    for (stage, base_p50) in &base_stages {
+        let Some(new_p50) = new_stages.iter().find(|(s, _)| s == stage).map(|&(_, v)| v) else {
+            failures.push(format!("stage \"{stage}\" missing from new report"));
+            continue;
+        };
+        let ceiling = base_p50 * STAGE_P50_CEILING;
+        if new_p50 > ceiling {
+            failures.push(format!(
+                "stage \"{stage}\" p50 regression: {new_p50:.0} ns vs baseline \
+                 {base_p50:.0} (ceiling {ceiling:.0})"
+            ));
+        } else {
+            passed.push((stage.clone(), new_p50, *base_p50));
+        }
+    }
+    if failures.is_empty() {
+        Ok(passed)
+    } else {
+        Err(failures)
+    }
+}
+
+/// Extracts `(stage name, p50_ns)` pairs from a report's
+/// `"stage_latency"` section without a JSON parser (the report format is
+/// hand-rolled and stable: one flat object of stage objects).
+fn stage_p50s(report: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let Some(start) = report.find("\"stage_latency\":{") else {
+        return out;
+    };
+    let body = &report[start + "\"stage_latency\":{".len()..];
+    // The section runs to the first `}}` — the close of the last stage
+    // object plus the close of stage_latency itself.
+    let section = body.find("}}").map_or(body, |e| &body[..e + 1]);
+    let mut rest = section;
+    while let Some(open) = rest.find(":{") {
+        // The stage name is the quoted key immediately before `:{`.
+        let head = &rest[..open];
+        let name = head.rfind('"').and_then(|q_end| {
+            head[..q_end]
+                .rfind('"')
+                .map(|q_start| &head[q_start + 1..q_end])
+        });
+        let obj = &rest[open + 2..];
+        let obj_end = obj.find('}').unwrap_or(obj.len());
+        if let (Some(name), Some(p50)) = (name, field_value(&obj[..obj_end], "\"p50_ns\":")) {
+            out.push((name.to_owned(), p50));
+        }
+        rest = &rest[open + 2 + obj_end..];
+    }
+    out
+}
+
+/// Extracts the numeric value following `key` in `text`.
+fn field_value(text: &str, key: &str) -> Option<f64> {
+    let rest = &text[text.find(key)? + key.len()..];
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Extracts the `"epochs_per_s"` value from a report without a JSON
@@ -195,4 +304,88 @@ fn workspace_root() -> PathBuf {
         .parent()
         .and_then(std::path::Path::parent)
         .map_or(manifest.clone(), std::path::Path::to_path_buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPORT: &str = r#"{
+"label":"t",
+"throughput":{"epochs_per_s":80.000},
+"stage_latency":{"edges":{"count":3,"p50_ns":4000000,"p90_ns":5000000},"slots":{"count":3,"p50_ns":2000000,"p90_ns":2500000},"total":{"count":3,"p50_ns":9000000,"p90_ns":9900000}},
+"registry_metrics":1
+}"#;
+
+    fn with_p50(stage: &str, p50: u64) -> String {
+        let probe = match stage {
+            "edges" => "\"edges\":{\"count\":3,\"p50_ns\":4000000",
+            "slots" => "\"slots\":{\"count\":3,\"p50_ns\":2000000",
+            _ => panic!("unknown stage"),
+        };
+        let patched = probe
+            .rsplit_once(':')
+            .map(|(head, _)| format!("{head}:{p50}"))
+            .unwrap();
+        REPORT.replace(probe, &patched)
+    }
+
+    #[test]
+    fn stage_p50s_parses_every_stage() {
+        let stages = stage_p50s(REPORT);
+        assert_eq!(
+            stages,
+            vec![
+                ("edges".to_owned(), 4_000_000.0),
+                ("slots".to_owned(), 2_000_000.0),
+                ("total".to_owned(), 9_000_000.0),
+            ]
+        );
+        assert!(stage_p50s("{\"throughput\":{}}").is_empty());
+    }
+
+    #[test]
+    fn identical_reports_pass_the_ceiling() {
+        let checked = stage_p50_failures(REPORT, REPORT).unwrap();
+        assert_eq!(checked.len(), 3);
+    }
+
+    #[test]
+    fn improvements_and_small_regressions_pass() {
+        // 10% over baseline is under the 15% ceiling; a 2× improvement is
+        // trivially fine.
+        let report = with_p50("edges", 4_400_000);
+        let report = report.replace(
+            "\"slots\":{\"count\":3,\"p50_ns\":2000000",
+            "\"slots\":{\"count\":3,\"p50_ns\":1000000",
+        );
+        assert!(stage_p50_failures(&report, REPORT).is_ok());
+    }
+
+    #[test]
+    fn a_single_stage_regression_fails() {
+        // slots at +20% blows the ceiling even though edges improved.
+        let report = with_p50("slots", 2_400_000).replace(
+            "\"edges\":{\"count\":3,\"p50_ns\":4000000",
+            "\"edges\":{\"count\":3,\"p50_ns\":3000000",
+        );
+        let failures = stage_p50_failures(&report, REPORT).unwrap_err();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("\"slots\""), "{failures:?}");
+    }
+
+    #[test]
+    fn a_missing_stage_fails() {
+        let report = REPORT.replace("\"slots\"", "\"renamed\"");
+        let failures = stage_p50_failures(&report, REPORT).unwrap_err();
+        assert!(
+            failures.iter().any(|f| f.contains("missing")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn empty_baseline_fails() {
+        assert!(stage_p50_failures(REPORT, "{}").is_err());
+    }
 }

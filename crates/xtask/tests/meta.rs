@@ -30,6 +30,7 @@ fn fixtures_trigger_every_rule() {
         Rule::UnboundedChannel,
         Rule::NoPrintlnInCrates,
         Rule::NoStageBypass,
+        Rule::NoEpochRescan,
     ] {
         assert!(
             findings.iter().any(|f| f.rule == rule),
@@ -58,6 +59,9 @@ fn fixture_finding_counts_are_exact() {
     // Two seeded stage-internal calls in library code; the waived
     // isolation measurement and the test-module call are silent.
     assert_eq!(count(Rule::NoStageBypass), 2, "{findings:?}");
+    // One seeded prefix-sum rebuild; the waived one-shot entry point and
+    // the test-module rebuild are silent.
+    assert_eq!(count(Rule::NoEpochRescan), 1, "{findings:?}");
 }
 
 #[test]
