@@ -1,0 +1,160 @@
+//! Deliberately-seeded concurrency bugs (and their corrected twins).
+//!
+//! These are the harness's own acceptance tests: each buggy fixture
+//! encodes a classic interleaving error that *must* be found within the
+//! default bounds, and each corrected twin must exhaust its schedule
+//! space cleanly. If a scheduler change ever stops finding one of these,
+//! the `lf-check` self-test suite fails — the model suite's "it passed"
+//! is only meaningful while "it can fail" is proven.
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use crate::thread;
+use std::sync::Arc;
+
+fn recover<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The canonical lost update: two threads each do a non-atomic
+/// read-modify-write (`load` then `store`) on a shared counter. A
+/// schedule where both load before either stores loses an increment.
+pub fn lost_update_round() {
+    let c = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let c = Arc::clone(&c);
+            thread::spawn(move || {
+                // ordering: SeqCst — irrelevant here; the bug is the
+                // non-atomic read-modify-write, not the memory order.
+                let v = c.load(Ordering::SeqCst);
+                c.store(v + 1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    for w in workers {
+        let _ = w.join();
+    }
+    // ordering: SeqCst — single-threaded by now; any order reads the total.
+    assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+}
+
+/// The corrected twin of [`lost_update_round`]: the read-modify-write is
+/// a single `fetch_add`, correct under every interleaving.
+pub fn atomic_update_round() {
+    let c = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let c = Arc::clone(&c);
+            thread::spawn(move || {
+                // ordering: SeqCst — the model is sequentially consistent
+                // anyway; the point is the atomicity of the RMW.
+                c.fetch_add(1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    for w in workers {
+        let _ = w.join();
+    }
+    // ordering: SeqCst — single-threaded by now.
+    assert_eq!(c.load(Ordering::SeqCst), 2, "atomic update lost");
+}
+
+/// Shared one-slot mailbox for the condvar fixtures.
+#[derive(Debug, Default)]
+struct Mailbox {
+    items: Mutex<Vec<u32>>,
+    ready: Condvar,
+}
+
+/// The classic `if`-instead-of-`while` condvar bug: two consumers wait
+/// with a single predicate check, the producer deposits one item and
+/// calls `notify_all`. The woken consumer that loses the race to the
+/// item proceeds anyway — its `if` never re-checks — and pops nothing.
+pub fn if_wait_round() {
+    let mb = Arc::new(Mailbox::default());
+    let consumers: Vec<_> = (0..2)
+        .map(|_| {
+            let mb = Arc::clone(&mb);
+            thread::spawn(move || {
+                let mut items = recover(mb.items.lock());
+                if items.is_empty() {
+                    // xtask: allow(no-condvar-without-timeout-loop) — this
+                    // fixture deliberately seeds the bug the rule forbids.
+                    items = recover(mb.ready.wait(items));
+                }
+                assert!(items.pop().is_some(), "woke without an item");
+            })
+        })
+        .collect();
+    let producer = {
+        let mb = Arc::clone(&mb);
+        thread::spawn(move || {
+            recover(mb.items.lock()).push(7);
+            mb.ready.notify_all();
+        })
+    };
+    let _ = producer.join();
+    for c in consumers {
+        let _ = c.join();
+    }
+}
+
+/// The corrected twin of [`if_wait_round`]: consumers loop on the
+/// predicate, and the producer deposits one item per consumer, so every
+/// wakeup (direct or raced) re-checks and eventually succeeds.
+pub fn while_wait_round() {
+    let mb = Arc::new(Mailbox::default());
+    let consumers: Vec<_> = (0..2)
+        .map(|_| {
+            let mb = Arc::clone(&mb);
+            thread::spawn(move || {
+                let mut items = recover(mb.items.lock());
+                while items.is_empty() {
+                    items = recover(mb.ready.wait(items));
+                }
+                assert!(items.pop().is_some(), "woke without an item");
+            })
+        })
+        .collect();
+    let producer = {
+        let mb = Arc::clone(&mb);
+        thread::spawn(move || {
+            for _ in 0..2 {
+                recover(mb.items.lock()).push(7);
+                mb.ready.notify_all();
+            }
+        })
+    };
+    let _ = producer.join();
+    for c in consumers {
+        let _ = c.join();
+    }
+}
+
+/// A two-lock ordering inversion: thread A takes `first` then `second`,
+/// thread B takes `second` then `first`. Some schedule interleaves the
+/// acquisitions and deadlocks — which the model reports as a failure
+/// instead of hanging.
+pub fn lock_inversion_round() {
+    let first = Arc::new(Mutex::new(0u32));
+    let second = Arc::new(Mutex::new(0u32));
+    let a = {
+        let (first, second) = (Arc::clone(&first), Arc::clone(&second));
+        thread::spawn(move || {
+            let _f = recover(first.lock());
+            let _s = recover(second.lock());
+        })
+    };
+    let b = {
+        let (first, second) = (Arc::clone(&first), Arc::clone(&second));
+        thread::spawn(move || {
+            let _s = recover(second.lock());
+            let _f = recover(first.lock());
+        })
+    };
+    let _ = a.join();
+    let _ = b.join();
+}

@@ -1,0 +1,59 @@
+//! Deterministic schedule exploration for the hand-rolled concurrency
+//! primitives.
+//!
+//! The runtime rests on three hand-rolled concurrent structures — the
+//! `BoundedQueue` MPMC, the sharded atomic `MetricsRegistry`, and the
+//! pooled `DecodeScratch` — and their exactly-once/monotonicity claims
+//! used to rest on lucky-schedule integration tests. This crate makes
+//! those claims machine-checked: [`model`] runs a closure over and over,
+//! each time forcing a *different* thread interleaving, until the bounded
+//! schedule space is exhausted or an assertion fails.
+//!
+//! # How it works
+//!
+//! The harness is a cooperative scheduler over real OS threads: exactly
+//! one model thread holds the *token* at any time, and every operation on
+//! a shimmed primitive ([`sync::Mutex`], [`sync::Condvar`], the
+//! [`sync::atomic`] types, [`thread::spawn`]/join) is a scheduling point
+//! where the token may move. The sequence of scheduling decisions made
+//! during one execution forms a decision vector; between executions the
+//! driver advances that vector depth-first (replay a prefix, flip the
+//! last non-exhausted choice), so the same closure is driven through
+//! every reachable interleaving — bounded by a CHESS-style preemption
+//! budget ([`ModelConfig::max_preemptions`]) that keeps the space
+//! polynomial while still covering the bug-bearing schedules.
+//!
+//! Because one thread runs at a time and every handoff goes through one
+//! `Mutex`+`Condvar`, execution under the model is sequentially
+//! consistent: the harness explores *interleavings*, not weak-memory
+//! reorderings. Data-race and ordering-at-the-hardware-level coverage
+//! comes from the Miri and ThreadSanitizer CI jobs; the division of
+//! labour is written down in `DESIGN.md` §12.
+//!
+//! # Shape
+//!
+//! The shims are loom-shaped: `lf_check::sync::Mutex` has the
+//! `std::sync::Mutex` API (including `PoisonError` on panicked owners),
+//! so production code swaps its imports behind a `lf-check` cargo
+//! feature and is otherwise untouched. Outside a [`model`] run the shims
+//! pass straight through to `std`, so a feature-enabled build of a crate
+//! still runs its ordinary tests unchanged.
+//!
+//! # Rules for model closures
+//!
+//! * Synchronize **only** through the shimmed types. A bare
+//!   `std::sync::Mutex` shared between two model threads can block the
+//!   OS thread while it holds the token and wedge the whole harness.
+//! * Keep the closure small: the schedule space is exponential in the
+//!   number of scheduling points before bounding. Two threads and a
+//!   handful of operations each is the sweet spot.
+//! * A panic (failed `assert!`) in any model thread is a *finding*: the
+//!   run stops and [`ModelReport::failure`] carries the decision vector
+//!   that reproduces it.
+
+pub mod fixtures;
+pub mod sched;
+pub mod sync;
+pub mod thread;
+
+pub use sched::{model, model_with, Failure, ModelConfig, ModelReport};

@@ -1,0 +1,560 @@
+//! The cooperative scheduler and its depth-first schedule driver.
+//!
+//! One *execution* runs the model closure with real OS threads, but only
+//! one thread ever holds the token: every shim operation calls back in
+//! here, and the scheduler decides who runs next. Each decision among
+//! `n > 1` runnable threads is recorded as `(chosen, n)`; replaying a
+//! recorded prefix and flipping the last non-exhausted choice walks the
+//! whole bounded decision tree depth-first. Blocked threads (lock wait,
+//! condvar park, join) are simply not candidates, and an execution where
+//! nothing is runnable but not everything is finished is reported as a
+//! deadlock — with the decision vector that drove it there.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Bounds on one model run.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Hard cap on executions explored (a safety valve against a model
+    /// closure with an unexpectedly large schedule space, not a target).
+    pub max_iterations: usize,
+    /// CHESS-style preemption budget: how many times per execution the
+    /// scheduler may switch *away* from a thread that could have kept
+    /// running. Voluntary blocking never spends budget. Empirically a
+    /// budget of 2 reaches the overwhelming majority of real
+    /// interleaving bugs while keeping the space polynomial.
+    pub max_preemptions: usize,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            max_iterations: 50_000,
+            max_preemptions: 2,
+        }
+    }
+}
+
+/// A schedule that failed: an assertion fired, a model thread panicked,
+/// or the threads deadlocked.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The panic payload (or a deadlock description).
+    pub message: String,
+    /// The decision vector that reproduces the failing schedule.
+    pub schedule: Vec<usize>,
+    /// 1-based execution number that failed.
+    pub iteration: usize,
+}
+
+/// The outcome of a model run.
+#[derive(Debug, Clone)]
+pub struct ModelReport {
+    /// Executions performed.
+    pub iterations: usize,
+    /// Whether the bounded schedule space was fully enumerated (false if
+    /// the run stopped on a failure or at `max_iterations`).
+    pub exhausted: bool,
+    /// The first failing schedule, if any; exploration stops on it.
+    pub failure: Option<Failure>,
+}
+
+/// What a model thread is doing, from the scheduler's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Waiting to acquire the shim lock with this id.
+    Lock(usize),
+    /// Parked on the shim condvar with this id.
+    Cv(usize),
+    /// Waiting for the thread with this id to finish.
+    Join(usize),
+    Finished,
+}
+
+#[derive(Debug)]
+struct ExecState {
+    statuses: Vec<Status>,
+    running: Option<usize>,
+    lock_owner: Vec<Option<usize>>,
+    n_cvs: usize,
+    /// Decisions made this execution: `(chosen index, candidate count)`.
+    trace: Vec<(usize, usize)>,
+    /// Decision prefix to replay (from the depth-first driver).
+    replay: Vec<usize>,
+    step: usize,
+    preemptions: usize,
+    abort: bool,
+    failure: Option<String>,
+    /// OS threads registered and not yet exited.
+    live: usize,
+}
+
+/// One execution's scheduler. Shared by every model thread via `Arc`.
+#[derive(Debug)]
+pub(crate) struct Exec {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+    max_preemptions: usize,
+}
+
+/// The harness itself must survive a model thread dying while it holds
+/// the scheduler lock: recover from poisoning (the scheduler state stays
+/// consistent between operations by construction).
+fn recover<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Panic payload used to tear surviving threads down after a failure;
+/// distinguishable from a real model-code panic.
+struct AbortToken;
+
+fn abort_unwind() -> ! {
+    std::panic::resume_unwind(Box::new(AbortToken))
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Exec>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The scheduler driving the current thread, if it is a model thread.
+pub(crate) fn current() -> Option<(Arc<Exec>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+impl Exec {
+    fn new(max_preemptions: usize, replay: Vec<usize>) -> Self {
+        Exec {
+            state: Mutex::new(ExecState {
+                statuses: Vec::new(),
+                running: None,
+                lock_owner: Vec::new(),
+                n_cvs: 0,
+                trace: Vec::new(),
+                replay,
+                step: 0,
+                preemptions: 0,
+                abort: false,
+                failure: None,
+                live: 0,
+            }),
+            cv: Condvar::new(),
+            max_preemptions,
+        }
+    }
+
+    fn st(&self) -> MutexGuard<'_, ExecState> {
+        recover(self.state.lock())
+    }
+
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.st();
+        st.statuses.push(Status::Runnable);
+        st.live += 1;
+        st.statuses.len() - 1
+    }
+
+    pub(crate) fn new_lock(&self) -> usize {
+        let mut st = self.st();
+        st.lock_owner.push(None);
+        st.lock_owner.len() - 1
+    }
+
+    pub(crate) fn new_cv(&self) -> usize {
+        let mut st = self.st();
+        st.n_cvs += 1;
+        st.n_cvs - 1
+    }
+
+    /// Records one decision among `n` candidates, consulting the replay
+    /// prefix first. Forced single-candidate steps are not recorded: they
+    /// are deterministic, so they add nothing to the decision tree.
+    fn choose(&self, st: &mut ExecState, n: usize) -> usize {
+        let idx = if st.step < st.replay.len() {
+            st.replay[st.step].min(n - 1)
+        } else {
+            0
+        };
+        st.trace.push((idx, n));
+        st.step += 1;
+        idx
+    }
+
+    /// Picks the next thread to run. The caller has already set `from`'s
+    /// new status (still `Runnable` for a plain yield, blocked or
+    /// finished otherwise). Never blocks; `from` waits for the token
+    /// afterwards if it stays alive.
+    fn schedule(&self, st: &mut ExecState, from: usize) {
+        if st.abort {
+            self.cv.notify_all();
+            return;
+        }
+        let from_runnable = st.statuses[from] == Status::Runnable;
+        let candidates: Vec<usize> = (0..st.statuses.len())
+            .filter(|&t| st.statuses[t] == Status::Runnable)
+            .collect();
+        if candidates.is_empty() {
+            if st.statuses.iter().all(|&s| s == Status::Finished) {
+                st.running = None;
+                self.cv.notify_all();
+                return;
+            }
+            let waiting: Vec<String> = st
+                .statuses
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !matches!(s, Status::Finished))
+                .map(|(t, s)| format!("t{t}:{s:?}"))
+                .collect();
+            if st.failure.is_none() {
+                st.failure = Some(format!(
+                    "deadlock: no runnable thread ({})",
+                    waiting.join(", ")
+                ));
+            }
+            st.abort = true;
+            self.cv.notify_all();
+            return;
+        }
+        // Preemption bounding: once the budget is spent, a thread that
+        // could keep running does, and no choice point is recorded.
+        let chosen = if from_runnable && st.preemptions >= self.max_preemptions {
+            from
+        } else {
+            let n = candidates.len();
+            let idx = if n == 1 { 0 } else { self.choose(st, n) };
+            candidates[idx]
+        };
+        if from_runnable && chosen != from {
+            st.preemptions += 1;
+        }
+        st.running = Some(chosen);
+        self.cv.notify_all();
+    }
+
+    /// Blocks the calling model thread until it holds the token (or the
+    /// execution is aborting, in which case it unwinds).
+    fn wait_for_token<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, ExecState>,
+        tid: usize,
+    ) -> MutexGuard<'a, ExecState> {
+        loop {
+            if st.abort {
+                drop(st);
+                abort_unwind();
+            }
+            if st.running == Some(tid) {
+                return st;
+            }
+            st = recover(self.cv.wait(st));
+        }
+    }
+
+    /// A plain scheduling point: the running thread offers the token.
+    pub(crate) fn yield_point(&self, tid: usize) {
+        let mut st = self.st();
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+        self.schedule(&mut st, tid);
+        let st = self.wait_for_token(st, tid);
+        drop(st);
+    }
+
+    /// Acquires the shim lock `lock`, blocking (logically) while another
+    /// thread owns it. Does not include the entry scheduling point; see
+    /// the callers in `sync`.
+    pub(crate) fn acquire(&self, lock: usize, tid: usize) {
+        let mut st = self.st();
+        loop {
+            if st.abort {
+                drop(st);
+                abort_unwind();
+            }
+            if st.lock_owner[lock].is_none() {
+                st.lock_owner[lock] = Some(tid);
+                return;
+            }
+            st.statuses[tid] = Status::Lock(lock);
+            self.schedule(&mut st, tid);
+            st = self.wait_for_token(st, tid);
+        }
+    }
+
+    /// Releases the shim lock `lock`, waking its waiters. Releasing is
+    /// not itself a choice point: the waiters become runnable and compete
+    /// at the next scheduling point.
+    pub(crate) fn release(&self, lock: usize, _tid: usize) {
+        let mut st = self.st();
+        st.lock_owner[lock] = None;
+        for t in 0..st.statuses.len() {
+            if st.statuses[t] == Status::Lock(lock) {
+                st.statuses[t] = Status::Runnable;
+            }
+        }
+    }
+
+    /// Parks the calling thread on condvar `cv`. The caller has already
+    /// released the associated lock *without an intervening scheduling
+    /// point*, so no wakeup can be lost between release and park.
+    pub(crate) fn cv_park(&self, cv: usize, tid: usize) {
+        let mut st = self.st();
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+        st.statuses[tid] = Status::Cv(cv);
+        self.schedule(&mut st, tid);
+        let st = self.wait_for_token(st, tid);
+        drop(st);
+    }
+
+    /// Wakes one waiter of `cv` (a decision point when several wait).
+    pub(crate) fn notify_one(&self, cv: usize, tid: usize) {
+        self.yield_point(tid);
+        let mut st = self.st();
+        let waiters: Vec<usize> = (0..st.statuses.len())
+            .filter(|&t| st.statuses[t] == Status::Cv(cv))
+            .collect();
+        if waiters.is_empty() {
+            return;
+        }
+        let idx = if waiters.len() == 1 {
+            0
+        } else {
+            self.choose(&mut st, waiters.len())
+        };
+        st.statuses[waiters[idx]] = Status::Runnable;
+    }
+
+    /// Wakes every waiter of `cv`.
+    pub(crate) fn notify_all_waiters(&self, cv: usize, tid: usize) {
+        self.yield_point(tid);
+        let mut st = self.st();
+        for t in 0..st.statuses.len() {
+            if st.statuses[t] == Status::Cv(cv) {
+                st.statuses[t] = Status::Runnable;
+            }
+        }
+    }
+
+    /// Blocks until the thread `target` has finished.
+    pub(crate) fn join(&self, target: usize, tid: usize) {
+        let mut st = self.st();
+        loop {
+            if st.abort {
+                drop(st);
+                abort_unwind();
+            }
+            if st.statuses[target] == Status::Finished {
+                return;
+            }
+            st.statuses[tid] = Status::Join(target);
+            self.schedule(&mut st, tid);
+            st = self.wait_for_token(st, tid);
+        }
+    }
+
+    /// Marks `tid` finished. A `Some` message records the first failure
+    /// and aborts the execution; `None` passes the token on (waking any
+    /// joiners) or detects end-of-execution/deadlock.
+    fn finish(&self, tid: usize, panic_msg: Option<String>) {
+        let mut st = self.st();
+        st.statuses[tid] = Status::Finished;
+        if let Some(msg) = panic_msg {
+            if st.failure.is_none() {
+                st.failure = Some(msg);
+            }
+            st.abort = true;
+            self.cv.notify_all();
+            return;
+        }
+        if st.abort {
+            self.cv.notify_all();
+            return;
+        }
+        for t in 0..st.statuses.len() {
+            if st.statuses[t] == Status::Join(tid) {
+                st.statuses[t] = Status::Runnable;
+            }
+        }
+        self.schedule(&mut st, tid);
+    }
+
+    fn thread_exited(&self) {
+        let mut st = self.st();
+        st.live -= 1;
+        self.cv.notify_all();
+    }
+
+    fn wait_all_exited(&self) {
+        let mut st = self.st();
+        while st.live > 0 {
+            st = recover(self.cv.wait(st));
+        }
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_owned()
+    }
+}
+
+/// Runs `f` as model thread `tid` of `exec`: installs the thread-local
+/// scheduler handle, waits for the token, runs `f`, and does the finish
+/// bookkeeping whether `f` returns, asserts, or is torn down by an abort.
+pub(crate) fn run_model_thread<T>(
+    exec: &Arc<Exec>,
+    tid: usize,
+    f: impl FnOnce() -> T,
+) -> Option<T> {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(exec), tid)));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let st = exec.st();
+        let st = exec.wait_for_token(st, tid);
+        drop(st);
+        f()
+    }));
+    CTX.with(|c| *c.borrow_mut() = None);
+    match result {
+        Ok(v) => {
+            exec.finish(tid, None);
+            exec.thread_exited();
+            Some(v)
+        }
+        Err(p) => {
+            let msg = if p.is::<AbortToken>() {
+                None
+            } else {
+                Some(panic_message(p.as_ref()))
+            };
+            exec.finish(tid, msg);
+            exec.thread_exited();
+            None
+        }
+    }
+}
+
+/// Depth-first advance: replay the prefix up to the last decision with an
+/// untried branch, then take that branch. `None` when the space is done.
+fn next_replay(trace: &[(usize, usize)]) -> Option<Vec<usize>> {
+    let mut i = trace.len();
+    while i > 0 {
+        i -= 1;
+        let (c, n) = trace[i];
+        if c + 1 < n {
+            let mut replay: Vec<usize> = trace[..i].iter().map(|&(c, _)| c).collect();
+            replay.push(c + 1);
+            return Some(replay);
+        }
+    }
+    None
+}
+
+/// Explores every interleaving of `f` within `cfg`'s bounds and reports
+/// the outcome without panicking. Use this to assert that a seeded bug
+/// *is* found, or to inspect how many executions a model takes.
+pub fn model_with(cfg: ModelConfig, f: impl Fn() + Send + Sync + 'static) -> ModelReport {
+    let f = Arc::new(f);
+    let mut replay: Vec<usize> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        let exec = Arc::new(Exec::new(cfg.max_preemptions, std::mem::take(&mut replay)));
+        let root = exec.register_thread();
+        {
+            let mut st = exec.st();
+            st.running = Some(root);
+        }
+        let e2 = Arc::clone(&exec);
+        let g = Arc::clone(&f);
+        let handle = std::thread::spawn(move || {
+            run_model_thread(&e2, root, move || g());
+        });
+        exec.wait_all_exited();
+        let _ = handle.join();
+        let st = exec.st();
+        if let Some(msg) = st.failure.clone() {
+            let schedule = st.trace.iter().map(|&(c, _)| c).collect();
+            return ModelReport {
+                iterations,
+                exhausted: false,
+                failure: Some(Failure {
+                    message: msg,
+                    schedule,
+                    iteration: iterations,
+                }),
+            };
+        }
+        let trace = st.trace.clone();
+        drop(st);
+        match next_replay(&trace) {
+            Some(r) => replay = r,
+            None => {
+                return ModelReport {
+                    iterations,
+                    exhausted: true,
+                    failure: None,
+                }
+            }
+        }
+        if iterations >= cfg.max_iterations {
+            return ModelReport {
+                iterations,
+                exhausted: false,
+                failure: None,
+            };
+        }
+    }
+}
+
+/// Explores every interleaving of `f` within the default bounds and
+/// fails the calling test if any schedule fails.
+pub fn model(f: impl Fn() + Send + Sync + 'static) {
+    let report = model_with(ModelConfig::default(), f);
+    if let Some(failure) = &report.failure {
+        assert!(
+            report.failure.is_none(),
+            "model failure on execution {} of {}: {} (schedule {:?})",
+            failure.iteration,
+            report.iterations,
+            failure.message,
+            failure.schedule,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_replay_walks_the_tree() {
+        // Two binary decisions: 00 -> 01 -> 1? (second level re-chosen).
+        assert_eq!(next_replay(&[(0, 2), (0, 2)]), Some(vec![0, 1]));
+        assert_eq!(next_replay(&[(0, 2), (1, 2)]), Some(vec![1]));
+        assert_eq!(next_replay(&[(1, 2), (1, 2)]), None);
+        assert_eq!(next_replay(&[]), None);
+    }
+
+    #[test]
+    fn straight_line_code_is_one_execution() {
+        let report = model_with(ModelConfig::default(), || {
+            let x = 1 + 1;
+            assert_eq!(x, 2);
+        });
+        assert_eq!(report.iterations, 1);
+        assert!(report.exhausted);
+        assert!(report.failure.is_none());
+    }
+}

@@ -1,0 +1,323 @@
+//! Loom-shaped `std::sync` stand-ins.
+//!
+//! Each type stores its data in the real `std` primitive and adds a
+//! *logical* layer the scheduler controls: under a [`crate::model`] run,
+//! lock ownership, condvar parking, and atomic accesses are scheduling
+//! points, and blocking happens in the scheduler (where every
+//! interleaving can be explored) rather than in the OS. Outside a model
+//! run everything passes straight through to `std`, so production crates
+//! compile against these types unconditionally when their `lf-check`
+//! feature is on and behave identically in ordinary tests.
+//!
+//! Poisoning is preserved: the inner `std` mutex poisons when a model
+//! thread dies holding the guard, and `lock`/`wait` surface the same
+//! `std::sync::PoisonError` the real types do, so poison-recovery code
+//! paths (`unwrap_or_else(PoisonError::into_inner)`) run unmodified
+//! under the model.
+
+use crate::sched::{self, Exec};
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+// Re-exported so call sites can import their whole `std::sync` surface
+// from one place when they swap to the shims.
+pub use std::sync::PoisonError;
+
+/// `std::sync::LockResult`, spelled out for the shim guard type.
+pub type LockResult<G> = Result<G, PoisonError<G>>;
+
+/// A mutex whose blocking is visible to the model scheduler.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    /// Scheduler lock id, assigned lazily on first use inside a model.
+    id: OnceLock<usize>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex guarding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+            id: OnceLock::new(),
+        }
+    }
+
+    fn model_id(&self, exec: &Exec) -> usize {
+        *self.id.get_or_init(|| exec.new_lock())
+    }
+
+    /// Acquires the mutex, reporting poison like `std::sync::Mutex`.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match sched::current() {
+            Some((exec, tid)) => {
+                // The entry scheduling point: another thread may acquire
+                // first, forcing this one down the contended path.
+                exec.yield_point(tid);
+                self.lock_model(&exec, tid)
+            }
+            None => self.wrap(self.inner.lock(), None),
+        }
+    }
+
+    /// Model-mode acquire without the entry yield (used on the re-acquire
+    /// after a condvar wake, which is already a scheduling event).
+    fn lock_model(&self, exec: &Arc<Exec>, tid: usize) -> LockResult<MutexGuard<'_, T>> {
+        let id = self.model_id(exec);
+        exec.acquire(id, tid);
+        // The scheduler granted exclusivity, so the inner lock is
+        // uncontended — it only carries the data and the poison bit.
+        self.wrap(self.inner.lock(), Some((Arc::clone(exec), tid, id)))
+    }
+
+    fn wrap<'a>(
+        &'a self,
+        r: std::sync::LockResult<std::sync::MutexGuard<'a, T>>,
+        model: Option<(Arc<Exec>, usize, usize)>,
+    ) -> LockResult<MutexGuard<'a, T>> {
+        match r {
+            Ok(g) => Ok(MutexGuard {
+                mutex: self,
+                inner: Some(g),
+                model,
+            }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                mutex: self,
+                inner: Some(p.into_inner()),
+                model,
+            })),
+        }
+    }
+}
+
+/// An RAII guard over a [`Mutex`]; releases the logical lock on drop.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    /// `None` only transiently inside `Condvar::wait`, which owns the
+    /// guard at that point — user code never observes it empty.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    /// `(exec, tid, lock id)` in model mode; `None` in passthrough.
+    model: Option<(Arc<Exec>, usize, usize)>,
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((exec, tid, id)) = self.model.take() {
+            // Logical release first, physical unlock as `inner` drops just
+            // after: no other thread can run in between (this thread holds
+            // the token until its next scheduling point), so the gap is
+            // unobservable.
+            exec.release(id, tid);
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    // Invariant: `inner` is only vacated while `Condvar::wait` owns the
+    // guard, so a deref can never see `None`.
+    #[allow(clippy::unwrap_used)]
+    fn deref(&self) -> &T {
+        self.inner.as_deref().unwrap()
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    // Same invariant as `deref`.
+    #[allow(clippy::unwrap_used)]
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().unwrap()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("MutexGuard").field(&**self).finish()
+    }
+}
+
+/// A condition variable whose parking is visible to the model scheduler.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+    id: OnceLock<usize>,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+            id: OnceLock::new(),
+        }
+    }
+
+    /// Releases the guard's mutex, parks until notified, re-acquires.
+    ///
+    /// In model mode the release and the park happen without an
+    /// intervening scheduling point, so the no-lost-wakeup guarantee of
+    /// the real condvar is preserved exactly.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        if let Some((exec, tid, _lock_id)) = guard.model.clone() {
+            let cv = *self.id.get_or_init(|| exec.new_cv());
+            let mutex = guard.mutex;
+            drop(guard); // logical release + physical unlock, no yield
+            exec.cv_park(cv, tid);
+            mutex.lock_model(&exec, tid)
+        } else {
+            let mutex = guard.mutex;
+            let std_guard = guard.inner.take();
+            drop(guard); // model is None and inner is None: a no-op drop
+            match std_guard {
+                Some(g) => match self.inner.wait(g) {
+                    Ok(g) => Ok(MutexGuard {
+                        mutex,
+                        inner: Some(g),
+                        model: None,
+                    }),
+                    Err(p) => Err(PoisonError::new(MutexGuard {
+                        mutex,
+                        inner: Some(p.into_inner()),
+                        model: None,
+                    })),
+                },
+                // Unreachable in practice (the guard always carries its
+                // inner lock); behave like a spurious wakeup rather than
+                // panicking inside the harness.
+                None => mutex.lock(),
+            }
+        }
+    }
+
+    /// Wakes one waiter. In model mode, *which* waiter is a scheduling
+    /// decision the driver explores.
+    pub fn notify_one(&self) {
+        match sched::current() {
+            Some((exec, tid)) => {
+                let cv = *self.id.get_or_init(|| exec.new_cv());
+                exec.notify_one(cv, tid);
+            }
+            None => self.inner.notify_one(),
+        }
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        match sched::current() {
+            Some((exec, tid)) => {
+                let cv = *self.id.get_or_init(|| exec.new_cv());
+                exec.notify_all_waiters(cv, tid);
+            }
+            None => self.inner.notify_all(),
+        }
+    }
+}
+
+/// Atomics whose every access is a model scheduling point.
+///
+/// Under the cooperative scheduler execution is sequentially consistent,
+/// so the `Ordering` argument is accepted (keeping call sites identical
+/// to `std`) but does not weaken anything: the model explores
+/// interleavings, not hardware reorderings — Miri and TSan cover those.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::sched;
+
+    fn interleave() {
+        if let Some((exec, tid)) = sched::current() {
+            exec.yield_point(tid);
+        }
+    }
+
+    macro_rules! shim_atomic {
+        ($name:ident, $std:ty, $prim:ty, $($extra:tt)*) => {
+            /// A model-aware drop-in for the `std` atomic of the same name.
+            #[derive(Debug, Default)]
+            pub struct $name($std);
+
+            impl $name {
+                /// Creates a new atomic holding `v`.
+                pub const fn new(v: $prim) -> Self {
+                    Self(<$std>::new(v))
+                }
+
+                /// Loads the value (a scheduling point under the model).
+                pub fn load(&self, order: Ordering) -> $prim {
+                    interleave();
+                    self.0.load(order)
+                }
+
+                /// Stores `v` (a scheduling point under the model).
+                pub fn store(&self, v: $prim, order: Ordering) {
+                    interleave();
+                    self.0.store(v, order);
+                }
+
+                /// Swaps in `v`, returning the previous value.
+                pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                    interleave();
+                    self.0.swap(v, order)
+                }
+
+                /// Atomic compare-exchange, as in `std`.
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    interleave();
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+
+                shim_atomic!(@extra $prim, $($extra)*);
+            }
+        };
+        (@extra $prim:ty, arith) => {
+            /// Atomic add, returning the previous value.
+            pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                interleave();
+                self.0.fetch_add(v, order)
+            }
+
+            /// Atomic subtract, returning the previous value.
+            pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                interleave();
+                self.0.fetch_sub(v, order)
+            }
+
+            /// Atomic minimum, returning the previous value.
+            pub fn fetch_min(&self, v: $prim, order: Ordering) -> $prim {
+                interleave();
+                self.0.fetch_min(v, order)
+            }
+
+            /// Atomic maximum, returning the previous value.
+            pub fn fetch_max(&self, v: $prim, order: Ordering) -> $prim {
+                interleave();
+                self.0.fetch_max(v, order)
+            }
+        };
+        (@extra $prim:ty, bool) => {
+            /// Atomic logical OR, returning the previous value.
+            pub fn fetch_or(&self, v: $prim, order: Ordering) -> $prim {
+                interleave();
+                self.0.fetch_or(v, order)
+            }
+
+            /// Atomic logical AND, returning the previous value.
+            pub fn fetch_and(&self, v: $prim, order: Ordering) -> $prim {
+                interleave();
+                self.0.fetch_and(v, order)
+            }
+        };
+    }
+
+    shim_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64, arith);
+    shim_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize, arith);
+    shim_atomic!(AtomicI64, std::sync::atomic::AtomicI64, i64, arith);
+    shim_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool, bool);
+}

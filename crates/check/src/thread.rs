@@ -1,0 +1,65 @@
+//! `std::thread` stand-ins that register spawned threads with the model
+//! scheduler. Outside a model run they are plain `std::thread` wrappers.
+
+use crate::sched;
+use std::sync::Arc;
+
+/// A handle to a spawned (possibly model-scheduled) thread.
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<Option<T>>,
+    /// The model thread id, `None` when spawned outside a model run.
+    target: Option<usize>,
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("target", &self.target)
+            .finish()
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its value. Joining is
+    /// a blocking operation the model scheduler sees, so a join cycle is
+    /// reported as a deadlock rather than hanging the harness.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let (Some(target), Some((exec, tid))) = (self.target, sched::current()) {
+            // Logical join first: the OS-level join below then completes
+            // promptly (the finished thread only has to return).
+            exec.join(target, tid);
+        }
+        match self.inner.join() {
+            Ok(Some(v)) => Ok(v),
+            Ok(None) => Err(Box::new("model thread panicked")),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Spawns a thread. Inside a model run the new thread is registered with
+/// the scheduler and only runs when it is handed the token; the spawn
+/// itself is a scheduling point (the child may run before the parent
+/// continues — or long after).
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match sched::current() {
+        Some((exec, my_tid)) => {
+            let tid = exec.register_thread();
+            let e2 = Arc::clone(&exec);
+            let inner = std::thread::spawn(move || sched::run_model_thread(&e2, tid, f));
+            exec.yield_point(my_tid);
+            JoinHandle {
+                inner,
+                target: Some(tid),
+            }
+        }
+        None => JoinHandle {
+            inner: std::thread::spawn(move || Some(f())),
+            target: None,
+        },
+    }
+}

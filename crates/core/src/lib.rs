@@ -58,4 +58,4 @@ pub use provenance::{
     SeparationProvenance, StreamProvenance,
 };
 pub use reliability::{ReaderCommand, ReaderController};
-pub use scratch::DecodeScratch;
+pub use scratch::{DecodeScratch, ScratchPool};

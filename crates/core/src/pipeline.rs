@@ -9,10 +9,9 @@
 use crate::config::DecoderConfig;
 use crate::graph::{stage_names, PipelineGraph, STAGE_COUNT};
 use crate::provenance::DecodeProvenance;
-use crate::scratch::DecodeScratch;
+use crate::scratch::{DecodeScratch, ScratchPool};
 use lf_obs::ObsContext;
 use lf_types::{BitRate, BitVec, Complex};
-use std::sync::Mutex;
 use std::time::Duration;
 
 /// How a decoded stream was recovered.
@@ -109,8 +108,10 @@ pub struct Decoder {
     /// check one out for the duration of the call and return it, so
     /// repeated decodes through one `Decoder` allocate only on their first
     /// epoch. Workers that own their concurrency (e.g. `lf-reader`) bypass
-    /// the pool via [`Decoder::decode_timed_with`].
-    scratch: Mutex<Vec<DecodeScratch>>,
+    /// the pool via [`Decoder::decode_timed_with`]. The pool's concurrency
+    /// contract (exclusivity, loss tolerance, poison recovery) lives with
+    /// [`ScratchPool`].
+    scratch: ScratchPool<DecodeScratch>,
 }
 
 impl Clone for Decoder {
@@ -120,7 +121,7 @@ impl Clone for Decoder {
         Decoder {
             cfg: self.cfg.clone(),
             obs: self.obs.clone(),
-            scratch: Mutex::new(Vec::new()),
+            scratch: ScratchPool::new(),
         }
     }
 }
@@ -132,7 +133,7 @@ impl Decoder {
         Decoder {
             cfg,
             obs: ObsContext::disabled(),
-            scratch: Mutex::new(Vec::new()),
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -144,7 +145,7 @@ impl Decoder {
         Decoder {
             cfg,
             obs,
-            scratch: Mutex::new(Vec::new()),
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -200,20 +201,15 @@ impl Decoder {
     /// Checks a scratch out of the pool (allocating a fresh one the first
     /// time). A poisoned pool lock only means another decode panicked
     /// mid-epoch; the buffers carry no cross-epoch state, so recovery is
-    /// safe.
+    /// safe — and a scratch lost to an unwinding decode (checked out,
+    /// never checked in) is simply re-allocated on the next decode, which
+    /// the strict-checks poison-path test pins as bit-identical.
     fn checkout(&self) -> DecodeScratch {
-        self.scratch
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .pop()
-            .unwrap_or_default()
+        self.scratch.checkout()
     }
 
     fn checkin(&self, scratch: DecodeScratch) {
-        self.scratch
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .push(scratch);
+        self.scratch.checkin(scratch);
     }
 }
 

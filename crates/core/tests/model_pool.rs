@@ -1,0 +1,105 @@
+//! Model-checked interleavings of [`lf_core::ScratchPool`].
+//!
+//! Built with `--features lf-check`, the pool's internal `Mutex` comes
+//! from the `lf-check` scheduler shims, so checkout/checkin races are
+//! explored exhaustively within the preemption bound.
+//!
+//! The pool's *poison* path is deliberately **not** modeled here: a panic
+//! inside a model thread is (correctly) reported as a model failure, so
+//! panic-driven recovery is pinned by the std-thread tests in
+//! `scratch.rs` and the `strict-checks` golden-digest test
+//! `scratch_pool_poison.rs` instead.
+
+#![cfg(feature = "lf-check")]
+
+use lf_check::{model_with, thread, ModelConfig};
+use lf_core::ScratchPool;
+use std::sync::Arc;
+
+fn exhaustively(f: impl Fn() + Send + Sync + 'static) {
+    let report = model_with(ModelConfig::default(), f);
+    assert!(
+        report.failure.is_none(),
+        "model found a failing schedule: {:?}",
+        report.failure
+    );
+    assert!(
+        report.exhausted,
+        "bounded space not exhausted in {} iterations",
+        report.iterations
+    );
+}
+
+#[test]
+fn concurrent_checkouts_never_alias() {
+    // Two workers each check a value out, stamp it, and return it. Under
+    // every interleaving: a held value belongs to exactly one worker
+    // (checkout *moves*), so each returned value carries exactly one
+    // stamp — a torn or doubled stamp would mean two workers shared a
+    // buffer.
+    exhaustively(|| {
+        let pool: Arc<ScratchPool<Vec<u32>>> = Arc::new(ScratchPool::new());
+        let workers: Vec<_> = (1u32..=2)
+            .map(|id| {
+                let pool = Arc::clone(&pool);
+                thread::spawn(move || {
+                    let mut v = pool.checkout();
+                    v.clear();
+                    v.push(id);
+                    pool.checkin(v);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker");
+        }
+        // Both values came back; the pool allocated a second buffer only
+        // if the checkouts overlapped.
+        let pooled = pool.pooled();
+        assert!(
+            (1..=2).contains(&pooled),
+            "pool accounting broke: {pooled} values"
+        );
+        for _ in 0..pooled {
+            let v = pool.checkout();
+            assert_eq!(v.len(), 1, "aliased or torn stamp: {v:?}");
+            assert!(v[0] == 1 || v[0] == 2, "foreign stamp: {v:?}");
+        }
+        assert_eq!(pool.pooled(), 0);
+    });
+}
+
+#[test]
+fn warm_value_is_reused_or_supplemented_never_lost() {
+    // One pre-warmed value, two racing borrowers: sequential schedules
+    // reuse the warm buffer (pool ends at 1), overlapping schedules
+    // default a second one (pool ends at 2). No schedule loses a value
+    // or hands out a half-returned one.
+    exhaustively(|| {
+        let pool: Arc<ScratchPool<Vec<u32>>> = Arc::new(ScratchPool::new());
+        pool.checkin(vec![7]);
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                thread::spawn(move || {
+                    let v = pool.checkout();
+                    // A checked-out value is either the warm one (intact)
+                    // or a fresh default — never an in-between.
+                    assert!(
+                        v.is_empty() || v == vec![7],
+                        "observed a half-checked-in value: {v:?}"
+                    );
+                    pool.checkin(v);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker");
+        }
+        let pooled = pool.pooled();
+        assert!(
+            (1..=2).contains(&pooled),
+            "pool accounting broke: {pooled} values"
+        );
+    });
+}

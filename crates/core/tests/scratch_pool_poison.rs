@@ -1,0 +1,149 @@
+//! Scratch-pool poison path: a decode that panics mid-epoch must not
+//! corrupt later decodes through the same `Decoder`.
+//!
+//! Under `strict-checks` a non-finite sample panics at the stage boundary
+//! that sees it — *after* the decoder has checked a [`DecodeScratch`] out
+//! of its pool, so the unwind loses that scratch (it is never checked
+//! back in). The pool's contract says that is fine: the loss is absorbed,
+//! the next checkout defaults a fresh scratch, and the decode it feeds is
+//! bit-identical to one through a never-poisoned decoder. This test pins
+//! exactly that with an FNV-1a digest over every decoded field.
+
+#![cfg(feature = "strict-checks")]
+// Test-only code: a panic is the failure report.
+#![allow(clippy::unwrap_used)]
+
+use lf_channel::air::{synthesize, AirConfig, TagAir};
+use lf_channel::dynamics::StaticChannel;
+use lf_core::config::DecoderConfig;
+use lf_core::pipeline::{Decoder, EpochDecode, StreamKind};
+use lf_tag::clock::ClockModel;
+use lf_tag::comparator::Comparator;
+use lf_tag::tag::{LfTag, TagConfig};
+use lf_types::{BitRate, BitVec, Complex, RatePlan, SampleRate, TagId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+const FS_MSPS: f64 = 1.0;
+const BASE_BPS: f64 = 100.0;
+
+fn cfg() -> DecoderConfig {
+    let mut c = DecoderConfig::at_sample_rate(SampleRate::from_msps(FS_MSPS));
+    c.rate_plan = RatePlan::from_bps(BASE_BPS, &[2_000.0, 5_000.0, 10_000.0, 20_000.0]).unwrap();
+    c
+}
+
+/// One clean single-tag epoch the decoder resolves deterministically.
+fn clean_signal() -> Vec<Complex> {
+    let fs = SampleRate::from_msps(FS_MSPS);
+    let mut bits = BitVec::new();
+    bits.push(true); // anchor
+    for i in 1..24 {
+        bits.push(i % 3 == 0);
+    }
+    let tag = LfTag::new(TagConfig {
+        id: TagId(0),
+        rate: BitRate::from_bps(2_000.0, BASE_BPS).unwrap(),
+        clock: ClockModel {
+            drift: 0.0,
+            jitter_std_s: 0.0,
+        },
+        comparator: Comparator::fixed(0.0),
+    });
+    let mut rng = StdRng::seed_from_u64(99);
+    let plan = tag.plan_epoch(bits, fs, BASE_BPS, &mut rng);
+    let mut air_cfg = AirConfig::paper_default(20_000);
+    air_cfg.sample_rate = fs;
+    air_cfg.noise_sigma = 0.002;
+    air_cfg.seed = 8;
+    synthesize(
+        &air_cfg,
+        &[TagAir {
+            events: plan.events,
+            initial_level: 0.0,
+            process: Box::new(StaticChannel(Complex::new(0.9, 0.35))),
+        }],
+    )
+}
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Digest of every decoded field as exact bit patterns (same construction
+/// as the bench crate's golden digest): moves iff any output bit moves.
+fn digest_of(decode: &EpochDecode) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    fnv1a(&mut h, &(decode.streams.len() as u64).to_le_bytes());
+    fnv1a(&mut h, &(decode.n_edges as u64).to_le_bytes());
+    fnv1a(&mut h, &(decode.n_tracked as u64).to_le_bytes());
+    for s in &decode.streams {
+        fnv1a(&mut h, &u64::from(s.rate.multiple()).to_le_bytes());
+        fnv1a(&mut h, &s.rate_bps.to_bits().to_le_bytes());
+        fnv1a(&mut h, &s.offset.to_bits().to_le_bytes());
+        fnv1a(&mut h, &s.period.to_bits().to_le_bytes());
+        fnv1a(&mut h, &s.edge_vector.re.to_bits().to_le_bytes());
+        fnv1a(&mut h, &s.edge_vector.im.to_bits().to_le_bytes());
+        let kind: u8 = match s.kind {
+            StreamKind::Single => 0,
+            StreamKind::CollisionMember => 1,
+            StreamKind::Unresolved => 2,
+        };
+        fnv1a(&mut h, &[kind]);
+        let bits: Vec<u8> = s.bits.iter().map(u8::from).collect();
+        fnv1a(&mut h, &(bits.len() as u64).to_le_bytes());
+        fnv1a(&mut h, &bits);
+    }
+    h
+}
+
+#[test]
+fn decoder_survives_a_poisoned_decode_bit_identically() {
+    let signal = clean_signal();
+    let decoder = Decoder::new(cfg());
+
+    // Reference digest from a pristine decoder; this also warms the pool
+    // (the decode checks a scratch out and returns it).
+    let golden = digest_of(&decoder.decode(&signal));
+    let independent = digest_of(&Decoder::new(cfg()).decode(&signal));
+    assert_eq!(golden, independent, "decode is not deterministic");
+
+    // Panic a borrower mid-decode: a NaN sample trips the strict-checks
+    // stage-boundary assert *after* checkout, so the unwind swallows the
+    // pooled scratch.
+    let mut tainted = signal.clone();
+    let mid = tainted.len() / 2;
+    tainted[mid] = Complex::new(f64::NAN, 0.0);
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // keep the expected panic quiet
+    let result = catch_unwind(AssertUnwindSafe(|| decoder.decode(&tainted)));
+    std::panic::set_hook(prev_hook);
+    let payload = result.expect_err("strict-checks let a NaN sample through");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("strict-checks"),
+        "unexpected panic during tainted decode: {msg}"
+    );
+
+    // The pool recovered: the next decodes (first on a freshly defaulted
+    // scratch replacing the lost one, then on that scratch reused) are
+    // bit-identical to the pristine run.
+    assert_eq!(
+        digest_of(&decoder.decode(&signal)),
+        golden,
+        "decode after a poisoned borrower is not bit-identical"
+    );
+    assert_eq!(
+        digest_of(&decoder.decode(&signal)),
+        golden,
+        "decode on the post-poison reused scratch is not bit-identical"
+    );
+}

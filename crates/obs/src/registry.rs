@@ -15,6 +15,14 @@
 
 use crate::histogram::{HistogramCore, HistogramSnapshot};
 use std::collections::BTreeMap;
+// Under the `lf-check` feature the atomics come from the model
+// scheduler's shims (passthrough outside a model run), so
+// tests/model_registry.rs can interleave recording against snapshots
+// exhaustively. The registration mutex stays `std`: model tests drive it
+// from a single thread only (see the model-closure rules in `lf-check`).
+#[cfg(feature = "lf-check")]
+use lf_check::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+#[cfg(not(feature = "lf-check"))]
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -33,6 +41,9 @@ struct PaddedU64(AtomicU64);
 fn thread_shard() -> usize {
     static NEXT: AtomicUsize = AtomicUsize::new(0);
     thread_local! {
+        // ordering: Relaxed — a standalone id allocation; nothing is
+        // published under it, uniqueness is all that matters and the
+        // atomic RMW provides that at any ordering.
         static SLOT: usize = NEXT.fetch_add(1, Ordering::Relaxed) % N_SHARDS;
     }
     SLOT.with(|s| *s)
@@ -47,6 +58,9 @@ pub struct Counter {
 impl Counter {
     /// Adds `n` to the counter.
     pub fn add(&self, n: u64) {
+        // ordering: Relaxed — each shard is an independent monotone cell
+        // and no other memory is published under this increment; readers
+        // ([`Counter::get`]) tolerate mid-increment sums by design.
         self.shards[thread_shard()]
             .0
             .fetch_add(n, Ordering::Relaxed);
@@ -59,6 +73,11 @@ impl Counter {
 
     /// The current total across all shards.
     pub fn get(&self) -> u64 {
+        // ordering: Relaxed — a monitoring read. Each shard is monotone,
+        // so the sum is a lower bound on the true total at return time
+        // and never goes backwards between two reads (the monotonicity
+        // the model test pins down); cross-shard tearing only means the
+        // sum lands between the start- and end-of-read totals.
         self.shards
             .iter()
             .map(|s| s.0.load(Ordering::Relaxed))
@@ -75,16 +94,23 @@ pub struct Gauge {
 impl Gauge {
     /// Sets the gauge.
     pub fn set(&self, v: i64) {
+        // ordering: Relaxed — the gauge is a single standalone cell; no
+        // other memory is published under it, last-writer-wins is the
+        // intended semantics.
         self.value.store(v, Ordering::Relaxed);
     }
 
     /// Adds a (possibly negative) delta.
     pub fn add(&self, d: i64) {
+        // ordering: Relaxed — standalone cell, atomic RMW; deltas from
+        // concurrent threads all land regardless of order.
         self.value.fetch_add(d, Ordering::Relaxed);
     }
 
     /// The current value.
     pub fn get(&self) -> i64 {
+        // ordering: Relaxed — a monitoring read of a standalone cell;
+        // staleness is acceptable, tearing impossible (single atomic).
         self.value.load(Ordering::Relaxed)
     }
 }

@@ -106,6 +106,9 @@ impl TraceRing {
     /// Appends a record, overwriting the oldest once full. Returns the
     /// record's sequence number.
     pub fn push(&self, nanos: u64, kind: RecordKind, path: String, message: String) -> u64 {
+        // ordering: Relaxed — the RMW makes sequence numbers unique at
+        // any ordering; the record itself is published under the slot
+        // mutex below, not under this atomic.
         let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
         let idx = usize::try_from(seq % self.slots.len() as u64).unwrap_or(0);
         let mut slot = self.slots[idx]
@@ -123,6 +126,8 @@ impl TraceRing {
 
     /// Total records ever pushed (≥ what the ring still holds).
     pub fn pushed(&self) -> u64 {
+        // ordering: Relaxed — monitoring read of a monotone counter;
+        // staleness is fine, tearing impossible (single atomic).
         self.cursor.load(Ordering::Relaxed)
     }
 

@@ -1,0 +1,172 @@
+//! Model-checked interleavings of the `lf-obs` metric primitives.
+//!
+//! Built with `--features lf-check`, every atomic in the registry and
+//! histogram cores goes through the `lf-check` shims, so these tests
+//! explore the bounded schedule space exhaustively (DFS over scheduling
+//! decisions, preemption-bounded) rather than sampling whatever the OS
+//! serves up.
+//!
+//! Model-closure rule honored throughout: the registry's *registration*
+//! mutex is a plain `std::sync::Mutex` (not shimmed — see the import
+//! comment in `registry.rs`), so it is touched only from the root thread
+//! before any worker is spawned; workers receive pre-cloned atomic
+//! handles and never call back into the registry map.
+
+#![cfg(feature = "lf-check")]
+
+use lf_check::{model_with, thread, ModelConfig};
+use lf_obs::MetricsRegistry;
+
+#[test]
+fn sharded_counter_reads_are_monotone_and_nothing_is_lost() {
+    // Two writers bump one sharded counter while an observer reads it
+    // twice: reads may lag, but can never go backwards, and after the
+    // writers join the sum is exact. The snapshot-vs-increment race this
+    // pins: `Counter::get` sums the shards one load at a time, so a read
+    // concurrent with increments sees some prefix of them — a *lower
+    // bound*, not garbage.
+    //
+    // Preemption bound 1 keeps the space small (each `get` is 8 shard
+    // loads = 8 scheduling points); one preemption is already enough to
+    // land an increment between any two of them.
+    let report = model_with(
+        ModelConfig {
+            max_preemptions: 1,
+            ..ModelConfig::default()
+        },
+        || {
+            let reg = MetricsRegistry::new();
+            let counter = reg.counter("model.hits");
+            let writers: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = counter.clone();
+                    thread::spawn(move || {
+                        c.inc();
+                        c.inc();
+                    })
+                })
+                .collect();
+            let observer = {
+                let c = counter.clone();
+                thread::spawn(move || {
+                    let first = c.get();
+                    let second = c.get();
+                    assert!(
+                        second >= first,
+                        "counter went backwards: {first} then {second}"
+                    );
+                    assert!(second <= 4, "counter overshot: {second}");
+                })
+            };
+            for w in writers {
+                w.join().expect("writer");
+            }
+            observer.join().expect("observer");
+            assert_eq!(counter.get(), 4, "an increment was lost");
+        },
+    );
+    assert!(
+        report.failure.is_none(),
+        "model found a failing schedule: {:?}",
+        report.failure
+    );
+    assert!(
+        report.exhausted,
+        "bounded space not exhausted in {} iterations",
+        report.iterations
+    );
+}
+
+#[test]
+fn histogram_snapshot_extrema_never_invert() {
+    // The latent race this PR fixed: `HistogramCore::record` updates
+    // bucket, count, sum, min, max as five separate atomics, so a
+    // snapshot landing between the bucket update and the extrema updates
+    // used to see bucket-derived count > 0 alongside the empty sentinels
+    // (min = u64::MAX > max = 0) — an inverted range that
+    // `HistogramSnapshot::quantile` then fed to `clamp`, which panics.
+    // The snapshot now repairs extrema from the bucket array; this test
+    // is the regression proof (revert the repair in `snapshot()` and the
+    // model reports the failing schedule).
+    //
+    // Shape matters: the *observer* is the spawned thread and the root
+    // records, so the torn state is one preemption away (switch to the
+    // observer mid-`record`; its ~500 snapshot loads then run to
+    // completion for free under the exhausted budget). With the roles
+    // swapped the tear costs two preemptions and bound 1 cannot see it.
+    let report = model_with(
+        ModelConfig {
+            max_preemptions: 1,
+            ..ModelConfig::default()
+        },
+        || {
+            let reg = MetricsRegistry::new();
+            let hist = reg.histogram("model.latency");
+            let observer = {
+                let h = hist.clone();
+                thread::spawn(move || {
+                    let snap = h.snapshot();
+                    if snap.count > 0 {
+                        assert!(
+                            snap.min <= snap.max,
+                            "torn snapshot inverted extrema: count={} min={} max={}",
+                            snap.count,
+                            snap.min,
+                            snap.max
+                        );
+                        assert!(
+                            snap.quantile(0.5).is_some(),
+                            "non-empty snapshot lost its median"
+                        );
+                    }
+                })
+            };
+            hist.record(100);
+            observer.join().expect("observer");
+            let settled = hist.snapshot();
+            assert_eq!(settled.count, 1);
+            assert_eq!((settled.min, settled.max), (100, 100));
+        },
+    );
+    assert!(
+        report.failure.is_none(),
+        "model found a failing schedule: {:?}",
+        report.failure
+    );
+    assert!(
+        report.exhausted,
+        "bounded space not exhausted in {} iterations",
+        report.iterations
+    );
+}
+
+#[test]
+fn gauge_last_writer_wins_is_one_of_the_writes() {
+    // Two setters race one gauge: whatever interleaving runs, the final
+    // value is one of the written values — never a blend. (Trivially true
+    // for a single atomic cell; the point is that the model *proves* it
+    // for the shimmed Gauge, and would catch any future widening of the
+    // gauge into multi-cell state.)
+    let report = model_with(ModelConfig::default(), || {
+        let reg = MetricsRegistry::new();
+        let gauge = reg.gauge("model.depth");
+        let setters: Vec<_> = [3i64, 9]
+            .into_iter()
+            .map(|v| {
+                let g = gauge.clone();
+                thread::spawn(move || g.set(v))
+            })
+            .collect();
+        for s in setters {
+            s.join().expect("setter");
+        }
+        let v = gauge.get();
+        assert!(v == 3 || v == 9, "gauge blended concurrent writes: {v}");
+    });
+    assert!(
+        report.failure.is_none(),
+        "model found a failing schedule: {:?}",
+        report.failure
+    );
+    assert!(report.exhausted, "bounded space not exhausted");
+}

@@ -15,6 +15,14 @@
 //! deadlock the producer; it may transiently exceed the capacity.
 
 use std::collections::VecDeque;
+// Under the `lf-check` feature the sync primitives come from the model
+// scheduler's shims (passthrough outside a model run), so the queue's
+// interleavings can be explored exhaustively by tests/model_queue.rs.
+// The code below is identical either way — the shims are std-shaped,
+// down to `PoisonError` on panicked owners.
+#[cfg(feature = "lf-check")]
+use lf_check::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+#[cfg(not(feature = "lf-check"))]
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// A panic in one worker must not wedge the whole runtime: locks are
@@ -218,5 +226,51 @@ mod tests {
         thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         assert_eq!(producer.join().unwrap(), Err(1));
+    }
+
+    #[test]
+    fn close_drains_queued_items_before_none() {
+        // Receiver-side close semantics: items enqueued before the close
+        // are never lost — consumers drain them and only then see `None`.
+        let q = BoundedQueue::new(4);
+        q.push_block(10).unwrap();
+        q.push_block(11).unwrap();
+        q.close();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn capacity_one_eviction_chain() {
+        // At the minimum capacity every drop-oldest push evicts, so the
+        // queue holds exactly the newest item at all times.
+        let q = BoundedQueue::new(1);
+        assert_eq!(q.push_drop_oldest(1).unwrap(), None);
+        assert_eq!(q.push_drop_oldest(2).unwrap(), Some(1));
+        assert_eq!(q.push_drop_oldest(3).unwrap(), Some(2));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn drop_oldest_does_not_wake_blocked_sender() {
+        // A drop-oldest push on a full queue evicts and replaces — the
+        // queue stays full, so a sender blocked in push_block must keep
+        // waiting until a consumer actually pops.
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push_block(0).unwrap();
+        let q2 = Arc::clone(&q);
+        let blocked = thread::spawn(move || q2.push_block(99));
+        thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.push_drop_oldest(1).unwrap(), Some(0));
+        thread::sleep(std::time::Duration::from_millis(20));
+        // Queue still holds exactly the drop-oldest item; the pop frees a
+        // slot and the blocked sender completes.
+        assert_eq!(q.pop(), Some(1));
+        assert!(blocked.join().unwrap().is_ok());
+        assert_eq!(q.pop(), Some(99));
     }
 }

@@ -303,6 +303,12 @@ impl ReaderRuntime {
                 // queue is already closed and drained by then, and the
                 // ingester (which force-pushes drop tombstones) only
                 // runs while the job queue is open.
+                // ordering: AcqRel — the classic last-one-out latch. The
+                // Release half makes every earlier `push_block` of this
+                // worker visible before the count drops; the Acquire half
+                // makes the *other* workers' pushes visible to whichever
+                // worker observes 1 and closes the queue, so no report
+                // can be published after the close it justified.
                 if active.fetch_sub(1, Ordering::AcqRel) == 1 {
                     results.close();
                 }
@@ -399,6 +405,10 @@ impl ReaderRuntime {
     /// already queued. `recv` drains the remainder and then reports end
     /// of stream.
     pub fn shutdown(&self) {
+        // ordering: Relaxed — a standalone stop flag polled by the
+        // ingester; no data is published under it (the queue close below
+        // carries its own mutex synchronization), and a one-iteration
+        // delay in observing it is harmless.
         self.stop.store(true, Ordering::Relaxed);
         self.jobs.close();
     }
@@ -438,6 +448,8 @@ fn ingest(
     let mut segmented: Vec<SegmentedEpoch> = Vec::new();
     let mut seq = 0u64;
     loop {
+        // ordering: Relaxed — poll of the standalone stop flag; see the
+        // justification at the store in `shutdown`.
         if stop.load(Ordering::Relaxed) {
             break;
         }

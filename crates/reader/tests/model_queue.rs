@@ -1,0 +1,195 @@
+//! Model-checked interleavings of [`lf_reader::BoundedQueue`].
+//!
+//! Built with `--features lf-check`, the queue's `Mutex`/`Condvar` come
+//! from the `lf-check` scheduler shims, so every test here explores the
+//! *whole* bounded schedule space — DFS over every scheduling decision,
+//! preemption-bounded (see `lf_check::ModelConfig`) — instead of the one
+//! interleaving the OS happens to pick. The sleep-based tests in
+//! `queue.rs` check the same properties on the real primitives; these
+//! prove them for all schedules within the bound.
+//!
+//! Assertion style: each closure asserts its property *inside* the model
+//! run (a failing assert surfaces as a `Failure` carrying the exact
+//! schedule), and the test then checks both that no failure was found and
+//! that the space was exhausted — a clean-but-truncated run would be a
+//! much weaker claim.
+
+#![cfg(feature = "lf-check")]
+
+use lf_check::{model_with, thread, ModelConfig};
+use lf_reader::BoundedQueue;
+use std::sync::Arc;
+
+/// Runs `f` under the default exploration bound and insists the bounded
+/// space was fully explored with no failing schedule.
+fn exhaustively(f: impl Fn() + Send + Sync + 'static) {
+    let report = model_with(ModelConfig::default(), f);
+    assert!(
+        report.failure.is_none(),
+        "model found a failing schedule: {:?}",
+        report.failure
+    );
+    assert!(
+        report.exhausted,
+        "bounded space not exhausted in {} iterations",
+        report.iterations
+    );
+    assert!(report.iterations > 1, "exploration degenerated");
+}
+
+#[test]
+fn mpmc_block_delivery_is_exactly_once() {
+    // 2 producers × 1 item, 2 consumers × 1 pop, capacity 1: in every
+    // schedule each item is delivered to exactly one consumer — no loss,
+    // no duplication, even when a producer blocks on the full queue.
+    exhaustively(|| {
+        let q = Arc::new(BoundedQueue::new(1));
+        let producers: Vec<_> = (1u32..=2)
+            .map(|v| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.push_block(v).is_ok())
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.pop())
+            })
+            .collect();
+        for p in producers {
+            assert!(p.join().expect("producer"), "push_block failed while open");
+        }
+        let mut got: Vec<u32> = consumers
+            .into_iter()
+            .map(|c| c.join().expect("consumer").expect("pop saw None"))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2], "items must arrive exactly once");
+    });
+}
+
+#[test]
+fn drop_oldest_tombstones_account_for_every_item() {
+    // Lossy discipline, capacity 1: every pushed item is either evicted
+    // (returned to the producer as a tombstone) or drained by a consumer.
+    // The eviction count is schedule-dependent; the conservation law is
+    // not.
+    exhaustively(|| {
+        let q = Arc::new(BoundedQueue::new(1));
+        let producers: Vec<_> = [vec![1u32, 2], vec![3, 4]]
+            .into_iter()
+            .map(|items| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut evicted = 0usize;
+                    for item in items {
+                        if q.push_drop_oldest(item).expect("open").is_some() {
+                            evicted += 1;
+                        }
+                    }
+                    evicted
+                })
+            })
+            .collect();
+        let evicted: usize = producers
+            .into_iter()
+            .map(|p| p.join().expect("producer"))
+            .sum();
+        let mut drained = 0usize;
+        while q.try_pop().is_some() {
+            drained += 1;
+        }
+        assert_eq!(
+            evicted + drained,
+            4,
+            "push ⇒ evicted or drained, never lost"
+        );
+        // Capacity 1 and four pushes onto a never-empty queue pin the
+        // split exactly: three evictions, one survivor.
+        assert_eq!((evicted, drained), (3, 1));
+    });
+}
+
+#[test]
+fn drop_oldest_never_unblocks_a_waiting_sender() {
+    // A sender blocked in push_block on a full queue must stay blocked
+    // across a drop-oldest push (which evicts and refills — the queue
+    // never gains room). Only a real pop releases it. The outcome is the
+    // same in *every* schedule, which is exactly what the model proves.
+    exhaustively(|| {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push_block(0u32).expect("open");
+        let sender = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push_block(99))
+        };
+        let dropper = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push_drop_oldest(1))
+        };
+        // The dropper never blocks; the sender cannot have slipped in
+        // before it (the queue is full from the start), so the eviction
+        // is always the original head.
+        let evicted = dropper.join().expect("dropper").expect("open");
+        assert_eq!(evicted, Some(0), "drop-oldest evicts the head");
+        // First pop must see the dropper's item (the sender is still
+        // parked — the queue never had room); it frees the slot, the
+        // sender lands, and the second pop drains it.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(99));
+        assert!(sender.join().expect("sender").is_ok());
+    });
+}
+
+#[test]
+fn close_never_drops_already_queued_items() {
+    // Receiver-side close racing a draining consumer: items enqueued
+    // before the close are always delivered, in order, before the
+    // consumer observes end-of-stream.
+    exhaustively(|| {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.push_block(10u32).expect("open");
+        q.push_block(11u32).expect("open");
+        let closer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.close())
+        };
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        closer.join().expect("closer");
+        let got = consumer.join().expect("consumer");
+        assert_eq!(got, vec![10, 11], "close lost or reordered queued items");
+    });
+}
+
+#[test]
+fn closing_under_a_blocked_sender_returns_the_item() {
+    // push_block parked on a full queue + a racing close: the sender must
+    // come back with its item (Err), never lose it and never deadlock —
+    // the close's notify_all has to reach the not_full waiter.
+    exhaustively(|| {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push_block(0u32).expect("open");
+        let sender = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push_block(7))
+        };
+        let closer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.close())
+        };
+        closer.join().expect("closer");
+        assert_eq!(sender.join().expect("sender"), Err(7));
+        // The pre-close item still drains.
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), None);
+    });
+}

@@ -57,6 +57,26 @@
 //!   rate-bounded, and silent when no context is installed — instead of
 //!   interleaving with a host application's output. Binaries, examples,
 //!   and test code are exempt: they own their stdout.
+//! * [`Rule::LockOrdering`] — the workspace's ranked mutexes are acquired
+//!   outermost-first: `state → truths → metrics → scratch → latencies →
+//!   slots`. Within one function, textually acquiring a lower-ranked
+//!   (more outer) lock after a higher-ranked one is the shape every
+//!   lock-order deadlock starts as; the `lf-check` model harness proves
+//!   the inversion deadlocks (`reports_lock_inversion_as_deadlock`), this
+//!   rule keeps new ones from being written. Today no function holds two
+//!   ranked locks at once — the rule pins that.
+//! * [`Rule::NoAtomicOrderingDefault`] — every atomic operation spelling
+//!   an `Ordering::` carries a justification comment (`ordering: …` on
+//!   the line, in the 4 lines above, or above the contiguous block of
+//!   atomic lines it opens). `Relaxed` written without an argument for
+//!   why is how silent weak-memory bugs get merged; the audit that seeded
+//!   these comments found one (the histogram snapshot extrema tear).
+//! * [`Rule::NoCondvarWithoutLoop`] — `Condvar::wait`/`wait_timeout` sits
+//!   inside a `while`/`loop` re-checking its predicate. Condition
+//!   variables wake spuriously and `notify_all` wakes waiters whose
+//!   predicate a sibling already consumed; a bare `if … { wait }` is the
+//!   lost-item bug the `lf-check` fixture `if_wait_round` demonstrates.
+//!   `wait_while` is exempt — it owns its loop.
 //!
 //! The scanner is deliberately textual (line-oriented with a small amount
 //! of context), not a full parser: the toolchain here is hermetic, so no
@@ -95,6 +115,12 @@ pub enum Rule {
     NoStageBypass,
     /// `PrefixSums::new` outside the stage graph's epoch setup.
     NoEpochRescan,
+    /// Ranked mutexes acquired inner-before-outer within one function.
+    LockOrdering,
+    /// Atomic operation without an `ordering:` justification comment.
+    NoAtomicOrderingDefault,
+    /// `Condvar::wait` outside a predicate-re-checking loop.
+    NoCondvarWithoutLoop,
 }
 
 impl Rule {
@@ -109,6 +135,9 @@ impl Rule {
             Rule::NoPrintlnInCrates => "no-println-in-crates",
             Rule::NoStageBypass => "no-stage-bypass",
             Rule::NoEpochRescan => "no-epoch-rescan",
+            Rule::LockOrdering => "lock-ordering",
+            Rule::NoAtomicOrderingDefault => "no-atomic-ordering-default",
+            Rule::NoCondvarWithoutLoop => "no-condvar-without-timeout-loop",
         }
     }
 }
@@ -141,14 +170,19 @@ impl fmt::Display for Finding {
 
 /// Directories never scanned: build output, the linter itself (its rule
 /// tables and fixtures contain every forbidden pattern), the vendored
-/// shim crates standing in for external dependencies, and test/bench
-/// trees (test code is exempt by policy, matching `clippy.toml`).
+/// shim crates standing in for external dependencies, the `lf-check`
+/// model harness (its scheduler and sync shims *are* the verification
+/// tooling: the shims relay `wait` without a loop by design — the caller
+/// owns the predicate loop — and its internals synchronize the model
+/// itself), and test/bench trees (test code is exempt by policy,
+/// matching `clippy.toml`).
 const SKIP_DIRS: &[&str] = &[
     "target",
     "xtask",
     "rng",
     "proptest",
     "criterion-shim",
+    "check",
     "tests",
     "benches",
 ];
@@ -229,6 +263,9 @@ fn lint_file(root: &Path, file: &Path, text: &str, findings: &mut Vec<Finding>) 
     let scope = scope_of(root, file);
     let lines: Vec<&str> = text.lines().collect();
     let mut prev_doc = false; // previous significant line was /// or #[...]
+                              // Ranked locks textually acquired so far in the current function
+                              // (rank index into LOCK_RANKS), for the lock-ordering rule.
+    let mut locks_taken: Vec<usize> = Vec::new();
     for (idx, &line) in lines.iter().enumerate() {
         let trimmed = line.trim_start();
         // Test modules sit at the end of files in this repo; everything
@@ -240,6 +277,10 @@ fn lint_file(root: &Path, file: &Path, text: &str, findings: &mut Vec<Finding>) 
         // Strip line comments so commented-out code and rule names in
         // comments don't fire, but keep the comment text for waivers.
         let (code, comment) = split_comment(line);
+
+        if is_fn_decl(trimmed) {
+            locks_taken.clear();
+        }
 
         if !waived(comment, Rule::FloatOrdering)
             && !trimmed.starts_with("//")
@@ -346,6 +387,59 @@ fn lint_file(root: &Path, file: &Path, text: &str, findings: &mut Vec<Finding>) 
                           stage graph builds the table once per epoch and \
                           shares it — take a `&PrefixSums` (or reuse a \
                           `DecodeScratch`) instead"
+                    .into(),
+            });
+        }
+
+        if !trimmed.starts_with("//") {
+            if let Some(rank) = locked_rank(code, idx, &lines) {
+                if let Some(&inner) = locks_taken.iter().find(|&&taken| taken > rank) {
+                    if !waived(comment, Rule::LockOrdering) {
+                        findings.push(Finding {
+                            file: file.to_path_buf(),
+                            line: lineno,
+                            rule: Rule::LockOrdering,
+                            message: format!(
+                                "`{}` (outer) locked after `{}` (inner); ranked \
+                                 locks are acquired outermost-first: {}",
+                                LOCK_RANKS[rank],
+                                LOCK_RANKS[inner],
+                                LOCK_RANKS.join(" → ")
+                            ),
+                        });
+                    }
+                }
+                locks_taken.push(rank);
+            }
+        }
+
+        if !waived(comment, Rule::NoAtomicOrderingDefault)
+            && !trimmed.starts_with("//")
+            && atomic_op_with_ordering(code)
+            && !ordering_justified(&lines, idx)
+        {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: Rule::NoAtomicOrderingDefault,
+                message: "atomic operation without a justification comment; \
+                          state why this `Ordering` suffices in an \
+                          `// ordering: …` comment on or above the operation"
+                    .into(),
+            });
+        }
+
+        if !waived(comment, Rule::NoCondvarWithoutLoop)
+            && !trimmed.starts_with("//")
+            && condvar_wait_outside_loop(&lines, idx)
+        {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: Rule::NoCondvarWithoutLoop,
+                message: "`Condvar::wait` outside a `while`/`loop`: waits wake \
+                          spuriously and lose notify races; re-check the \
+                          predicate in a loop (or use `wait_while`)"
                     .into(),
             });
         }
@@ -523,6 +617,138 @@ fn is_pub_fn(trimmed: &str) -> bool {
         || trimmed.starts_with("pub unsafe fn ")
 }
 
+/// Any function declaration line, used as the reset/stop boundary for the
+/// within-function concurrency rules.
+fn is_fn_decl(trimmed: &str) -> bool {
+    let rest = trimmed
+        .strip_prefix("pub(crate) ")
+        .or_else(|| trimmed.strip_prefix("pub(super) "))
+        .or_else(|| trimmed.strip_prefix("pub "))
+        .unwrap_or(trimmed);
+    let rest = rest.strip_prefix("const ").unwrap_or(rest);
+    let rest = rest.strip_prefix("unsafe ").unwrap_or(rest);
+    rest.starts_with("fn ")
+}
+
+/// The workspace's ranked mutexes, outermost first. A function acquiring
+/// two of these must take the lower index first. Unranked locks (local
+/// test mutexes, shim internals) are outside the discipline.
+const LOCK_RANKS: &[&str] = &[
+    "state",
+    "truths",
+    "metrics",
+    "scratch",
+    "latencies",
+    "slots",
+];
+
+/// The rank of the field a `.lock()` call on this line acquires, if the
+/// field is ranked. Handles rustfmt's split chains: when `.lock()` opens
+/// the line, the field identifier is the tail of the previous line
+/// (`self\n.latencies\n.lock()`, `self.slots[idx]\n.lock()`).
+fn locked_rank(code: &str, idx: usize, lines: &[&str]) -> Option<usize> {
+    let pos = code.find(".lock()")?;
+    let mut ident = trailing_field_ident(&code[..pos]);
+    if ident.is_empty() && idx > 0 {
+        ident = trailing_field_ident(split_comment(lines[idx - 1]).0);
+    }
+    LOCK_RANKS.iter().position(|&r| r == ident)
+}
+
+/// The identifier a field-access chain ends in, ignoring one trailing
+/// index expression: `recover(self.state` → `state`, `self.slots[idx]` →
+/// `slots`. Empty when the text ends in anything else.
+fn trailing_field_ident(s: &str) -> String {
+    let mut s = s.trim_end();
+    if let Some(open) = s.rfind('[') {
+        if s.ends_with(']') {
+            s = &s[..open];
+        }
+    }
+    s.chars()
+        .rev()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect()
+}
+
+/// Atomic operations that take an `Ordering` argument; each probe carries
+/// its call syntax so field names merely containing `load` never fire.
+const ATOMIC_OPS: &[&str] = &[
+    ".load(",
+    ".store(",
+    ".swap(",
+    ".fetch_",
+    ".compare_exchange",
+];
+
+/// An atomic operation spelling an `Ordering::` on this line. Requiring
+/// both keeps the probe exact: a split call whose `Ordering::` lands on
+/// the next line escapes, which the fixtures accept as the cost of a
+/// textual scanner.
+fn atomic_op_with_ordering(code: &str) -> bool {
+    code.contains("Ordering::") && ATOMIC_OPS.iter().any(|p| code.contains(p))
+}
+
+/// Whether the atomic operation on `lines[idx]` carries an `ordering:`
+/// justification: in a comment on the line itself, or in one of the 8
+/// lines above it but below the enclosing `fn` declaration. The window
+/// spans split call chains and lets one comment justify a block of
+/// related updates (e.g. a histogram record's five cells); stopping at
+/// the `fn` keeps a comment from leaking into the next function.
+fn ordering_justified(lines: &[&str], idx: usize) -> bool {
+    if split_comment(lines[idx]).1.contains("ordering:") {
+        return true;
+    }
+    for back in 1..=8 {
+        let Some(i) = idx.checked_sub(back) else {
+            break;
+        };
+        let (code, comment) = split_comment(lines[i]);
+        if comment.contains("ordering:") {
+            return true;
+        }
+        if is_fn_decl(code.trim_start()) {
+            break;
+        }
+    }
+    false
+}
+
+/// A `Condvar::wait`/`wait_timeout` on `lines[idx]` with no `while`/`loop`
+/// between it and its enclosing `fn`. `wait_while` owns its loop and is
+/// exempt; so is a wait on the same line as its loop header.
+fn condvar_wait_outside_loop(lines: &[&str], idx: usize) -> bool {
+    let code = split_comment(lines[idx]).0;
+    let waits = (code.contains(".wait(") || code.contains(".wait_timeout("))
+        && !code.contains("wait_while");
+    if !waits {
+        return false;
+    }
+    if is_loop_header(code.trim_start()) {
+        return false;
+    }
+    for i in (0..idx).rev() {
+        let t = split_comment(lines[i]).0.trim_start();
+        if is_loop_header(t) {
+            return false;
+        }
+        if is_fn_decl(t) {
+            return true;
+        }
+    }
+    true
+}
+
+fn is_loop_header(trimmed_code: &str) -> bool {
+    trimmed_code.starts_with("while ")
+        || trimmed_code.starts_with("loop {")
+        || trimmed_code == "loop"
+        || trimmed_code.starts_with("for ")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -606,5 +832,122 @@ mod tests {
         assert_eq!(panic_escape_hatch("x.unwrap()"), Some(".unwrap()"));
         assert_eq!(panic_escape_hatch("x.unwrap_or(0)"), None);
         assert_eq!(panic_escape_hatch("assert!(k > 0)"), None);
+    }
+
+    #[test]
+    fn fn_decl_probe() {
+        assert!(is_fn_decl("fn refill(&mut self) -> bool {"));
+        assert!(is_fn_decl("pub fn pop(&self) -> Option<T> {"));
+        assert!(is_fn_decl("pub(crate) const fn new() -> Self {"));
+        assert!(!is_fn_decl("let f = |x| x + 1;"));
+        assert!(!is_fn_decl("// fn commented_out() {"));
+    }
+
+    #[test]
+    fn trailing_field_ident_reads_chain_tails() {
+        assert_eq!(trailing_field_ident("recover(self.state"), "state");
+        assert_eq!(trailing_field_ident("    .latencies"), "latencies");
+        assert_eq!(
+            trailing_field_ident("let mut slot = self.slots[idx]"),
+            "slots"
+        );
+        assert_eq!(trailing_field_ident("let mut rings = self"), "self");
+        assert_eq!(trailing_field_ident("drop(st);"), "");
+    }
+
+    #[test]
+    fn locked_rank_handles_split_chains() {
+        // Same-line lock.
+        let lines = ["let st = recover(self.state.lock());"];
+        assert_eq!(locked_rank(lines[0], 0, &lines), Some(0));
+        // rustfmt-split chain: `.lock()` opens the line, field above.
+        let lines = ["let mut rings = self", "    .latencies", "    .lock()"];
+        assert_eq!(locked_rank(lines[2], 2, &lines), Some(4));
+        // Indexed field above.
+        let lines = ["let mut slot = self.slots[idx]", "    .lock()"];
+        assert_eq!(locked_rank(lines[1], 1, &lines), Some(5));
+        // Unranked locals stay outside the discipline.
+        let lines = ["let g = my_mutex.lock();"];
+        assert_eq!(locked_rank(lines[0], 0, &lines), None);
+    }
+
+    #[test]
+    fn atomic_ordering_probe_needs_op_and_ordering() {
+        assert!(atomic_op_with_ordering(
+            "self.count.fetch_add(1, Ordering::Relaxed);"
+        ));
+        assert!(atomic_op_with_ordering("x.load(Ordering::Acquire)"));
+        // An Ordering mention without an operation (imports, match arms)
+        // stays silent, as does an op without an Ordering on the line.
+        assert!(!atomic_op_with_ordering("use std::sync::atomic::Ordering;"));
+        assert!(!atomic_op_with_ordering("cursor.fetch_add(1, ordering)"));
+        assert!(!atomic_op_with_ordering("file.load(path)"));
+    }
+
+    #[test]
+    fn ordering_justification_window_and_blocks() {
+        // Same-line comment.
+        let lines = ["x.load(Ordering::Relaxed) // ordering: monitoring read"];
+        assert!(ordering_justified(&lines, 0));
+        // Comment within the window above, inside the same fn.
+        let lines = [
+            "fn get(&self) {",
+            "    // ordering: Relaxed — standalone cell.",
+            "    x.load(Ordering::Relaxed);",
+        ];
+        assert!(ordering_justified(&lines, 2));
+        // One comment covers a block of related atomic lines, even with
+        // only its first line carrying the `ordering:` marker.
+        let lines = [
+            "fn record(&self) {",
+            "    // ordering: Relaxed — five independent cells; the",
+            "    // snapshot reconciles a copy taken mid-record.",
+            "    a.fetch_add(1, Ordering::Relaxed);",
+            "    b.fetch_add(1, Ordering::Relaxed);",
+            "    c.fetch_add(v, Ordering::Relaxed);",
+            "    d.fetch_min(v, Ordering::Relaxed);",
+            "    e.fetch_max(v, Ordering::Relaxed);",
+        ];
+        assert!(ordering_justified(&lines, 7));
+        // The window stops at the enclosing fn: a comment in the previous
+        // function does not justify this one's op.
+        let lines = [
+            "// ordering: Relaxed — belongs to the fn above.",
+            "fn f() {",
+            "    x.store(1, Ordering::SeqCst);",
+        ];
+        assert!(!ordering_justified(&lines, 2));
+        // No comment anywhere near: unjustified.
+        let lines = ["fn f() {", "", "", "", "", "x.store(1, Ordering::SeqCst);"];
+        assert!(!ordering_justified(&lines, 5));
+    }
+
+    #[test]
+    fn condvar_loop_scan() {
+        let while_wait = [
+            "fn pop(&self) {",
+            "    let mut st = recover(self.state.lock());",
+            "    while st.is_empty() {",
+            "        st = recover(self.not_empty.wait(st));",
+            "    }",
+        ];
+        assert!(!condvar_wait_outside_loop(&while_wait, 3));
+        let if_wait = [
+            "fn pop(&self) {",
+            "    let mut st = recover(self.state.lock());",
+            "    if st.is_empty() {",
+            "        st = recover(self.not_empty.wait(st));",
+            "    }",
+        ];
+        assert!(condvar_wait_outside_loop(&if_wait, 3));
+        let wait_while = ["fn f() {", "    let g = cv.wait_while(g, |s| s.busy);"];
+        assert!(!condvar_wait_outside_loop(&wait_while, 1));
+        let loop_wait = [
+            "fn f() {",
+            "    loop {",
+            "        g = cv.wait_timeout(g, TICK).0;",
+            "    }",
+        ];
+        assert!(!condvar_wait_outside_loop(&loop_wait, 2));
     }
 }

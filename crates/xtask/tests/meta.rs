@@ -31,6 +31,9 @@ fn fixtures_trigger_every_rule() {
         Rule::NoPrintlnInCrates,
         Rule::NoStageBypass,
         Rule::NoEpochRescan,
+        Rule::LockOrdering,
+        Rule::NoAtomicOrderingDefault,
+        Rule::NoCondvarWithoutLoop,
     ] {
         assert!(
             findings.iter().any(|f| f.rule == rule),
@@ -62,6 +65,15 @@ fn fixture_finding_counts_are_exact() {
     // One seeded prefix-sum rebuild; the waived one-shot entry point and
     // the test-module rebuild are silent.
     assert_eq!(count(Rule::NoEpochRescan), 1, "{findings:?}");
+    // One seeded inner-before-outer acquisition; the correctly ordered
+    // pair and the test-module inversion are silent.
+    assert_eq!(count(Rule::LockOrdering), 1, "{findings:?}");
+    // Two seeded unjustified atomics; the `// ordering:`-commented one,
+    // the waived one, and the test-module op are silent.
+    assert_eq!(count(Rule::NoAtomicOrderingDefault), 2, "{findings:?}");
+    // One seeded if-guarded wait; the while-guarded wait and the
+    // `wait_while` form are silent.
+    assert_eq!(count(Rule::NoCondvarWithoutLoop), 1, "{findings:?}");
 }
 
 #[test]
