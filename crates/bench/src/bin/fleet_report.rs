@@ -1,0 +1,269 @@
+//! `fleet_report` — a machine-readable fleet-scaling benchmark.
+//!
+//! Runs the `lf-fleet` runtime over the standard CI scenario at 1, 2,
+//! and 4 readers (each reader: its own channel realization, its own
+//! single-worker `ReaderRuntime`) and reports *aggregate* decoded
+//! epochs per second per fleet size, plus the scaling efficiency
+//! against the linear ideal. The ideal is normalized by the machine:
+//! `min(n_readers, cores) × single-reader rate` — on a 1-core runner
+//! linear scaling degenerates to "n readers cost no more than n × one
+//! reader", i.e. the coordination layer adds < 20% overhead.
+//!
+//! ```text
+//! cargo run --release -p lf-bench --bin fleet_report -- --label fleet
+//! # → BENCH_fleet.json
+//! ```
+//!
+//! Normally invoked through `cargo xtask bench-report --label fleet`.
+
+use lf_bench::standard_fixture;
+use lf_core::config::DecoderConfig;
+use lf_fleet::{realized_sources, FleetConfig, FleetRuntime, FrameExtractor};
+use lf_obs::{MetricValue, ObsContext, Snapshot};
+use lf_sim::experiments::Scale;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Fleet sizes benchmarked, smallest first (index 0 is the baseline the
+/// efficiency figures are computed against).
+const FLEET_SIZES: [usize; 3] = [1, 2, 4];
+
+struct Args {
+    label: String,
+    out: Option<String>,
+    epochs: u64,
+    tags: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        label: "fleet".to_owned(),
+        out: None,
+        epochs: 8,
+        tags: 8,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |what: &str| it.next().ok_or_else(|| format!("{what} expects a value"));
+        match flag.as_str() {
+            "--label" => args.label = take("--label")?,
+            "--out" => args.out = Some(take("--out")?),
+            "--epochs" => {
+                args.epochs = take("--epochs")?
+                    .parse()
+                    .map_err(|e| format!("--epochs: {e}"))?;
+            }
+            "--tags" => {
+                args.tags = take("--tags")?
+                    .parse()
+                    .map_err(|e| format!("--tags: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.epochs == 0 {
+        return Err("--epochs must be ≥ 1".into());
+    }
+    Ok(args)
+}
+
+/// One fleet size's measurement.
+struct Point {
+    readers: usize,
+    elapsed_s: f64,
+    aggregate_eps: f64,
+    frames_delivered: u64,
+    duplicates: u64,
+}
+
+/// One stage histogram as a JSON object fragment (`{}` when the stage
+/// never recorded).
+fn stage_json(snap: &Snapshot, metric: &str) -> String {
+    let Some(MetricValue::Histogram(h)) = snap.get(metric) else {
+        return "{}".to_owned();
+    };
+    let q = |p: f64| h.quantile(p).unwrap_or(0);
+    format!(
+        "{{\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\
+         \"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{}}}",
+        h.count,
+        h.sum,
+        if h.count == 0 { 0 } else { h.min },
+        h.max,
+        q(0.5),
+        q(0.9),
+        q(0.99),
+    )
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fleet_report: {e}");
+            eprintln!("usage: fleet_report [--label L] [--out FILE] [--epochs N] [--tags N]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let fix = standard_fixture(Scale::Quick, args.tags, 1);
+    let scenario = fix.scenario;
+    let mut decoder_cfg = DecoderConfig::at_sample_rate(scenario.sample_rate);
+    decoder_cfg.rate_plan = scenario.rate_plan.clone();
+    // The gap must clear the segmenter's min_gap (two bit periods of the
+    // slowest plan rate) with margin.
+    let gap_samples =
+        (5.0 * scenario.sample_rate.sps() / scenario.rate_plan.min_bps()).ceil() as usize;
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    // One small warm-up fleet outside every timed window (page-in,
+    // allocator, thread-spawn paths) so the 1-reader baseline point is
+    // not penalized for going first.
+    {
+        let (sources, _) = realized_sources(&scenario, 1, 2, gap_samples, 8_192);
+        let cfg = FleetConfig::for_decoder(&decoder_cfg, FrameExtractor::for_scenario(&scenario));
+        let (fleet, mut subs) =
+            FleetRuntime::spawn_decoder(sources, decoder_cfg.clone(), &cfg, 1, ObsContext::new());
+        let sub = subs.remove(0);
+        while sub.recv().is_some() {}
+        let _ = fleet.join();
+    }
+
+    let mut points: Vec<Point> = Vec::new();
+    let mut last_snapshot = Snapshot::default();
+    for n_readers in FLEET_SIZES {
+        // Synthesis happens outside the timed window: the bench measures
+        // decode + coordination, the shape of a fleet replaying captures.
+        let (sources, _truths) =
+            realized_sources(&scenario, n_readers, args.epochs, gap_samples, 8_192);
+        let obs = ObsContext::new();
+        let cfg = FleetConfig::for_decoder(&decoder_cfg, FrameExtractor::for_scenario(&scenario));
+
+        let t0 = Instant::now();
+        let (fleet, mut subs) =
+            FleetRuntime::spawn_decoder(sources, decoder_cfg.clone(), &cfg, 1, obs.clone());
+        let sub = subs.remove(0);
+        let mut drained = 0u64;
+        while sub.recv().is_some() {
+            drained += 1;
+        }
+        let report = fleet.join();
+        let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+
+        if report.stats.frames_delivered != drained {
+            eprintln!(
+                "fleet_report: delivery mismatch at {n_readers} readers: \
+                 {drained} drained vs {} reported",
+                report.stats.frames_delivered
+            );
+            return ExitCode::FAILURE;
+        }
+        let epochs_total = report.stats.epochs_decoded;
+        if epochs_total != n_readers as u64 * args.epochs {
+            eprintln!(
+                "fleet_report: epoch shortfall at {n_readers} readers: \
+                 {epochs_total} decoded vs {} expected",
+                n_readers as u64 * args.epochs
+            );
+            return ExitCode::FAILURE;
+        }
+        points.push(Point {
+            readers: n_readers,
+            elapsed_s: elapsed,
+            aggregate_eps: epochs_total as f64 / elapsed,
+            frames_delivered: report.stats.frames_delivered,
+            duplicates: report.stats.duplicates_suppressed,
+        });
+        last_snapshot = obs.registry_snapshot();
+        println!(
+            "fleet_report: {n_readers} reader(s): {:.1} aggregate epochs/s, \
+             {} frames, {} duplicates suppressed",
+            epochs_total as f64 / elapsed,
+            report.stats.frames_delivered,
+            report.stats.duplicates_suppressed,
+        );
+    }
+
+    // Efficiency vs the machine-normalized linear ideal.
+    let base_eps = points[0].aggregate_eps;
+    let scaling = points
+        .iter()
+        .map(|p| {
+            let ideal = base_eps * p.readers.min(cores) as f64;
+            format!(
+                "{{\"readers\":{},\"elapsed_s\":{:.6},\"aggregate_epochs_per_s\":{:.3},\
+                 \"frames_delivered\":{},\"duplicates_suppressed\":{},\"efficiency\":{:.3}}}",
+                p.readers,
+                p.elapsed_s,
+                p.aggregate_eps,
+                p.frames_delivered,
+                p.duplicates,
+                p.aggregate_eps / ideal,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+
+    // The acceptance gate: aggregate throughput at the largest fleet must
+    // hold ≥ 0.8× the machine-normalized linear ideal — coordination
+    // (dedup, bus, polling) may cost at most 20%.
+    let last = &points[points.len() - 1];
+    let ideal = base_eps * last.readers.min(cores) as f64;
+    let efficiency = last.aggregate_eps / ideal;
+    if efficiency < 0.8 {
+        eprintln!(
+            "fleet_report: scaling regression: {} readers at {:.3} aggregate epochs/s \
+             is {efficiency:.3}x the linear ideal {ideal:.3} (floor 0.8)",
+            last.readers, last.aggregate_eps,
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Stage latency comes from the largest fleet's shared decoder — the
+    // same pipeline histograms bench_report records, here aggregated
+    // across all four readers' decode workers.
+    let stages = lf_core::pipeline::StageTimings::names()
+        .into_iter()
+        .chain(std::iter::once("total"))
+        .map(|s| {
+            format!(
+                "\"{s}\":{}",
+                stage_json(&last_snapshot, &format!("pipeline.stage.{s}.ns"))
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+
+    let report = format!(
+        "{{\n\
+         \"label\":\"{label}\",\n\
+         \"scenario\":{{\"tags\":{tags},\"samples_per_epoch\":{spe},\
+         \"epochs_per_reader\":{epochs},\"gap_samples\":{gap}}},\n\
+         \"cores\":{cores},\n\
+         \"throughput\":{{\"epochs_per_s\":{eps:.3},\"scaling\":[{scaling}]}},\n\
+         \"scaling_efficiency\":{efficiency:.3},\n\
+         \"stage_latency\":{{{stages}}}\n\
+         }}\n",
+        label = args.label,
+        tags = args.tags,
+        spe = scenario.epoch_samples,
+        epochs = args.epochs,
+        gap = gap_samples,
+        eps = last.aggregate_eps,
+    );
+
+    let out = args
+        .out
+        .unwrap_or_else(|| format!("BENCH_{}.json", args.label));
+    if let Err(e) = std::fs::write(&out, &report) {
+        eprintln!("fleet_report: write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "fleet_report: {out} ({:.1} aggregate epochs/s at {} readers, \
+         {efficiency:.2}x of linear on {cores} core(s))",
+        last.aggregate_eps, last.readers,
+    );
+    ExitCode::SUCCESS
+}

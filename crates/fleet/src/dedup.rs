@@ -1,0 +1,234 @@
+//! The exactly-once dedup registry.
+//!
+//! Every reader that decodes a frame *claims* its [`FrameId`] here; the
+//! first claim wins delivery rights and every later claim is reported a
+//! duplicate. The registry is the fleet's single source of truth for
+//! "has this transmission been delivered", so it is deliberately tiny —
+//! one mutex around one map — and model-checked (`tests/model_dedup.rs`
+//! explores its full interleaving space under the `lf-check` shims).
+//!
+//! Ordering is content-derived, never clock-derived: claims carry a
+//! caller-supplied monotone *tick* (the coordinator uses its delivered-
+//! frame count), so duplicate lag is measured in frames, not seconds.
+//! The `cargo xtask lint` rule `no-wallclock-ordering` keeps
+//! `Instant`/`SystemTime` out of this path entirely.
+
+use crate::identity::FrameId;
+use std::collections::HashMap;
+// Under the `lf-check` feature the mutex comes from the model
+// scheduler's shims (passthrough outside a model run) — same pattern as
+// lf-reader's BoundedQueue.
+#[cfg(feature = "lf-check")]
+use lf_check::sync::{Mutex, MutexGuard, PoisonError};
+#[cfg(not(feature = "lf-check"))]
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Recover from lock poisoning: the map's invariants hold between
+/// operations, so a poisoned lock only means another thread died.
+fn recover<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A reader's index within the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReaderId(pub usize);
+
+/// Why a particular reader's copy of a frame won delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WinReason {
+    /// Its claim reached the registry first. Under the current
+    /// first-claim-wins policy this is the only reason; the enum leaves
+    /// room for quality-based arbitration (e.g. best-SNR copy) later.
+    FirstClaim,
+}
+
+/// The registry's verdict on one claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Claim {
+    /// First sighting: the claimer owns delivery of this frame.
+    Winner,
+    /// Already delivered by `winner`; `lag_ticks` is how far the fleet's
+    /// tick counter advanced between the winning claim and this one.
+    Duplicate {
+        /// The reader whose copy won.
+        winner: ReaderId,
+        /// Ticks (delivered frames) between the win and this duplicate.
+        lag_ticks: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Entry {
+    winner: ReaderId,
+    reason: WinReason,
+    seen_by: Vec<ReaderId>,
+    epoch_ordinal: u64,
+    birth_tick: u64,
+}
+
+/// Per-frame delivery provenance: which readers saw it, which copy won,
+/// and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveryProvenance {
+    /// The frame's content-addressed identity.
+    pub id: FrameId,
+    /// Epoch ordinal the frame was observed in.
+    pub epoch_ordinal: u64,
+    /// The reader whose copy was delivered.
+    pub winner: ReaderId,
+    /// Why that copy won.
+    pub reason: WinReason,
+    /// Every reader that decoded the frame, in claim order (the winner
+    /// is always first).
+    pub seen_by: Vec<ReaderId>,
+}
+
+/// The fleet-wide first-claim-wins frame registry. See the module docs.
+#[derive(Debug, Default)]
+pub struct DedupRegistry {
+    entries: Mutex<HashMap<FrameId, Entry>>,
+}
+
+impl DedupRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        DedupRegistry::default()
+    }
+
+    /// Claims `id` on behalf of `reader`. `tick` is any caller-side
+    /// monotone counter (the coordinator passes its delivered-frame
+    /// count); it only feeds the duplicate-lag report, never the
+    /// win/lose decision — that is strictly first-claim-wins.
+    pub fn claim(&self, id: FrameId, reader: ReaderId, epoch_ordinal: u64, tick: u64) -> Claim {
+        let mut entries = recover(self.entries.lock());
+        match entries.get_mut(&id) {
+            None => {
+                entries.insert(
+                    id,
+                    Entry {
+                        winner: reader,
+                        reason: WinReason::FirstClaim,
+                        seen_by: vec![reader],
+                        epoch_ordinal,
+                        birth_tick: tick,
+                    },
+                );
+                Claim::Winner
+            }
+            Some(entry) => {
+                if !entry.seen_by.contains(&reader) {
+                    entry.seen_by.push(reader);
+                }
+                Claim::Duplicate {
+                    winner: entry.winner,
+                    lag_ticks: tick.saturating_sub(entry.birth_tick),
+                }
+            }
+        }
+    }
+
+    /// Number of distinct frames claimed so far.
+    pub fn len(&self) -> usize {
+        recover(self.entries.lock()).len()
+    }
+
+    /// True when no frame has been claimed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A provenance snapshot of every claimed frame, ordered by
+    /// (epoch ordinal, identity) for deterministic reporting.
+    pub fn provenance(&self) -> Vec<DeliveryProvenance> {
+        let entries = recover(self.entries.lock());
+        let mut out: Vec<DeliveryProvenance> = entries
+            .iter()
+            .map(|(id, e)| DeliveryProvenance {
+                id: *id,
+                epoch_ordinal: e.epoch_ordinal,
+                winner: e.winner,
+                reason: e.reason,
+                seen_by: e.seen_by.clone(),
+            })
+            .collect();
+        drop(entries);
+        out.sort_by_key(|p| (p.epoch_ordinal, p.id));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> FrameId {
+        FrameId {
+            tag_key: n,
+            epoch_fp: n.wrapping_mul(31),
+            payload_digest: n.wrapping_mul(131),
+        }
+    }
+
+    #[test]
+    fn first_claim_wins_rest_are_duplicates() {
+        let reg = DedupRegistry::new();
+        assert_eq!(reg.claim(id(1), ReaderId(2), 0, 10), Claim::Winner);
+        assert_eq!(
+            reg.claim(id(1), ReaderId(0), 0, 14),
+            Claim::Duplicate {
+                winner: ReaderId(2),
+                lag_ticks: 4
+            }
+        );
+        assert_eq!(
+            reg.claim(id(1), ReaderId(1), 0, 14),
+            Claim::Duplicate {
+                winner: ReaderId(2),
+                lag_ticks: 4
+            }
+        );
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn distinct_frames_all_win() {
+        let reg = DedupRegistry::new();
+        for k in 0..5 {
+            assert_eq!(reg.claim(id(k), ReaderId(0), k, k), Claim::Winner);
+        }
+        assert_eq!(reg.len(), 5);
+    }
+
+    #[test]
+    fn provenance_records_all_seers_in_claim_order() {
+        let reg = DedupRegistry::new();
+        reg.claim(id(7), ReaderId(1), 3, 0);
+        reg.claim(id(7), ReaderId(0), 3, 1);
+        reg.claim(id(7), ReaderId(1), 3, 2); // re-claim: not double-counted
+        reg.claim(id(2), ReaderId(0), 1, 3);
+        let prov = reg.provenance();
+        assert_eq!(prov.len(), 2);
+        // Sorted by (epoch, id): epoch 1 first.
+        assert_eq!(prov[0].epoch_ordinal, 1);
+        assert_eq!(prov[0].seen_by, vec![ReaderId(0)]);
+        assert_eq!(prov[1].winner, ReaderId(1));
+        assert_eq!(prov[1].reason, WinReason::FirstClaim);
+        assert_eq!(prov[1].seen_by, vec![ReaderId(1), ReaderId(0)]);
+    }
+
+    #[test]
+    fn duplicate_lag_saturates_not_wraps() {
+        let reg = DedupRegistry::new();
+        reg.claim(id(1), ReaderId(0), 0, 100);
+        // A duplicate with a *smaller* tick (claims raced) must not wrap.
+        assert_eq!(
+            reg.claim(id(1), ReaderId(1), 0, 90),
+            Claim::Duplicate {
+                winner: ReaderId(0),
+                lag_ticks: 0
+            }
+        );
+    }
+}

@@ -1,0 +1,359 @@
+//! Content-addressed frame identity and frame extraction.
+//!
+//! The coordination layer must recognize "the same transmission" across
+//! readers that share no clock, no epoch counter, and no channel. The
+//! identity is therefore built entirely from what every antenna observes
+//! in common — the demodulated content and the carrier structure:
+//!
+//! * **tag key** — the stream's rate class and frame kind (and, for
+//!   identification frames, the EPC itself): which *kind* of tag spoke.
+//! * **epoch fingerprint** — the epoch's ordinal, derived at each reader
+//!   independently by counting the carrier-off gaps its own segmenter
+//!   observed (`EpochReport::seq`). This is not a distributed counter:
+//!   no reader tells another what epoch it is in. All antennas hear the
+//!   one carrier, so gap counts agree by physics, not by protocol — and
+//!   a reader that sheds an epoch under backpressure still accounts for
+//!   its seq via the drop tombstone, so its count never slips.
+//! * **payload digest** — FNV-1a over the CRC-verified payload bits.
+//!   Sensor payloads are whitened and unique per (tag, epoch, frame)
+//!   (see `lf_sim::simulate`), exactly the property that makes a content
+//!   digest collision-resistant; the epoch fingerprint additionally
+//!   separates identical payloads re-sent in different epochs (the EPC
+//!   identification case).
+
+use lf_core::pipeline::DecodedStream;
+use lf_sim::Scenario;
+use lf_tag::frame::{Frame, FrameKind};
+use lf_types::BitVec;
+
+/// FNV-1a, 64-bit: small, allocation-free, and plenty for content
+/// addressing a simulation's frame population.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv1a(seed: u64, bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = seed;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Digest of a bit vector: bits packed eight-at-a-time, length mixed in
+/// so a prefix never collides with its extension.
+fn digest_bits(bits: &BitVec) -> u64 {
+    let mut h = FNV_OFFSET ^ (bits.len() as u64);
+    let mut acc = 0u8;
+    let mut filled = 0u8;
+    for bit in bits.iter() {
+        acc = (acc << 1) | u8::from(bit);
+        filled += 1;
+        if filled == 8 {
+            h ^= u64::from(acc);
+            h = h.wrapping_mul(FNV_PRIME);
+            acc = 0;
+            filled = 0;
+        }
+    }
+    if filled > 0 {
+        h ^= u64::from(acc);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The clock-free identity of one over-the-air frame. Two readers that
+/// decode the same transmission compute the same `FrameId` from their
+/// own observations alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameId {
+    /// Rate class × frame kind (× EPC for identification frames).
+    pub tag_key: u64,
+    /// Mixed epoch ordinal (carrier-gap count at the observing reader).
+    pub epoch_fp: u64,
+    /// FNV-1a digest of the CRC-verified payload bits.
+    pub payload_digest: u64,
+}
+
+/// One CRC-verified frame recovered from a decoded stream.
+#[derive(Debug, Clone)]
+pub struct ExtractedFrame {
+    /// The verified payload bits (EPC bits for identification frames).
+    pub payload: BitVec,
+    /// The stream's bitrate the frame rode on.
+    pub rate_bps: f64,
+    /// Frame kind the CRC verified under.
+    pub kind: FrameKind,
+    /// Slot index of the frame's anchor within the stream.
+    pub slot_start: usize,
+}
+
+impl ExtractedFrame {
+    /// The frame's content-addressed identity within epoch
+    /// `epoch_ordinal` (the observing reader's own carrier-gap count —
+    /// see the module docs for why that is clock-free).
+    pub fn id(&self, epoch_ordinal: u64) -> FrameId {
+        let kind_tag: u64 = match self.kind {
+            FrameKind::Identification => 0x1D,
+            FrameKind::SensorData => 0x5E,
+        };
+        FrameId {
+            tag_key: fnv1a(FNV_OFFSET ^ kind_tag, self.rate_bps.to_bits().to_le_bytes()),
+            epoch_fp: fnv1a(
+                FNV_OFFSET ^ 0xE9,
+                (epoch_ordinal + 1)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .to_le_bytes(),
+            ),
+            payload_digest: digest_bits(&self.payload),
+        }
+    }
+}
+
+/// Recovers CRC-verified frames from decoded slot streams.
+///
+/// §3.4 framing is fixed-length per tag: every frame is
+/// `anchor + payload + CRC`, sent back to back from the stream's first
+/// slot. A stream that locked a few slots late shifts the whole train,
+/// so the extractor scans each candidate frame length over its phases
+/// and keeps the phase that verifies the most frames — CRC-16 makes an
+/// accidental verify a ~2⁻¹⁶-per-window event, and the scan is linear in
+/// the stream length per candidate length.
+#[derive(Debug, Clone)]
+pub struct FrameExtractor {
+    /// Candidate sensor payload lengths, in bits.
+    payload_lens: Vec<usize>,
+    /// Whether to also scan for 102-bit identification frames. CRC-5 is
+    /// far too weak to scan freely (1/32 per window), so identification
+    /// extraction tries phase 0 only — the dominant id-mode case — and
+    /// additionally requires the EPC to round-trip.
+    identification: bool,
+}
+
+/// On-air length of a sensor frame with `payload` payload bits.
+fn sensor_frame_len(payload: usize) -> usize {
+    1 + payload + 16
+}
+
+/// On-air length of an identification frame.
+const ID_FRAME_LEN: usize = 1 + 96 + 5;
+
+impl FrameExtractor {
+    /// An extractor for the given sensor payload lengths (deduplicated),
+    /// optionally also scanning for identification frames.
+    pub fn new(payload_lens: &[usize], identification: bool) -> Self {
+        let mut lens: Vec<usize> = payload_lens.iter().copied().filter(|&l| l > 0).collect();
+        lens.sort_unstable();
+        lens.dedup();
+        FrameExtractor {
+            payload_lens: lens,
+            identification,
+        }
+    }
+
+    /// The extractor matching a scenario's tag population — the fleet
+    /// operator knows what it deployed.
+    pub fn for_scenario(scenario: &Scenario) -> Self {
+        let lens: Vec<usize> = scenario
+            .tags
+            .iter()
+            .filter(|t| !t.id_mode)
+            .map(|t| t.payload_bits)
+            .collect();
+        let identification = scenario.tags.iter().any(|t| t.id_mode);
+        FrameExtractor::new(&lens, identification)
+    }
+
+    /// Extracts every CRC-verified frame from one decoded stream.
+    pub fn extract(&self, stream: &DecodedStream) -> Vec<ExtractedFrame> {
+        let bits = &stream.bits;
+        let mut out = Vec::new();
+        for &payload in &self.payload_lens {
+            let flen = sensor_frame_len(payload);
+            if let Some(frames) = best_phase_train(bits, flen, FrameKind::SensorData) {
+                for (slot_start, frame) in frames {
+                    out.push(ExtractedFrame {
+                        payload: frame.payload().clone(),
+                        rate_bps: stream.rate_bps,
+                        kind: FrameKind::SensorData,
+                        slot_start,
+                    });
+                }
+            }
+        }
+        if self.identification && bits.len() >= ID_FRAME_LEN {
+            let window = bits.slice(0, ID_FRAME_LEN);
+            if let Some(frame) = Frame::from_bits(&window, FrameKind::Identification) {
+                if frame.epc().is_some() {
+                    out.push(ExtractedFrame {
+                        payload: frame.payload().clone(),
+                        rate_bps: stream.rate_bps,
+                        kind: FrameKind::Identification,
+                        slot_start: 0,
+                    });
+                }
+            }
+        }
+        out.sort_by_key(|f| f.slot_start);
+        out
+    }
+}
+
+/// Scans every phase of a fixed frame length over `bits` and returns the
+/// verified frames of the best phase (most CRC hits), or `None` if no
+/// phase verifies anything.
+fn best_phase_train(bits: &BitVec, flen: usize, kind: FrameKind) -> Option<Vec<(usize, Frame)>> {
+    if bits.len() < flen {
+        return None;
+    }
+    let mut best: Option<Vec<(usize, Frame)>> = None;
+    for phase in 0..flen.min(bits.len() - flen + 1) {
+        let mut train = Vec::new();
+        let mut start = phase;
+        while start + flen <= bits.len() {
+            let window = bits.slice(start, start + flen);
+            if let Some(frame) = Frame::from_bits(&window, kind) {
+                train.push((start, frame));
+            }
+            start += flen;
+        }
+        let improves = match &best {
+            Some(b) => train.len() > b.len(),
+            None => true,
+        };
+        if !train.is_empty() && improves {
+            best = Some(train);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_core::pipeline::StreamKind;
+    use lf_types::{BitRate, Complex};
+
+    fn stream_of(bits: BitVec) -> DecodedStream {
+        DecodedStream {
+            rate: BitRate::from_multiple(100).unwrap(),
+            rate_bps: 10_000.0,
+            offset: 0.0,
+            period: 100.0,
+            bits,
+            kind: StreamKind::Single,
+            edge_vector: Complex::new(1.0, 0.0),
+        }
+    }
+
+    fn payload_of(n: usize, salt: u64) -> BitVec {
+        let mut p = BitVec::with_capacity(n);
+        let mut x = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for _ in 0..n {
+            x ^= x >> 13;
+            x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            x ^= x >> 33;
+            p.push(x & 1 == 1);
+        }
+        p
+    }
+
+    #[test]
+    fn extracts_back_to_back_sensor_frames() {
+        let p0 = payload_of(32, 1);
+        let p1 = payload_of(32, 2);
+        let mut bits = Frame::sensor(p0.clone()).to_bits();
+        bits.extend_from(&Frame::sensor(p1.clone()).to_bits());
+        let got = FrameExtractor::new(&[32], false).extract(&stream_of(bits));
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].payload, p0);
+        assert_eq!(got[1].payload, p1);
+        assert_eq!(got[0].slot_start, 0);
+        assert_eq!(got[1].slot_start, 49);
+    }
+
+    #[test]
+    fn shifted_train_is_recovered_at_its_phase() {
+        // A stream that locked 5 slots late: the extractor must find the
+        // train at phase 5, not give up at phase 0.
+        let p = payload_of(32, 3);
+        let mut bits = BitVec::new();
+        for _ in 0..5 {
+            bits.push(false);
+        }
+        bits.extend_from(&Frame::sensor(p.clone()).to_bits());
+        bits.extend_from(&Frame::sensor(payload_of(32, 4)).to_bits());
+        let got = FrameExtractor::new(&[32], false).extract(&stream_of(bits));
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].slot_start, 5);
+        assert_eq!(got[0].payload, p);
+    }
+
+    #[test]
+    fn corrupt_frame_is_rejected_not_misparsed() {
+        let mut bits = Frame::sensor(payload_of(32, 5)).to_bits();
+        let good = Frame::sensor(payload_of(32, 6)).to_bits();
+        bits.extend_from(&good);
+        // Flip one payload bit of the first frame: its CRC must kill it
+        // while the second frame survives at the same phase.
+        let mut corrupted = BitVec::with_capacity(bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            corrupted.push(if i == 10 { !b } else { b });
+        }
+        let got = FrameExtractor::new(&[32], false).extract(&stream_of(corrupted));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].slot_start, 49);
+    }
+
+    #[test]
+    fn identification_frame_round_trips() {
+        let epc = lf_types::Epc96::for_tag(7);
+        let bits = Frame::identification(epc).to_bits();
+        let got = FrameExtractor::new(&[], true).extract(&stream_of(bits));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].kind, FrameKind::Identification);
+    }
+
+    #[test]
+    fn identity_separates_epochs_and_contents() {
+        let f = ExtractedFrame {
+            payload: payload_of(32, 7),
+            rate_bps: 10_000.0,
+            kind: FrameKind::SensorData,
+            slot_start: 0,
+        };
+        let g = ExtractedFrame {
+            payload: payload_of(32, 8),
+            rate_bps: 10_000.0,
+            kind: FrameKind::SensorData,
+            slot_start: 49,
+        };
+        assert_eq!(f.id(3), f.id(3), "identity is a pure function of content");
+        assert_ne!(f.id(3), f.id(4), "same payload, different epoch");
+        assert_ne!(f.id(3), g.id(3), "different payload, same epoch");
+        // Slot position is *not* part of the identity: two readers may
+        // lock the same train at different shifts.
+        let shifted = ExtractedFrame {
+            slot_start: 12,
+            ..f.clone()
+        };
+        assert_eq!(f.id(3), shifted.id(3));
+    }
+
+    #[test]
+    fn scenario_extractor_collects_payload_population() {
+        use lf_sim::ScenarioTag;
+        let sc = Scenario::paper_default(
+            vec![
+                ScenarioTag::sensor(10_000.0).with_payload_bits(32),
+                ScenarioTag::sensor(5_000.0).with_payload_bits(64),
+                ScenarioTag::sensor(2_000.0).with_payload_bits(32),
+            ],
+            20_000,
+        );
+        let x = FrameExtractor::for_scenario(&sc);
+        assert_eq!(x.payload_lens, vec![32, 64]);
+        assert!(!x.identification);
+    }
+}

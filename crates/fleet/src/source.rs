@@ -1,0 +1,69 @@
+//! Per-reader source construction for simulated fleets.
+//!
+//! Each reader antenna observes an independent channel realization of
+//! the *same* tag population ([`lf_sim::multi`]): identical tag clocks,
+//! comparator noise, payload bits, and epoch layout, but its own
+//! placement multipath, fading dynamics, and environmental reflection.
+//! This helper synthesizes one [`SessionCapture`] per realization and
+//! wraps each in a [`SliceSource`] ready to hand to
+//! [`crate::FleetRuntime::spawn`].
+
+use lf_reader::SliceSource;
+use lf_sim::scenario::Scenario;
+use lf_sim::score::TruthStream;
+use lf_sim::simulate::SessionCapture;
+use lf_sim::synthesize_session_for;
+
+/// Per-reader [`SliceSource`]s over independent channel realizations of
+/// `scenario`, plus the shared per-epoch ground truth.
+///
+/// The truth vector comes from reader 0's capture, but tag-side truth
+/// (bits, offsets, periods) is identical across realizations — only the
+/// channel differs — so it is *the* fleet-wide ground truth; the
+/// `lf-sim` test `iq_differs_but_ground_truth_agrees` pins this.
+pub fn realized_sources(
+    scenario: &Scenario,
+    n_readers: usize,
+    n_epochs: u64,
+    gap_samples: usize,
+    chunk_len: usize,
+) -> (Vec<SliceSource>, Vec<Vec<TruthStream>>) {
+    let realizations = scenario.reader_realizations(n_readers);
+    let mut sources = Vec::with_capacity(n_readers);
+    let mut truths = Vec::new();
+    for (k, r) in realizations.iter().enumerate() {
+        let capture: SessionCapture = synthesize_session_for(scenario, r, n_epochs, gap_samples);
+        if k == 0 {
+            truths = capture.truths.clone();
+        }
+        sources.push(SliceSource::new(capture.signal, chunk_len));
+    }
+    (sources, truths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_sim::scenario::ScenarioTag;
+    use lf_types::{RatePlan, SampleRate};
+
+    #[allow(clippy::unwrap_used)]
+    fn scenario() -> Scenario {
+        let tags = vec![ScenarioTag::sensor(10_000.0).with_payload_bits(32)];
+        let mut s =
+            Scenario::paper_default(tags, 20_000).at_sample_rate(SampleRate::from_msps(1.0));
+        s.seed = 0x5eed_000f;
+        s.rate_plan = RatePlan::from_bps(100.0, &[2_000.0, 5_000.0, 10_000.0, 20_000.0]).unwrap();
+        s.noise_sigma = 0.004;
+        s
+    }
+
+    #[test]
+    fn sources_are_per_reader_and_truths_shared() {
+        let sc = scenario();
+        let (sources, truths) = realized_sources(&sc, 3, 2, 5_000, 4096);
+        assert_eq!(sources.len(), 3);
+        assert_eq!(truths.len(), 2, "one truth set per epoch");
+        assert!(!truths[0].is_empty());
+    }
+}

@@ -80,6 +80,19 @@ impl<T> BoundedQueue<T> {
         self.len() == 0
     }
 
+    /// True once the queue is closed *and* drained — the end-of-stream
+    /// condition under which [`BoundedQueue::pop`] returns `None`
+    /// immediately. Unlike [`BoundedQueue::is_empty`] this observation
+    /// is stable: `closed` is sticky and a closed queue rejects every
+    /// producer, so once this returns true it returns true forever.
+    /// Lets a non-blocking consumer distinguish "nothing *yet*"
+    /// ([`BoundedQueue::try_pop`] → `None` while open) from "nothing
+    /// *ever again*".
+    pub fn is_closed_and_empty(&self) -> bool {
+        let st = recover(self.state.lock());
+        st.closed && st.items.is_empty()
+    }
+
     /// Blocks until there is room, then enqueues. Returns the item back
     /// if the queue was closed before room appeared.
     pub fn push_block(&self, item: T) -> Result<(), T> {
@@ -241,6 +254,25 @@ mod tests {
         assert_eq!(q.pop(), Some(11));
         assert_eq!(q.pop(), None);
         assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn closed_and_empty_is_stable_end_of_stream() {
+        let q = BoundedQueue::new(4);
+        assert!(
+            !q.is_closed_and_empty(),
+            "open + empty is not end of stream"
+        );
+        q.push_block(1).unwrap();
+        q.close();
+        assert!(!q.is_closed_and_empty(), "closed but not yet drained");
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.is_closed_and_empty());
+        // Stable: producers can no longer disturb it.
+        assert!(q.push_block(2).is_err());
+        assert!(q.push_forced(3).is_err());
+        assert!(q.push_drop_oldest(4).is_err());
+        assert!(q.is_closed_and_empty());
     }
 
     #[test]

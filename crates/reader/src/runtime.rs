@@ -377,8 +377,19 @@ impl ReaderRuntime {
         }
     }
 
-    /// Non-blocking [`ReaderRuntime::recv`]: `None` means nothing is
-    /// deliverable *right now*, not end of stream.
+    /// Non-blocking [`ReaderRuntime::recv`].
+    ///
+    /// Ordering contract: `try_recv` and `recv` drain the *same* ordered
+    /// report sequence — interleaving them in any pattern yields exactly
+    /// the reports `recv` alone would have yielded, in the same order
+    /// (epoch order, every seq exactly once up to a shutdown cut). The
+    /// only difference is blocking behavior: where `recv` parks until the
+    /// pipeline produces the next in-order report, `try_recv` returns
+    /// `None`, meaning nothing is deliverable *right now* — not end of
+    /// stream. Poll [`ReaderRuntime::is_finished`] to tell the two
+    /// apart; once it reports true, `try_recv` returns `None` forever.
+    /// This is what lets one fleet coordinator poll N runtimes without
+    /// dedicating a blocked thread to each.
     pub fn try_recv(&mut self) -> Option<EpochReport> {
         loop {
             if let Some(report) = self.reorder.remove(&self.next_seq) {
@@ -390,9 +401,32 @@ impl ReaderRuntime {
                 Some(report) => {
                     self.reorder.insert(report.seq, report);
                 }
-                None => return None,
+                None => {
+                    // Nothing queued. If the stream has ended (result
+                    // queue closed and drained — a stable condition),
+                    // reorder-buffer leftovers can only exist because a
+                    // forced shutdown cut seq gaps open; skip to the
+                    // next present seq so they drain here exactly as
+                    // they do in `recv`.
+                    if self.results.is_closed_and_empty() {
+                        if let Some((&k, _)) = self.reorder.iter().next() {
+                            debug_assert!(k > self.next_seq);
+                            self.next_seq = k;
+                            continue;
+                        }
+                    }
+                    return None;
+                }
             }
         }
+    }
+
+    /// True once the stream has ended and every report has been
+    /// delivered: from this point `recv` returns `None` immediately and
+    /// [`ReaderRuntime::try_recv`]'s `None` means end of stream rather
+    /// than "try again". Stable — once true, true forever.
+    pub fn is_finished(&self) -> bool {
+        self.results.is_closed_and_empty() && self.reorder.is_empty()
     }
 
     /// A live statistics snapshot; callable at any time from the

@@ -306,6 +306,88 @@ fn worker_panic_is_contained() {
     assert_eq!(stats.epochs_dropped, 0);
 }
 
+/// The `try_recv` ordering contract: polling with `try_recv` +
+/// `is_finished` (no blocked consumer thread — the fleet coordinator's
+/// access pattern) delivers exactly the sequence `recv` would have, in
+/// order, and `is_finished` turns true only after the last report.
+#[test]
+fn try_recv_polls_the_same_sequence_to_end_of_stream() {
+    const N: usize = 12;
+    let signal = synthetic_session(N, 512, 128, &[]);
+    let source = SliceSource::new(signal, 256);
+    let cfg = RuntimeConfig {
+        workers: 2,
+        job_queue: 2,
+        result_queue: 2,
+        backpressure: Backpressure::Block,
+        segmenter: synthetic_seg(),
+    };
+    let mut rt = ReaderRuntime::spawn(
+        source,
+        Arc::new(SlowDecoder {
+            delay: Duration::from_millis(1),
+        }),
+        &cfg,
+    );
+    let mut got = Vec::new();
+    while !rt.is_finished() {
+        match rt.try_recv() {
+            Some(r) => got.push(r),
+            // Nothing deliverable right now — the pipeline is working.
+            None => std::thread::sleep(Duration::from_micros(200)),
+        }
+    }
+    // Stable end of stream: stays None / finished forever after.
+    assert!(rt.try_recv().is_none());
+    assert!(rt.is_finished());
+    assert_eq!(got.len(), N);
+    for (k, r) in got.iter().enumerate() {
+        assert_eq!(r.seq, k as u64, "in epoch order, no holes, no repeats");
+        assert!(r.decode().is_some());
+    }
+    let stats = rt.join();
+    assert_eq!(stats.epochs_out, N as u64);
+}
+
+/// Interleaving `try_recv` and `recv` arbitrarily still yields the one
+/// ordered report sequence (they drain the same stream).
+#[test]
+fn try_recv_and_recv_interleave_without_reordering() {
+    const N: usize = 10;
+    let signal = synthetic_session(N, 512, 128, &[]);
+    let source = SliceSource::new(signal, 512);
+    let cfg = RuntimeConfig {
+        workers: 2,
+        job_queue: 4,
+        result_queue: 4,
+        backpressure: Backpressure::Block,
+        segmenter: synthetic_seg(),
+    };
+    let mut rt = ReaderRuntime::spawn(source, Arc::new(PoisonableDecoder), &cfg);
+    let mut seqs = Vec::new();
+    let mut use_try = true;
+    loop {
+        let report = if use_try {
+            match rt.try_recv() {
+                Some(r) => Some(r),
+                None if rt.is_finished() => None,
+                None => {
+                    std::thread::sleep(Duration::from_micros(200));
+                    continue;
+                }
+            }
+        } else {
+            rt.recv()
+        };
+        use_try = !use_try;
+        match report {
+            Some(r) => seqs.push(r.seq),
+            None => break,
+        }
+    }
+    assert_eq!(seqs, (0..N as u64).collect::<Vec<_>>());
+}
+
 /// Graceful shutdown mid-stream: whatever was queued is decoded and
 /// delivered in order with no holes up to the cut, and the runtime's
 /// threads exit (join returns).

@@ -24,11 +24,15 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod multi;
 pub mod report;
 pub mod scenario;
 pub mod score;
 pub mod simulate;
 
+pub use multi::{
+    synthesize_epoch_for, synthesize_gap_for, synthesize_session_for, ReaderRealization,
+};
 pub use scenario::{Scenario, ScenarioTag, TagDynamics};
 pub use simulate::{
     simulate_epoch, synthesize_gap, synthesize_session, EpochOutcome, SessionCapture,

@@ -1,0 +1,242 @@
+//! Per-reader channel realizations of one scenario.
+//!
+//! A fleet deployment points several reader antennas at the *same* tag
+//! population. The tags don't know the readers exist: their crystals,
+//! comparator offsets, payload bits, and epoch plans are properties of
+//! the tag alone, so every reader must agree on the ground truth. What
+//! differs per reader is the *link*: each antenna stands in its own spot,
+//! so path loss, coefficient phase, fading dynamics, the static
+//! environment reflection, and the receiver's thermal noise are all
+//! independent realizations.
+//!
+//! [`Scenario::reader_realizations`] derives N such realizations from one
+//! scenario; [`synthesize_epoch_for`] / [`synthesize_session_for`]
+//! realize them into IQ. The split is pinned by tests: captures differ
+//! between readers while [`TruthStream`]s (bits, offsets, periods) are
+//! identical.
+
+use crate::scenario::Scenario;
+use crate::score::TruthStream;
+use crate::simulate::{synthesize_epoch_inner, synthesize_gap_inner, SessionCapture};
+
+/// SplitMix64's finalizer: a cheap, well-distributed u64 → u64 mix used
+/// to derive independent per-reader seed streams from one scenario seed.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One reader antenna's channel realization of a scenario: which reader
+/// it is and the seed that decorrelates its link physics from every
+/// other reader's. Tag-side physics (clocks, comparators, payloads) stay
+/// on the scenario's own seed, so all realizations of one scenario agree
+/// on ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReaderRealization {
+    /// 0-based index of this reader within the fleet.
+    pub reader_index: usize,
+    /// Seed for every link-side draw (placement coefficients, dynamics,
+    /// environment reflection phase, receiver noise).
+    pub channel_seed: u64,
+}
+
+impl ReaderRealization {
+    /// The static environment reflection this antenna sees: the baseline
+    /// magnitude with a reader-specific phase (each antenna sums a
+    /// different set of static multipaths).
+    pub fn env_reflection(&self) -> lf_types::Complex {
+        let base = lf_types::Complex::new(0.4, -0.25);
+        // 53 uniform bits → a turn fraction in [0, 1).
+        let turn =
+            (mix64(self.channel_seed ^ 0x5DEE_CE66_D019_0B65) >> 11) as f64 / (1u64 << 53) as f64;
+        lf_types::Complex::from_polar(
+            base.norm_sqr().sqrt(),
+            base.arg() + std::f64::consts::TAU * turn,
+        )
+    }
+}
+
+impl Scenario {
+    /// Derives `n` per-reader channel realizations of this scenario.
+    /// Realization `k` is a pure function of `(seed, k)`, so fleets are
+    /// as reproducible as single-reader runs.
+    pub fn reader_realizations(&self, n: usize) -> Vec<ReaderRealization> {
+        (0..n)
+            .map(|k| ReaderRealization {
+                reader_index: k,
+                channel_seed: mix64(self.seed ^ (k as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03)),
+            })
+            .collect()
+    }
+}
+
+/// Realizes one epoch as seen by one reader antenna. Ground truth (the
+/// second element) is identical across every realization of the same
+/// scenario and epoch; the IQ differs.
+pub fn synthesize_epoch_for(
+    scenario: &Scenario,
+    reader: &ReaderRealization,
+    epoch_index: u64,
+) -> (Vec<lf_types::Complex>, Vec<TruthStream>) {
+    synthesize_epoch_inner(scenario, epoch_index, Some(reader))
+}
+
+/// Realizes one carrier-off gap as seen by one reader antenna (its own
+/// thermal-noise stream; there is no signal to differ on).
+pub fn synthesize_gap_for(
+    scenario: &Scenario,
+    reader: &ReaderRealization,
+    gap_index: u64,
+    gap_samples: usize,
+) -> Vec<lf_types::Complex> {
+    synthesize_gap_inner(scenario, gap_index, gap_samples, reader.channel_seed)
+}
+
+/// Realizes a whole session (epochs separated by carrier-off gaps, as in
+/// [`crate::simulate::synthesize_session`]) for one reader antenna. The
+/// epoch/gap layout is identical across realizations — all antennas hear
+/// the same carrier — so fleet coordination can count gaps to agree on
+/// epoch ordinals without any shared clock.
+pub fn synthesize_session_for(
+    scenario: &Scenario,
+    reader: &ReaderRealization,
+    n_epochs: u64,
+    gap_samples: usize,
+) -> SessionCapture {
+    let mut signal = Vec::new();
+    let mut epoch_spans = Vec::new();
+    let mut truths = Vec::new();
+    for e in 0..n_epochs {
+        if e > 0 {
+            signal.extend(synthesize_gap_for(scenario, reader, e - 1, gap_samples));
+        }
+        let (epoch_signal, epoch_truths) = synthesize_epoch_for(scenario, reader, e);
+        let start = signal.len();
+        epoch_spans.push(start..start + epoch_signal.len());
+        signal.extend(epoch_signal);
+        truths.push(epoch_truths);
+    }
+    SessionCapture {
+        signal,
+        epoch_spans,
+        truths,
+        gap_samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Exact equality is the point here: identical captures and identical
+    // ground truth must round-trip bit-for-bit, not approximately.
+    #![allow(clippy::float_cmp)]
+
+    use super::*;
+    use crate::scenario::ScenarioTag;
+    use lf_types::{RatePlan, SampleRate};
+
+    fn fleet_scenario() -> Scenario {
+        let tags = (0..2)
+            .map(|_| ScenarioTag::sensor(10_000.0).with_payload_bits(32))
+            .collect();
+        let mut s =
+            Scenario::paper_default(tags, 20_000).at_sample_rate(SampleRate::from_msps(1.0));
+        s.seed = 0x5eed_0004;
+        s.rate_plan = RatePlan::from_bps(100.0, &[2_000.0, 5_000.0, 10_000.0, 20_000.0]).unwrap();
+        s.noise_sigma = 0.004;
+        s
+    }
+
+    #[test]
+    fn realizations_are_distinct_and_reproducible() {
+        let sc = fleet_scenario();
+        let a = sc.reader_realizations(3);
+        let b = sc.reader_realizations(3);
+        assert_eq!(a, b, "realizations are pure functions of (seed, index)");
+        assert_eq!(a.len(), 3);
+        assert!(
+            a[0].channel_seed != a[1].channel_seed && a[1].channel_seed != a[2].channel_seed,
+            "channel seeds must be independent: {a:?}"
+        );
+        let refl0 = a[0].env_reflection();
+        let refl1 = a[1].env_reflection();
+        assert!(
+            (refl0 - refl1).norm_sqr() > 1e-6,
+            "environment reflections should differ in phase"
+        );
+        // Magnitude is preserved — only the phase is reader-specific.
+        assert!((refl0.norm_sqr() - refl1.norm_sqr()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iq_differs_but_ground_truth_agrees() {
+        // The pinned contract of the split: every reader sees different
+        // samples of the same transmissions.
+        let sc = fleet_scenario();
+        let readers = sc.reader_realizations(2);
+        for epoch in 0..2u64 {
+            let (iq0, truth0) = synthesize_epoch_for(&sc, &readers[0], epoch);
+            let (iq1, truth1) = synthesize_epoch_for(&sc, &readers[1], epoch);
+            assert_eq!(iq0.len(), iq1.len(), "same carrier timing everywhere");
+            let delta: f64 = iq0
+                .iter()
+                .zip(&iq1)
+                .map(|(a, b)| (*a - *b).norm_sqr())
+                .sum();
+            assert!(
+                delta > 1e-3,
+                "realizations must differ in IQ (delta {delta})"
+            );
+            assert_eq!(truth0.len(), truth1.len());
+            for (t0, t1) in truth0.iter().zip(&truth1) {
+                assert_eq!(t0.bits, t1.bits, "payload bits are tag-side");
+                assert_eq!(t0.offset, t1.offset, "comparator offset is tag-side");
+                assert_eq!(t0.period, t1.period, "clock period is tag-side");
+                assert_eq!(t0.frame_len, t1.frame_len);
+            }
+        }
+    }
+
+    #[test]
+    fn per_reader_synthesis_is_deterministic() {
+        let sc = fleet_scenario();
+        let r = sc.reader_realizations(2).pop().unwrap();
+        let (a, _) = synthesize_epoch_for(&sc, &r, 1);
+        let (b, _) = synthesize_epoch_for(&sc, &r, 1);
+        assert_eq!(a, b, "same realization + epoch = same capture");
+    }
+
+    #[test]
+    fn session_layout_is_carrier_aligned() {
+        // All antennas hear the same carrier: epoch spans and gap lengths
+        // line up exactly across realizations (and with the single-reader
+        // session), which is what lets the fleet derive epoch ordinals
+        // from gap counts alone. Truth content is compared *between
+        // readers* — the per-reader draw split intentionally re-streams
+        // tag physics relative to the historical single-reader path.
+        let sc = fleet_scenario();
+        let readers = sc.reader_realizations(2);
+        let base = crate::simulate::synthesize_session(&sc, 3, 700);
+        let sessions: Vec<_> = readers
+            .iter()
+            .map(|r| synthesize_session_for(&sc, r, 3, 700))
+            .collect();
+        for mine in &sessions {
+            assert_eq!(mine.epoch_spans, base.epoch_spans);
+            assert_eq!(mine.signal.len(), base.signal.len());
+        }
+        for (e, (t0, t1)) in sessions[0]
+            .truths
+            .iter()
+            .zip(&sessions[1].truths)
+            .enumerate()
+        {
+            for (a, b) in t0.iter().zip(t1) {
+                assert_eq!(a.bits, b.bits, "epoch {e}: truth bits diverged");
+                assert_eq!(a.offset, b.offset, "epoch {e}: truth offset diverged");
+            }
+        }
+    }
+}

@@ -87,6 +87,43 @@ pub fn simulate_epoch(scenario: &Scenario, stages: DecodeStages, epoch_index: u6
     }
 }
 
+/// The rng plumbing behind epoch synthesis. The baseline single-reader
+/// path draws every physical quantity from one interleaved stream (and
+/// must keep doing so bit-identically — golden tests pin it); the
+/// per-reader path splits the draws into *tag-side* physics (crystal,
+/// comparator — properties of the tag, identical at every antenna) and
+/// *channel-side* physics (placement coefficients, dynamics — properties
+/// of the tag→reader link, independent per antenna).
+pub(crate) enum RngSplit {
+    /// One stream for everything: the historical `synthesize_epoch` draw
+    /// order, preserved exactly.
+    Shared(StdRng),
+    /// Tag-side and channel-side draws on independent streams.
+    PerReader {
+        /// Tag physics: seeded from the scenario alone, so every reader
+        /// realization agrees on clocks, comparators, and therefore on
+        /// ground-truth bits and offsets.
+        tag: StdRng,
+        /// Link physics: seeded per reader, so coefficients and fading
+        /// differ between antennas.
+        chan: StdRng,
+    },
+}
+
+impl RngSplit {
+    fn tag_rng(&mut self) -> &mut StdRng {
+        match self {
+            RngSplit::Shared(r) | RngSplit::PerReader { tag: r, .. } => r,
+        }
+    }
+
+    fn chan_rng(&mut self) -> &mut StdRng {
+        match self {
+            RngSplit::Shared(r) | RngSplit::PerReader { chan: r, .. } => r,
+        }
+    }
+}
+
 /// Realizes one epoch into its raw IQ capture and ground truth without
 /// decoding — for users who want the capture itself (custom decoders,
 /// debugging, golden traces).
@@ -94,9 +131,26 @@ pub fn synthesize_epoch(
     scenario: &Scenario,
     epoch_index: u64,
 ) -> (Vec<lf_types::Complex>, Vec<TruthStream>) {
+    synthesize_epoch_inner(scenario, epoch_index, None)
+}
+
+/// Shared body of [`synthesize_epoch`] and the per-reader variant in
+/// [`crate::multi`]. With `reader: None` the draw order is bit-identical
+/// to the historical single-reader synthesis.
+pub(crate) fn synthesize_epoch_inner(
+    scenario: &Scenario,
+    epoch_index: u64,
+    reader: Option<&crate::multi::ReaderRealization>,
+) -> (Vec<lf_types::Complex>, Vec<TruthStream>) {
     let fs = scenario.sample_rate;
     let base = scenario.rate_plan.base_bps();
-    let mut phys_rng = StdRng::seed_from_u64(scenario.seed);
+    let mut rngs = match reader {
+        None => RngSplit::Shared(StdRng::seed_from_u64(scenario.seed)),
+        Some(r) => RngSplit::PerReader {
+            tag: StdRng::seed_from_u64(scenario.seed),
+            chan: StdRng::seed_from_u64(r.channel_seed),
+        },
+    };
     let mut epoch_rng =
         StdRng::seed_from_u64(scenario.seed ^ 0xE90C_4D17u64.wrapping_mul(epoch_index + 1));
 
@@ -104,27 +158,34 @@ pub fn synthesize_epoch(
     let mut truths = Vec::new();
     for (i, st) in scenario.tags.iter().enumerate() {
         // --- physical draws (stable across epochs) ---
-        let placement = TagPlacement::at_distance(st.distance_m);
+        // Per-reader realizations jitter each link's path length: the
+        // antennas stand in different spots, so every tag→reader budget
+        // is independently a little better or worse than nominal.
+        let distance = match &mut rngs {
+            RngSplit::Shared(_) => st.distance_m,
+            RngSplit::PerReader { chan, .. } => st.distance_m * chan.gen_range(0.85..1.15),
+        };
+        let placement = TagPlacement::at_distance(distance);
         let h = placement.realize(
             &scenario.link_budget,
             2.0,
             scenario.reference_amplitude,
-            &mut phys_rng,
+            rngs.chan_rng(),
         );
         let process: Box<dyn CoeffProcess> = match st.dynamics {
             TagDynamics::Static => Box::new(StaticChannel(h)),
-            TagDynamics::PeopleMovement => Box::new(PeopleMovement::typical(h, &mut phys_rng)),
+            TagDynamics::PeopleMovement => Box::new(PeopleMovement::typical(h, rngs.chan_rng())),
             TagDynamics::Rotation(omega) => Box::new(TagRotation::new(
                 h,
                 omega,
-                phys_rng.gen_range(0.0..std::f64::consts::TAU),
+                rngs.chan_rng().gen_range(0.0..std::f64::consts::TAU),
             )),
         };
-        let clock = ClockModel::crystal(scenario.clock_ppm, &mut phys_rng);
+        let clock = ClockModel::crystal(scenario.clock_ppm, rngs.tag_rng());
         let comparator = match st.forced_offset_s {
             Some(s) => Comparator::fixed(s),
             None => {
-                let mut c = Comparator::draw(0.2, &mut phys_rng);
+                let mut c = Comparator::draw(0.2, rngs.tag_rng());
                 c.rc_s *= scenario.comparator_rc_scale;
                 c
             }
@@ -164,9 +225,12 @@ pub fn synthesize_epoch(
         sample_rate: fs,
         n_samples: scenario.epoch_samples,
         edge_rise_samples: 3.0,
-        env_reflection: lf_types::Complex::new(0.4, -0.25),
+        // Each reader antenna sees its own static environment reflection
+        // (same magnitude, reader-specific phase) and its own thermal
+        // noise realization.
+        env_reflection: reader.map_or(lf_types::Complex::new(0.4, -0.25), |r| r.env_reflection()),
         noise_sigma: scenario.noise_sigma,
-        seed: scenario.seed ^ (0xA5A5_0000 + epoch_index),
+        seed: scenario.seed ^ (0xA5A5_0000 + epoch_index) ^ reader.map_or(0, |r| r.channel_seed),
         coeff_block: 1024,
     };
     (synthesize(&air_cfg, &air_tags), truths)
@@ -270,13 +334,24 @@ pub fn synthesize_gap(
     gap_index: u64,
     gap_samples: usize,
 ) -> Vec<lf_types::Complex> {
+    synthesize_gap_inner(scenario, gap_index, gap_samples, 0)
+}
+
+/// [`synthesize_gap`] with a per-reader seed mix (0 = the baseline
+/// single-reader noise stream).
+pub(crate) fn synthesize_gap_inner(
+    scenario: &Scenario,
+    gap_index: u64,
+    gap_samples: usize,
+    seed_mix: u64,
+) -> Vec<lf_types::Complex> {
     let air_cfg = AirConfig {
         sample_rate: scenario.sample_rate,
         n_samples: gap_samples,
         edge_rise_samples: 3.0,
         env_reflection: lf_types::Complex::ZERO,
         noise_sigma: scenario.noise_sigma,
-        seed: scenario.seed ^ (0x6A70_0000 + gap_index),
+        seed: scenario.seed ^ (0x6A70_0000 + gap_index) ^ seed_mix,
         coeff_block: 1024,
     };
     synthesize(&air_cfg, &[])

@@ -1,0 +1,53 @@
+//! Seeded wall-clock violations for the linter meta-tests: two
+//! wall-clock reads inside fleet coordination code (plus a waived
+//! diagnostic timer, identifiers that merely contain a token, and an
+//! exempt test-module use, all of which must stay silent).
+
+use std::time::Duration;
+
+/// A coordinator sweep that illegally orders deliveries by host time.
+pub struct Sweep {
+    /// Park interval between polls — a plain `Duration` is legal.
+    pub park: Duration,
+    /// Instantaneous decode rate; the name must not trip the probe.
+    pub instantaneous_eps: f64,
+}
+
+impl Sweep {
+    /// Ranks a frame by wall-clock arrival instead of its epoch ordinal.
+    pub fn arrival_rank(&self) -> u128 {
+        let t = std::time::Instant::now(); // seeded: host time as an ordering key
+        t.elapsed().as_nanos()
+    }
+
+    /// Fingerprints an epoch with the host calendar instead of the
+    /// carrier-gap count.
+    pub fn epoch_fingerprint(&self) -> u64 {
+        let wall = std::time::SystemTime::now(); // seeded: wall clock in identity
+        let _ = wall;
+        0
+    }
+
+    /// Times a diagnostic sweep; measurement only, never an ordering or
+    /// identity input, hence the waiver.
+    pub fn sweep_cost(&self) -> Duration {
+        let t0 = std::time::Instant::now(); // xtask: allow(no-wallclock-ordering)
+        t0.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_test_code_wallclock_is_exempt() {
+        let sweep = Sweep {
+            park: Duration::from_micros(500),
+            instantaneous_eps: 0.0,
+        };
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed() >= Duration::ZERO);
+        drop(sweep);
+    }
+}

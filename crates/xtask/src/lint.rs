@@ -77,6 +77,14 @@
 //!   predicate a sibling already consumed; a bare `if … { wait }` is the
 //!   lost-item bug the `lf-check` fixture `if_wait_round` demonstrates.
 //!   `wait_while` is exempt — it owns its loop.
+//! * [`Rule::NoWallclockOrdering`] — the fleet coordination layer
+//!   (`crates/fleet/src`) never touches `Instant` or `SystemTime`. Frame
+//!   identity, dedup, and delivery lag are defined over epoch ordinals
+//!   and delivered-frame ticks — quantities every reader derives from the
+//!   shared carrier structure, so they agree across hosts and replays. A
+//!   wall-clock read smuggles per-host time into an ordering or identity
+//!   decision and makes delivery irreproducible; plain `Duration` values
+//!   (poll parks, timeouts) are fine.
 //!
 //! The scanner is deliberately textual (line-oriented with a small amount
 //! of context), not a full parser: the toolchain here is hermetic, so no
@@ -121,6 +129,9 @@ pub enum Rule {
     NoAtomicOrderingDefault,
     /// `Condvar::wait` outside a predicate-re-checking loop.
     NoCondvarWithoutLoop,
+    /// `Instant`/`SystemTime` in the fleet's clock-free coordination
+    /// layer.
+    NoWallclockOrdering,
 }
 
 impl Rule {
@@ -138,6 +149,7 @@ impl Rule {
             Rule::LockOrdering => "lock-ordering",
             Rule::NoAtomicOrderingDefault => "no-atomic-ordering-default",
             Rule::NoCondvarWithoutLoop => "no-condvar-without-timeout-loop",
+            Rule::NoWallclockOrdering => "no-wallclock-ordering",
         }
     }
 }
@@ -230,6 +242,7 @@ struct Scope {
     no_println: bool,
     stage_bypass: bool,
     epoch_rescan: bool,
+    wallclock: bool,
 }
 
 fn scope_of(root: &Path, file: &Path) -> Scope {
@@ -256,6 +269,9 @@ fn scope_of(root: &Path, file: &Path) -> Scope {
         // The stage graph's epoch setup is the one sanctioned build site
         // of the per-epoch prefix sums.
         epoch_rescan: !(in_core && rel.ends_with("graph.rs")),
+        // The fleet's dedup/delivery ordering is clock-free by contract;
+        // benches and examples timing the fleet from outside are not.
+        wallclock: rel.contains("fleet/src"),
     }
 }
 
@@ -442,6 +458,25 @@ fn lint_file(root: &Path, file: &Path, text: &str, findings: &mut Vec<Finding>) 
                           predicate in a loop (or use `wait_while`)"
                     .into(),
             });
+        }
+
+        if scope.wallclock
+            && !waived(comment, Rule::NoWallclockOrdering)
+            && !trimmed.starts_with("//")
+        {
+            if let Some(what) = wallclock_type(code) {
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line: lineno,
+                    rule: Rule::NoWallclockOrdering,
+                    message: format!(
+                        "`{what}` in the fleet coordination layer: frame \
+                         identity and delivery order are clock-free (epoch \
+                         ordinals + delivery ticks); host time does not \
+                         replay and does not agree across readers"
+                    ),
+                });
+            }
         }
 
         if scope.docs && !waived(comment, Rule::MissingDocs) && is_pub_fn(trimmed) && !prev_doc {
@@ -742,6 +777,26 @@ fn condvar_wait_outside_loop(lines: &[&str], idx: usize) -> bool {
     true
 }
 
+/// Wall-clock types banned from the fleet's coordination layer. Plain
+/// `Duration` spans carry no epoch and stay legal (poll parks, timeouts).
+const WALLCLOCK_TYPES: &[&str] = &["Instant", "SystemTime"];
+
+/// A wall-clock type mentioned on this line, if any. Both identifier
+/// boundaries are checked so longer names that merely contain a token
+/// (`instantaneous_eps`, `MyInstant`) stay silent; imports and aliases
+/// (`use std::time::Instant`) fire — bringing the type into scope at all
+/// is the violation.
+fn wallclock_type(code: &str) -> Option<&'static str> {
+    let bytes = code.as_bytes();
+    let boundary = |b: u8| !b.is_ascii_alphanumeric() && b != b'_';
+    WALLCLOCK_TYPES.iter().copied().find(|probe| {
+        code.match_indices(probe).any(|(pos, _)| {
+            let end = pos + probe.len();
+            (pos == 0 || boundary(bytes[pos - 1])) && (end == bytes.len() || boundary(bytes[end]))
+        })
+    })
+}
+
 fn is_loop_header(trimmed_code: &str) -> bool {
     trimmed_code.starts_with("while ")
         || trimmed_code.starts_with("loop {")
@@ -920,6 +975,23 @@ mod tests {
         // No comment anywhere near: unjustified.
         let lines = ["fn f() {", "", "", "", "", "x.store(1, Ordering::SeqCst);"];
         assert!(!ordering_justified(&lines, 5));
+    }
+
+    #[test]
+    fn wallclock_probe() {
+        assert_eq!(
+            wallclock_type("let t0 = std::time::Instant::now();"),
+            Some("Instant")
+        );
+        assert_eq!(
+            wallclock_type("use std::time::{Duration, SystemTime};"),
+            Some("SystemTime")
+        );
+        // Longer identifiers containing a token stay silent, as do plain
+        // Duration spans.
+        assert_eq!(wallclock_type("let instantaneous_eps = 4.0;"), None);
+        assert_eq!(wallclock_type("struct MyInstantCache;"), None);
+        assert_eq!(wallclock_type("park: Duration::from_micros(500),"), None);
     }
 
     #[test]

@@ -9,7 +9,11 @@
 //!   pipeline). With `--baseline FILE` it additionally compares the new
 //!   report against an archived report and fails if epoch-decode
 //!   throughput regressed by more than 10% or any per-stage latency
-//!   median (`p50_ns`) regressed by more than 15%.
+//!   median (`p50_ns`) regressed by more than 15%. The special label
+//!   `fleet` runs the `fleet_report` binary instead: aggregate decoded
+//!   epochs/s at 1/2/4 readers plus scaling efficiency against the
+//!   core-count-normalized linear ideal (the binary itself fails below
+//!   0.8× linear).
 //!
 //! ```text
 //! cargo xtask lint                    # lint the repository
@@ -55,16 +59,16 @@ fn run_bench_report(args: &[String]) -> ExitCode {
     }
     let root = workspace_root();
     let out = root.join(format!("BENCH_{label}.json"));
+    // The `fleet` label runs the multi-reader scaling bench instead of
+    // the single-pipeline one; its report carries the same top-level
+    // fields, so the validation below applies unchanged.
+    let bin = if label == "fleet" {
+        "fleet_report"
+    } else {
+        "bench_report"
+    };
     let status = std::process::Command::new(env!("CARGO"))
-        .args([
-            "run",
-            "--release",
-            "-p",
-            "lf-bench",
-            "--bin",
-            "bench_report",
-            "--",
-        ])
+        .args(["run", "--release", "-p", "lf-bench", "--bin", bin, "--"])
         .arg("--label")
         .arg(&label)
         .arg("--out")

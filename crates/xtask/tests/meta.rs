@@ -34,6 +34,7 @@ fn fixtures_trigger_every_rule() {
         Rule::LockOrdering,
         Rule::NoAtomicOrderingDefault,
         Rule::NoCondvarWithoutLoop,
+        Rule::NoWallclockOrdering,
     ] {
         assert!(
             findings.iter().any(|f| f.rule == rule),
@@ -74,6 +75,10 @@ fn fixture_finding_counts_are_exact() {
     // One seeded if-guarded wait; the while-guarded wait and the
     // `wait_while` form are silent.
     assert_eq!(count(Rule::NoCondvarWithoutLoop), 1, "{findings:?}");
+    // Two seeded wall-clock reads in fleet coordination code; the waived
+    // diagnostic timer, the `Duration` park, the token-containing
+    // identifiers, and the test-module read are silent.
+    assert_eq!(count(Rule::NoWallclockOrdering), 2, "{findings:?}");
 }
 
 #[test]

@@ -28,6 +28,7 @@
 //! | [`baselines`] | TDMA (EPC Gen 2 lite), Buzz, single-tag ASK, cluster-only |
 //! | [`sim`] | scenarios, end-to-end simulation, per-figure experiments |
 //! | [`reader`] | streaming runtime: online segmentation, parallel epoch decode, live stats |
+//! | [`fleet`] | multi-reader fleet: per-reader channel realizations, clock-free dedup, exactly-once delivery |
 //! | [`obs`] | in-tree observability: metrics registry, span tracing, Prometheus/JSON export |
 //!
 //! ## Quickstart
@@ -56,6 +57,7 @@ pub use lf_baselines as baselines;
 pub use lf_channel as channel;
 pub use lf_core as core;
 pub use lf_dsp as dsp;
+pub use lf_fleet as fleet;
 pub use lf_obs as obs;
 pub use lf_reader as reader;
 pub use lf_sim as sim;
@@ -75,6 +77,9 @@ pub mod prelude {
     pub use lf_core::config::{DecodeStages, DecoderConfig};
     pub use lf_core::pipeline::{DecodedStream, Decoder, EpochDecode, StageTimings, StreamKind};
     pub use lf_core::reliability::{ReaderCommand, ReaderController};
+    pub use lf_fleet::{
+        realized_sources, DeliveredFrame, FleetConfig, FleetRuntime, FrameExtractor,
+    };
     pub use lf_obs::{MetricValue, ObsContext, Snapshot};
     pub use lf_reader::{
         sequential_decode, Backpressure, EpochReport, EpochResult, IqSource, ReaderRuntime,
