@@ -21,7 +21,11 @@ use lf_obs::ObsContext;
 use lf_sim::experiments::Scale;
 use std::time::{Duration, Instant};
 
-const SAMPLES: usize = 7;
+/// Minimum interleaved samples before the bounds are consulted.
+const MIN_SAMPLES: usize = 7;
+/// Hard cap on samples: a persistent regression fails here; scheduler
+/// noise (which only ever *inflates* a minimum) gets time to wash out.
+const MAX_SAMPLES: usize = 35;
 const DECODES_PER_SAMPLE: usize = 4;
 
 fn time_batch(decoder: &Decoder, signal: &[lf_types::Complex]) -> Duration {
@@ -48,11 +52,21 @@ fn disabled_obs_is_free() {
     time_batch(&disabled, &fix.signal);
     time_batch(&enabled, &fix.signal);
 
+    // Adaptive sampling: each minimum is monotone nonincreasing, so extra
+    // samples can only move a noisy observation *toward* the true cost —
+    // noise can delay a pass but never manufacture one. A genuine
+    // regression stays above the bound for all MAX_SAMPLES and fails.
     let mut t_disabled = Duration::MAX;
     let mut t_enabled = Duration::MAX;
-    for _ in 0..SAMPLES {
+    let in_bounds = |d: Duration, e: Duration| {
+        d.as_secs_f64() <= e.as_secs_f64() * 1.01 && e.as_secs_f64() <= d.as_secs_f64() * 1.05
+    };
+    for sample in 0..MAX_SAMPLES {
         t_disabled = t_disabled.min(time_batch(&disabled, &fix.signal));
         t_enabled = t_enabled.min(time_batch(&enabled, &fix.signal));
+        if sample + 1 >= MIN_SAMPLES && in_bounds(t_disabled, t_enabled) {
+            break;
+        }
     }
 
     let overhead = t_enabled.as_secs_f64() / t_disabled.as_secs_f64().max(f64::MIN_POSITIVE) - 1.0;
@@ -72,5 +86,16 @@ fn disabled_obs_is_free() {
         t_disabled.as_secs_f64() <= t_enabled.as_secs_f64() * 1.01,
         "disabled observability path is >1% slower than the instrumented one: \
          disabled {t_disabled:?} vs enabled {t_enabled:?}"
+    );
+
+    // And the enabled-path budget: with metric handles pre-resolved once
+    // per decoder (no registry lookups, no name formatting per epoch),
+    // full instrumentation may cost at most 5% over the disabled path.
+    // This fires when a per-epoch name lookup sneaks back into the hot
+    // path.
+    assert!(
+        t_enabled.as_secs_f64() <= t_disabled.as_secs_f64() * 1.05,
+        "instrumented decode is >5% slower than disabled: \
+         enabled {t_enabled:?} vs disabled {t_disabled:?}"
     );
 }

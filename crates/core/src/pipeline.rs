@@ -7,7 +7,7 @@
 //! nothing here duplicates them.
 
 use crate::config::DecoderConfig;
-use crate::graph::{stage_names, PipelineGraph, STAGE_COUNT};
+use crate::graph::{stage_names, PipelineGraph, PipelineMetrics, STAGE_COUNT};
 use crate::provenance::DecodeProvenance;
 use crate::scratch::{DecodeScratch, ScratchPool};
 use lf_obs::ObsContext;
@@ -104,6 +104,11 @@ impl StageTimings {
 pub struct Decoder {
     cfg: DecoderConfig,
     obs: ObsContext,
+    /// Metric handles pre-resolved once at construction (`None` when obs
+    /// is disabled): the per-epoch recording path then touches no registry
+    /// map and formats no metric names, which is what keeps the enabled
+    /// path inside the <5 % overhead budget `obs_overhead` enforces.
+    metrics: Option<PipelineMetrics>,
     /// Pool of reusable per-epoch scratch buffers: `decode`/`decode_timed`
     /// check one out for the duration of the call and return it, so
     /// repeated decodes through one `Decoder` allocate only on their first
@@ -115,12 +120,14 @@ pub struct Decoder {
 }
 
 impl Clone for Decoder {
-    /// Clones the configuration and obs handle; the scratch pool is not
-    /// cloned (each clone starts with an empty pool and warms its own).
+    /// Clones the configuration, obs handle, and metric handles (all
+    /// `Arc`s into the same registry); the scratch pool is not cloned
+    /// (each clone starts with an empty pool and warms its own).
     fn clone(&self) -> Self {
         Decoder {
             cfg: self.cfg.clone(),
             obs: self.obs.clone(),
+            metrics: self.metrics.clone(),
             scratch: ScratchPool::new(),
         }
     }
@@ -133,6 +140,7 @@ impl Decoder {
         Decoder {
             cfg,
             obs: ObsContext::disabled(),
+            metrics: None,
             scratch: ScratchPool::new(),
         }
     }
@@ -140,11 +148,14 @@ impl Decoder {
     /// Creates a decoder that records spans, events, and metrics into
     /// `obs`. A worker pool sharing one decoder (or clones of it)
     /// aggregates into the same registry — counters are sharded, so this
-    /// adds no cross-worker contention.
+    /// adds no cross-worker contention. Metric handles are resolved here,
+    /// once, so no decode pays registry-lookup cost.
     pub fn with_obs(cfg: DecoderConfig, obs: ObsContext) -> Self {
+        let metrics = obs.is_enabled().then(|| PipelineMetrics::register(&obs));
         Decoder {
             cfg,
             obs,
+            metrics,
             scratch: ScratchPool::new(),
         }
     }
@@ -195,7 +206,7 @@ impl Decoder {
         signal: &[Complex],
         scratch: &mut DecodeScratch,
     ) -> (EpochDecode, StageTimings) {
-        PipelineGraph::run_with(&self.cfg, &self.obs, signal, scratch)
+        PipelineGraph::run_scoped(&self.cfg, &self.obs, self.metrics.as_ref(), signal, scratch)
     }
 
     /// Checks a scratch out of the pool (allocating a fresh one the first

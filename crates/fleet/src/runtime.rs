@@ -27,7 +27,7 @@ use crate::dedup::{Claim, DedupRegistry, DeliveryProvenance, ReaderId};
 use crate::identity::FrameExtractor;
 use lf_core::config::DecoderConfig;
 use lf_core::pipeline::Decoder;
-use lf_obs::{Counter, Histogram, ObsContext};
+use lf_obs::{Counter, FlightRecorder, Histogram, ObsContext, TagLedger};
 use lf_reader::{
     Backpressure, EpochDecoder, EpochReport, IqSource, ReaderRuntime, RuntimeConfig, RuntimeStats,
 };
@@ -52,6 +52,25 @@ pub struct FleetConfig {
     pub poll_park: Duration,
     /// How frames are recovered from decoded slot streams.
     pub extractor: FrameExtractor,
+    /// Fleet-level diagnosis wiring (ledger, flight recorder, triggers).
+    pub diag: FleetDiag,
+}
+
+/// Diagnosis wiring for a fleet, all optional. When a ledger is present
+/// every reader observes its epoch outcomes and stream verdicts into it
+/// under its fleet reader index, and the coordinator records every
+/// CRC-verified delivery (winners *and* suppressed duplicates — the
+/// ledger's per-reader rows count what each antenna actually decoded).
+#[derive(Debug, Clone, Default)]
+pub struct FleetDiag {
+    /// Shared delivery ledger; rows are keyed by fleet reader index.
+    pub ledger: Option<Arc<TagLedger>>,
+    /// Shared flight recorder; every reader records into it.
+    pub flight: Option<Arc<FlightRecorder>>,
+    /// Fleet delivery-ratio floor. When set (and a ledger and flight
+    /// recorder are both wired), the coordinator triggers a black-box
+    /// dump at drain end for each rate class delivered below the floor.
+    pub min_delivery_ratio: Option<f64>,
 }
 
 impl FleetConfig {
@@ -75,6 +94,7 @@ impl FleetConfig {
             // workers' cores without adding visible delivery latency.
             poll_park: Duration::from_micros(500),
             extractor,
+            diag: FleetDiag::default(),
         }
     }
 }
@@ -206,7 +226,16 @@ impl FleetRuntime {
         // `fleet.*` (aggregate + per-reader).
         let readers: Vec<ReaderRuntime> = sources
             .into_iter()
-            .map(|src| ReaderRuntime::spawn(src, Arc::clone(&decoder), &cfg.reader))
+            .enumerate()
+            .map(|(k, src)| {
+                // Each reader observes into the shared ledger and flight
+                // recorder under its own fleet index.
+                let mut reader_cfg = cfg.reader.clone();
+                reader_cfg.diag.ledger = cfg.diag.ledger.clone();
+                reader_cfg.diag.flight = cfg.diag.flight.clone();
+                reader_cfg.diag.reader = k;
+                ReaderRuntime::spawn(src, Arc::clone(&decoder), &reader_cfg)
+            })
             .collect();
 
         let coordinator = {
@@ -216,10 +245,13 @@ impl FleetRuntime {
             let stop = Arc::clone(&stop);
             let extractor = cfg.extractor.clone();
             let park = cfg.poll_park;
+            let diag = cfg.diag.clone();
             let obs = obs.clone();
             std::thread::spawn(move || {
                 let _obs_guard = obs.install();
-                coordinate(readers, &extractor, &registry, &bus, &shared, &stop, park)
+                coordinate(
+                    readers, &extractor, &registry, &bus, &shared, &diag, &stop, park,
+                )
             })
         };
 
@@ -325,12 +357,14 @@ impl Drop for FleetRuntime {
 
 /// The coordinator loop: poll every reader, dedup, deliver; park only
 /// when a full sweep found nothing. Returns the readers' final stats.
+#[allow(clippy::too_many_arguments)]
 fn coordinate(
     mut readers: Vec<ReaderRuntime>,
     extractor: &FrameExtractor,
     registry: &DedupRegistry,
     bus: &FrameBus,
     shared: &FleetShared,
+    diag: &FleetDiag,
     stop: &AtomicBool,
     park: Duration,
 ) -> Vec<RuntimeStats> {
@@ -349,6 +383,7 @@ fn coordinate(
                     registry,
                     bus,
                     shared,
+                    diag.ledger.as_deref(),
                     &mut delivered_tick,
                     &mut max_ordinal,
                 );
@@ -375,6 +410,22 @@ fn coordinate(
     for p in registry.provenance() {
         shared.h_seen_by.record(p.seen_by.len() as u64);
     }
+    // Delivery ratios are only final at drain end too: check the floor
+    // and snapshot a black box while the flight ring still holds the run.
+    if let (Some(ledger), Some(flight), Some(floor)) =
+        (&diag.ledger, &diag.flight, diag.min_delivery_ratio)
+    {
+        for c in &ledger.summary().classes {
+            if c.delivery_ratio() < floor {
+                let _ = flight.trigger(&format!(
+                    "delivery-ratio breach: class {:#018x} at {:.3} < {:.3}",
+                    c.class,
+                    c.delivery_ratio(),
+                    floor
+                ));
+            }
+        }
+    }
     bus.close();
     readers.into_iter().map(ReaderRuntime::join).collect()
 }
@@ -388,6 +439,7 @@ fn process_report(
     registry: &DedupRegistry,
     bus: &FrameBus,
     shared: &FleetShared,
+    ledger: Option<&TagLedger>,
     delivered_tick: &mut u64,
     max_ordinal: &mut u64,
 ) {
@@ -403,6 +455,16 @@ fn process_report(
         for frame in extractor.extract(stream) {
             shared.per_reader[reader_index].frames_seen.inc();
             let id = frame.id(ordinal);
+            // Ledger rows are per reader: a suppressed duplicate is still
+            // a delivery by *this* antenna, so record before the claim.
+            if let Some(ledger) = ledger {
+                ledger.deliver(
+                    reader_index,
+                    ordinal,
+                    frame.rate_bps.to_bits(),
+                    id.payload_digest,
+                );
+            }
             match registry.claim(id, ReaderId(reader_index), ordinal, *delivered_tick) {
                 Claim::Winner => {
                     let delivered = DeliveredFrame {

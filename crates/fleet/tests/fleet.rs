@@ -9,11 +9,12 @@
 #![allow(clippy::expect_used)]
 
 use lf_fleet::{realized_sources, FleetConfig, FleetRuntime, FrameExtractor};
-use lf_obs::ObsContext;
+use lf_obs::{FlightRecorder, ObsContext, TagLedger};
 use lf_sim::scenario::{Scenario, ScenarioTag};
 use lf_sim::score::TruthStream;
 use lf_types::{RatePlan, SampleRate};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 const N_READERS: usize = 3;
 const N_EPOCHS: u64 = 3;
@@ -134,6 +135,119 @@ fn overlapping_readers_deliver_every_frame_exactly_once() {
         assert_eq!(stats.epochs_dropped, 0);
         assert_eq!(stats.faults, 0);
     }
+}
+
+/// Feeds the ground-truth frame multiset into a ledger as expectations.
+fn expect_ground_truth(ledger: &TagLedger, expected: &[(u64, u64, Vec<bool>)]) {
+    for (epoch, rate_bits, _payload) in expected {
+        ledger.expect(*epoch, *rate_bits, 1);
+    }
+}
+
+/// Conservation on a lossy run: with noise high enough to cost frames,
+/// every miss must land in a named attribution cell — `unattributed`
+/// stays zero because every (reader, epoch) got an outcome.
+#[test]
+fn lossy_fleet_ledger_conserves_with_zero_unattributed() {
+    let mut scenario = overlap_scenario();
+    scenario.noise_sigma = 0.05; // deliberately lossy
+    let (sources, truths) = realized_sources(&scenario, N_READERS, N_EPOCHS, GAP_SAMPLES, CHUNK);
+    let expected = expected_payloads(&truths);
+
+    let ledger = Arc::new(TagLedger::new());
+    let flight = Arc::new(FlightRecorder::new(64));
+    expect_ground_truth(&ledger, &expected);
+    let mut cfg = FleetConfig::for_decoder(
+        &scenario.decoder_config(),
+        FrameExtractor::for_scenario(&scenario),
+    );
+    cfg.diag.ledger = Some(Arc::clone(&ledger));
+    cfg.diag.flight = Some(Arc::clone(&flight));
+    cfg.diag.min_delivery_ratio = Some(1.0 + f64::EPSILON); // any miss triggers
+
+    let (fleet, mut subs) = FleetRuntime::spawn_decoder(
+        sources,
+        scenario.decoder_config(),
+        &cfg,
+        1,
+        ObsContext::new(),
+    );
+    let sub = subs.remove(0);
+    while sub.recv().is_some() {}
+    let report = fleet.join();
+
+    let summary = ledger.summary();
+    assert_eq!(summary.readers, vec![0, 1, 2]);
+    assert_eq!(summary.expected_total, expected.len() as u64);
+    assert!(summary.conserved(), "conservation violated: {summary:?}");
+    assert_eq!(
+        summary.attribution.unattributed, 0,
+        "every miss must be attributed to a stage: {:?}",
+        summary.attribution
+    );
+    // Under this noise at least one reader misses at least one frame, so
+    // the matrix is non-empty and names a real stage.
+    let per_reader_expected = summary.expected_total * N_READERS as u64;
+    assert!(
+        summary.delivered_by_readers < per_reader_expected,
+        "scenario not lossy enough to exercise attribution"
+    );
+    let (stage, count) = summary
+        .attribution
+        .top_stage()
+        .expect("losses must be attributed");
+    assert!(count > 0, "top stage {stage} has zero count");
+    // The ledger's union view reconciles with the dedup registry.
+    assert_eq!(summary.delivered_union, report.stats.unique_frames);
+    // The delivery-ratio floor breached, so a black box was captured.
+    assert!(
+        !flight.triggers().is_empty(),
+        "delivery-ratio breach must trigger the flight recorder"
+    );
+    assert!(flight.last_black_box().is_some());
+    assert!(flight.recorded() >= N_READERS as u64 * N_EPOCHS);
+}
+
+/// Satellite invariant: splitting the fleet ledger into per-reader
+/// ledgers and merging them back reproduces the aggregate exactly.
+#[test]
+fn per_reader_ledgers_merge_to_the_aggregate() {
+    let scenario = overlap_scenario();
+    let (sources, truths) = realized_sources(&scenario, N_READERS, N_EPOCHS, GAP_SAMPLES, CHUNK);
+    let expected = expected_payloads(&truths);
+
+    let ledger = Arc::new(TagLedger::new());
+    expect_ground_truth(&ledger, &expected);
+    let mut cfg = FleetConfig::for_decoder(
+        &scenario.decoder_config(),
+        FrameExtractor::for_scenario(&scenario),
+    );
+    cfg.diag.ledger = Some(Arc::clone(&ledger));
+
+    let (fleet, mut subs) = FleetRuntime::spawn_decoder(
+        sources,
+        scenario.decoder_config(),
+        &cfg,
+        1,
+        ObsContext::new(),
+    );
+    let sub = subs.remove(0);
+    while sub.recv().is_some() {}
+    let report = fleet.join();
+
+    let aggregate = ledger.summary();
+    assert!(aggregate.conserved());
+    assert_eq!(aggregate.attribution.unattributed, 0);
+    // Clean run: the union of deliveries covers the whole ground truth.
+    assert_eq!(aggregate.delivered_union, expected.len() as u64);
+    assert_eq!(aggregate.delivered_union, report.stats.unique_frames);
+
+    let merged = TagLedger::new();
+    for reader in 0..N_READERS {
+        merged.merge_from(&ledger.split_reader(reader));
+    }
+    assert_eq!(merged.summary(), aggregate);
+    assert_eq!(merged.attribution(), ledger.attribution());
 }
 
 #[test]

@@ -15,7 +15,8 @@
 
 use crate::registry::{Counter, Gauge, Histogram, MetricsRegistry, Snapshot};
 use crate::trace::{InstallGuard, RecordKind, TraceRecord, TraceRing};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 /// Default trace-ring capacity (records, not bytes).
@@ -25,6 +26,11 @@ const DEFAULT_RING: usize = 4096;
 pub(crate) struct ObsInner {
     registry: MetricsRegistry,
     ring: TraceRing,
+    /// Span-name → `span.<name>.ns` histogram handle cache. Span names
+    /// are `&'static str`s declared by the stage graph, so the cache
+    /// saturates after the first epoch and the span-exit hot path never
+    /// formats a name or walks the registry map again.
+    span_hists: Mutex<HashMap<&'static str, Histogram>>,
     t0: Instant,
 }
 
@@ -49,6 +55,7 @@ impl ObsContext {
             inner: Some(Arc::new(ObsInner {
                 registry: MetricsRegistry::new(),
                 ring: TraceRing::new(capacity),
+                span_hists: Mutex::new(HashMap::new()),
                 t0: Instant::now(),
             })),
         }
@@ -101,6 +108,24 @@ impl ObsContext {
             Some(i) => i.registry.histogram(name),
             None => Histogram::default(),
         }
+    }
+
+    /// The `span.<name>.ns` histogram for a span named `name`, resolved
+    /// through a per-context cache keyed on the `&'static str` span name
+    /// (detached when disabled). This is the span-exit hot path: after
+    /// the first hit per name it costs one small-map lookup, no name
+    /// formatting, no registry walk.
+    pub(crate) fn span_histogram(&self, name: &'static str) -> Histogram {
+        let Some(i) = &self.inner else {
+            return Histogram::default();
+        };
+        let mut cache = i.span_hists.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(h) = cache.get(name) {
+            return h.clone();
+        }
+        let h = i.registry.histogram(&format!("span.{name}.ns"));
+        cache.insert(name, h.clone());
+        h
     }
 
     /// A point-in-time copy of every registered metric (empty when

@@ -140,6 +140,13 @@ impl Histogram {
         self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
     }
 
+    /// Records one observation and tags its bucket with an
+    /// `(epoch seq, tag key)` exemplar (see
+    /// [`HistogramCore::record_with_exemplar`]).
+    pub fn record_with_exemplar(&self, v: u64, seq: u64, key: u64) {
+        self.core.record_with_exemplar(v, seq, key);
+    }
+
     /// Observations recorded so far.
     pub fn count(&self) -> u64 {
         self.core.count()
@@ -316,21 +323,31 @@ impl Snapshot {
 
     /// Renders the snapshot as Prometheus text exposition format.
     ///
-    /// Histograms emit cumulative `_bucket{le="..."}` series plus `_sum`
-    /// and `_count`, counters and gauges a single sample each.
+    /// Every metric gets a `# HELP` line (carrying the original dotted
+    /// registry name, which the sanitized exposition name loses) and a
+    /// `# TYPE` line. Histograms emit cumulative `_bucket{le="..."}`
+    /// series plus `_sum` and `_count`, counters and gauges a single
+    /// sample each.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for m in &self.metrics {
             let name = prom_name(&m.name);
+            let help = &m.name;
             match &m.value {
                 MetricValue::Counter(v) => {
-                    out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+                    out.push_str(&format!(
+                        "# HELP {name} lf-obs counter {help}\n# TYPE {name} counter\n{name} {v}\n"
+                    ));
                 }
                 MetricValue::Gauge(v) => {
-                    out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+                    out.push_str(&format!(
+                        "# HELP {name} lf-obs gauge {help}\n# TYPE {name} gauge\n{name} {v}\n"
+                    ));
                 }
                 MetricValue::Histogram(h) => {
-                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    out.push_str(&format!(
+                        "# HELP {name} lf-obs histogram {help}\n# TYPE {name} histogram\n"
+                    ));
                     for (le, c) in h.cumulative() {
                         out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {c}\n"));
                     }
@@ -449,6 +466,43 @@ mod tests {
         assert!(text.contains("decode_total_ns_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("decode_total_ns_count 2"));
         assert!(text.contains("decode_total_ns_sum 10500"));
+        // Every metric gets a HELP line, carrying the dotted name the
+        // sanitized exposition name loses, and HELP precedes TYPE.
+        assert!(text.contains("# HELP reader_epochs_in lf-obs counter reader.epochs_in"));
+        assert!(text.contains("# HELP reader_queue_depth lf-obs gauge reader.queue_depth"));
+        let help_at = text.find("# HELP decode_total_ns ").unwrap();
+        let type_at = text.find("# TYPE decode_total_ns ").unwrap();
+        assert!(help_at < type_at, "HELP must precede TYPE");
+        // Cumulative `le` bucket invariants: counts are monotone
+        // non-decreasing, every explicit bucket is ≤ count, and the
+        // implicit +Inf bucket equals _count exactly.
+        let buckets: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("decode_total_ns_bucket{le=\"") && !l.contains("+Inf"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(!buckets.is_empty());
+        assert!(
+            buckets.windows(2).all(|w| w[0] <= w[1]),
+            "le buckets must be monotone: {buckets:?}"
+        );
+        assert!(buckets.iter().all(|&b| b <= 2));
+        let inf: u64 = text
+            .lines()
+            .find(|l| l.starts_with("decode_total_ns_bucket{le=\"+Inf\"}"))
+            .and_then(|l| l.rsplit(' ').next())
+            .unwrap()
+            .parse()
+            .unwrap();
+        let count: u64 = text
+            .lines()
+            .find(|l| l.starts_with("decode_total_ns_count"))
+            .and_then(|l| l.rsplit(' ').next())
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(inf, count, "+Inf bucket must equal _count");
+        assert_eq!(buckets.last().copied(), Some(count));
     }
 
     #[test]

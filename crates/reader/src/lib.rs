@@ -43,8 +43,8 @@ pub mod stats;
 
 pub use queue::BoundedQueue;
 pub use runtime::{
-    sequential_decode, Backpressure, EpochDecoder, EpochReport, EpochResult, ReaderRuntime,
-    RuntimeConfig,
+    sequential_decode, Backpressure, DiagSinks, EpochDecoder, EpochReport, EpochResult,
+    ReaderRuntime, RuntimeConfig,
 };
 pub use segment::{OnlineSegmenter, SegmentedEpoch, SegmenterConfig, ThresholdPolicy};
 pub use source::{FileSource, IqSource, ScenarioSource, SessionTruths, SliceSource};

@@ -32,11 +32,11 @@
 use crate::queue::BoundedQueue;
 use crate::segment::{OnlineSegmenter, SegmentedEpoch, SegmenterConfig};
 use crate::source::IqSource;
-use crate::stats::{RuntimeStats, StatsShared};
+use crate::stats::{nanos_of, RuntimeStats, StatsShared};
 use lf_core::config::DecoderConfig;
 use lf_core::pipeline::{Decoder, EpochDecode, StageTimings};
 use lf_core::DecodeScratch;
-use lf_obs::ObsContext;
+use lf_obs::{EpochOutcome, FlightRecord, FlightRecorder, ObsContext, TagLedger};
 use lf_types::Complex;
 use std::collections::BTreeMap;
 use std::ops::Range;
@@ -98,12 +98,15 @@ pub struct RuntimeConfig {
     pub backpressure: Backpressure,
     /// Online segmentation parameters.
     pub segmenter: SegmenterConfig,
+    /// Diagnosis sinks the pipeline threads feed as they work (defaults
+    /// to none — zero cost unless wired).
+    pub diag: DiagSinks,
 }
 
 impl RuntimeConfig {
     /// Defaults derived from a decoder configuration: one worker per
     /// available core, queues of twice the pool depth, lossless
-    /// backpressure.
+    /// backpressure, no diagnosis sinks.
     pub fn for_decoder(cfg: &DecoderConfig) -> Self {
         let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         RuntimeConfig {
@@ -112,6 +115,138 @@ impl RuntimeConfig {
             result_queue: 2 * workers,
             backpressure: Backpressure::Block,
             segmenter: SegmenterConfig::from_decoder(cfg),
+            diag: DiagSinks::default(),
+        }
+    }
+}
+
+/// Diagnosis sinks the runtime feeds from inside the pipeline threads:
+/// a shared [`TagLedger`] receiving every epoch outcome and per-stream
+/// stage verdict, and a [`FlightRecorder`] receiving one bounded record
+/// per epoch. Both are optional and default to absent; the runtime's
+/// behaviour is identical either way (the sinks observe, they never
+/// steer).
+///
+/// Frame *deliveries* are not recorded here — the runtime reports decoded
+/// streams, not CRC-verified frames. The frame-extraction layer
+/// (`lf-fleet`, or any consumer of [`EpochReport`]s) calls
+/// [`TagLedger::deliver`] with the same epoch ordinals (`seq`), closing
+/// the expected-vs-delivered loop.
+#[derive(Debug, Clone, Default)]
+pub struct DiagSinks {
+    /// Delivery ledger; epoch outcomes and stream verdicts are observed
+    /// under [`DiagSinks::reader`].
+    pub ledger: Option<Arc<TagLedger>>,
+    /// Flight recorder; one record per epoch (decoded, dropped, or
+    /// faulted), plus a black-box trigger on every contained worker panic.
+    pub flight: Option<Arc<FlightRecorder>>,
+    /// This runtime's reader index in the ledger rows and flight records
+    /// (0 for a standalone reader; `lf-fleet` assigns distinct indices).
+    pub reader: usize,
+    /// Also trigger a black-box dump when a decoded epoch carries a
+    /// provenance anomaly (off by default: anomalies are common under
+    /// deliberate collisions and the ring still retains them).
+    pub trigger_on_anomaly: bool,
+}
+
+impl DiagSinks {
+    /// Ledger + flight recorder for reader index `reader`, anomaly
+    /// trigger off.
+    pub fn new(ledger: Arc<TagLedger>, flight: Arc<FlightRecorder>, reader: usize) -> Self {
+        DiagSinks {
+            ledger: Some(ledger),
+            flight: Some(flight),
+            reader,
+            trigger_on_anomaly: false,
+        }
+    }
+
+    /// True when no sink is wired (the observe calls are no-ops).
+    pub fn is_empty(&self) -> bool {
+        self.ledger.is_none() && self.flight.is_none()
+    }
+
+    fn observe_decoded(
+        &self,
+        seq: u64,
+        decode: &EpochDecode,
+        timings: &StageTimings,
+        jobs_depth: usize,
+        results_depth: usize,
+    ) {
+        if let Some(ledger) = &self.ledger {
+            ledger.observe_epoch(self.reader, seq, EpochOutcome::Decoded);
+            // Streams and their provenance records are index-aligned.
+            for (s, p) in decode.streams.iter().zip(&decode.provenance.streams) {
+                ledger.observe_stream(self.reader, seq, s.rate_bps.to_bits(), p.failing_stage());
+            }
+        }
+        if let Some(flight) = &self.flight {
+            let anomaly = decode.provenance.failing_stage();
+            let mut stage_ns: Vec<(&'static str, u64)> = timings
+                .iter()
+                .map(|(name, d)| (name, nanos_of(d)))
+                .collect();
+            stage_ns.push(("total", nanos_of(timings.total)));
+            flight.record(FlightRecord {
+                reader: self.reader,
+                seq,
+                outcome: "decoded",
+                failing_stage: anomaly,
+                streams: decode.streams.len(),
+                edges: decode.n_edges,
+                stage_ns,
+                jobs_depth,
+                results_depth,
+                detail: String::new(),
+            });
+            if self.trigger_on_anomaly {
+                if let Some(stage) = anomaly {
+                    let _ = flight.trigger(&format!("anomalous epoch {seq}: {stage}"));
+                }
+            }
+        }
+    }
+
+    fn observe_faulted(&self, seq: u64, message: &str, jobs_depth: usize, results_depth: usize) {
+        if let Some(ledger) = &self.ledger {
+            ledger.observe_epoch(self.reader, seq, EpochOutcome::Faulted);
+        }
+        if let Some(flight) = &self.flight {
+            flight.record(FlightRecord {
+                reader: self.reader,
+                seq,
+                outcome: "faulted",
+                failing_stage: None,
+                streams: 0,
+                edges: 0,
+                stage_ns: Vec::new(),
+                jobs_depth,
+                results_depth,
+                detail: message.to_owned(),
+            });
+            // A contained panic is always black-box-worthy.
+            let _ = flight.trigger(&format!("worker-panic: epoch {seq}"));
+        }
+    }
+
+    fn observe_dropped(&self, seq: u64, jobs_depth: usize, results_depth: usize) {
+        if let Some(ledger) = &self.ledger {
+            ledger.observe_epoch(self.reader, seq, EpochOutcome::Dropped);
+        }
+        if let Some(flight) = &self.flight {
+            flight.record(FlightRecord {
+                reader: self.reader,
+                seq,
+                outcome: "dropped",
+                failing_stage: None,
+                streams: 0,
+                edges: 0,
+                stage_ns: Vec::new(),
+                jobs_depth,
+                results_depth,
+                detail: String::new(),
+            });
         }
     }
 }
@@ -241,6 +376,11 @@ impl ReaderRuntime {
         let stats = Arc::new(StatsShared::new(&obs));
         let stop = Arc::new(AtomicBool::new(false));
         let mut threads = Vec::new();
+        // A reader is part of the conservation accounting from the moment
+        // it spawns, even if it dies before observing a single epoch.
+        if let Some(ledger) = &cfg.diag.ledger {
+            ledger.register_reader(cfg.diag.reader);
+        }
 
         // --- ingest thread ---
         {
@@ -250,6 +390,7 @@ impl ReaderRuntime {
             let stop = Arc::clone(&stop);
             let segmenter = OnlineSegmenter::new(cfg.segmenter);
             let policy = cfg.backpressure;
+            let diag = cfg.diag.clone();
             let obs = obs.clone();
             let mut source = source;
             threads.push(std::thread::spawn(move || {
@@ -261,6 +402,7 @@ impl ReaderRuntime {
                     &jobs,
                     &results,
                     &stats,
+                    &diag,
                     &stop,
                 );
             }));
@@ -274,6 +416,7 @@ impl ReaderRuntime {
             let stats = Arc::clone(&stats);
             let active = Arc::clone(&active);
             let decoder = Arc::clone(&decoder);
+            let diag = cfg.diag.clone();
             let obs = obs.clone();
             threads.push(std::thread::spawn(move || {
                 let _obs_guard = obs.install();
@@ -283,9 +426,23 @@ impl ReaderRuntime {
                 while let Some(job) = jobs.pop() {
                     let result = decode_contained(&*decoder, &job, &mut scratch);
                     match &result {
-                        EpochResult::Decoded { timings, .. } => stats.record_latency(timings),
-                        EpochResult::Faulted { .. } => {
+                        EpochResult::Decoded { decode, timings } => {
+                            // Exemplar: a latency outlier links back to the
+                            // epoch (and the rate class it was carrying)
+                            // that produced it.
+                            let class = decode.streams.first().map_or(0, |s| s.rate_bps.to_bits());
+                            stats.record_latency(timings, (job.seq, class));
+                            diag.observe_decoded(
+                                job.seq,
+                                decode,
+                                timings,
+                                jobs.len(),
+                                results.len(),
+                            );
+                        }
+                        EpochResult::Faulted { message } => {
                             stats.faults.inc();
+                            diag.observe_faulted(job.seq, message, jobs.len(), results.len());
                         }
                         EpochResult::Dropped => {}
                     }
@@ -470,6 +627,7 @@ impl Drop for ReaderRuntime {
 }
 
 /// The ingest loop: pull chunks, segment, enqueue jobs under the policy.
+#[allow(clippy::too_many_arguments)] // the worker wiring is one call site; a struct would just move the list
 fn ingest(
     source: &mut dyn IqSource,
     mut segmenter: OnlineSegmenter,
@@ -477,6 +635,7 @@ fn ingest(
     jobs: &BoundedQueue<Job>,
     results: &BoundedQueue<EpochReport>,
     stats: &StatsShared,
+    diag: &DiagSinks,
     stop: &AtomicBool,
 ) {
     let mut segmented: Vec<SegmentedEpoch> = Vec::new();
@@ -489,13 +648,13 @@ fn ingest(
         }
         let Some(chunk) = source.next_chunk() else {
             segmenter.finish(&mut segmented);
-            enqueue_all(&mut segmented, &mut seq, policy, jobs, results, stats);
+            enqueue_all(&mut segmented, &mut seq, policy, jobs, results, stats, diag);
             break;
         };
         stats.chunks_in.inc();
         stats.samples_in.add(chunk.len() as u64);
         segmenter.push_chunk(&chunk, &mut segmented);
-        if !enqueue_all(&mut segmented, &mut seq, policy, jobs, results, stats) {
+        if !enqueue_all(&mut segmented, &mut seq, policy, jobs, results, stats, diag) {
             break;
         }
     }
@@ -510,6 +669,7 @@ fn enqueue_all(
     jobs: &BoundedQueue<Job>,
     results: &BoundedQueue<EpochReport>,
     stats: &StatsShared,
+    diag: &DiagSinks,
 ) -> bool {
     for epoch in segmented.drain(..) {
         stats.epochs_in.inc();
@@ -533,6 +693,7 @@ fn enqueue_all(
                 Err(_) => return false,
                 Ok(Some(evicted)) => {
                     stats.epochs_dropped.inc();
+                    diag.observe_dropped(evicted.seq, jobs.len(), results.len());
                     // Constant-size tombstone: the consumer must still
                     // see every seq exactly once for exact accounting
                     // (and so reordering never stalls on a hole).

@@ -68,7 +68,7 @@ fn push_ring(ring: &mut VecDeque<u64>, v: u64) {
     }
 }
 
-fn nanos_of(d: Duration) -> u64 {
+pub(crate) fn nanos_of(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
@@ -95,11 +95,17 @@ impl StatsShared {
         }
     }
 
-    pub fn record_latency(&self, t: &StageTimings) {
+    /// Records one epoch's latencies. `exemplar` is `(epoch seq, rate
+    /// class key)`: every histogram bucket the timings land in remembers
+    /// it, so a p99 outlier in a snapshot links back to the offending
+    /// epoch (see `lf_obs::HistogramSnapshot::exemplar_near_quantile`).
+    pub fn record_latency(&self, t: &StageTimings, exemplar: (u64, u64)) {
+        let (seq, key) = exemplar;
         for (h, d) in self.h_stages.iter().zip(t.per_stage) {
-            h.record_duration(d);
+            h.record_with_exemplar(nanos_of(d), seq, key);
         }
-        self.h_total.record_duration(t.total);
+        self.h_total
+            .record_with_exemplar(nanos_of(t.total), seq, key);
         let mut rings = self
             .latencies
             .lock()
@@ -315,7 +321,7 @@ mod tests {
         let stats = StatsShared::default();
         let t = sample_timings();
         for _ in 0..(LATENCY_RING + 50) {
-            stats.record_latency(&t);
+            stats.record_latency(&t, (0, 0));
         }
         let snap = stats.snapshot(0, 0);
         assert_eq!(snap.latency.total.count, LATENCY_RING);
@@ -326,7 +332,7 @@ mod tests {
     fn stage_summaries_follow_graph_order() {
         let stats = StatsShared::default();
         let t = sample_timings();
-        stats.record_latency(&t);
+        stats.record_latency(&t, (0, 0));
         let snap = stats.snapshot(0, 0);
         for (i, (name, summary)) in snap.latency.iter().enumerate() {
             assert_eq!(summary.count, 1, "stage {name}");
@@ -343,7 +349,7 @@ mod tests {
         let stats = StatsShared::new(&obs);
         stats.chunks_in.add(3);
         stats.epochs_in.inc();
-        stats.record_latency(&sample_timings());
+        stats.record_latency(&sample_timings(), (0, 0));
         let _ = stats.snapshot(2, 1);
         let snap = obs.registry_snapshot();
         assert_eq!(

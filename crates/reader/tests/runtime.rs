@@ -9,8 +9,8 @@
 
 use lf_core::pipeline::{Decoder, EpochDecode, StageTimings};
 use lf_reader::{
-    sequential_decode, Backpressure, EpochDecoder, EpochReport, EpochResult, ReaderRuntime,
-    RuntimeConfig, ScenarioSource, SegmenterConfig, SliceSource, ThresholdPolicy,
+    sequential_decode, Backpressure, DiagSinks, EpochDecoder, EpochReport, EpochResult,
+    ReaderRuntime, RuntimeConfig, ScenarioSource, SegmenterConfig, SliceSource, ThresholdPolicy,
 };
 use lf_sim::scenario::{Scenario, ScenarioTag};
 use lf_types::{Complex, RatePlan, SampleRate};
@@ -73,6 +73,7 @@ fn parallel_pool_matches_sequential_decode() {
         result_queue: 2,
         backpressure: Backpressure::Block,
         segmenter: seg,
+        diag: DiagSinks::default(),
     };
     let mut rt = ReaderRuntime::spawn(par_src, decoder, &cfg);
     let got = drain(&mut rt);
@@ -193,6 +194,7 @@ fn drop_oldest_accounting_is_exact() {
         result_queue: 64,
         backpressure: Backpressure::DropOldest,
         segmenter: synthetic_seg(),
+        diag: DiagSinks::default(),
     };
     let mut rt = ReaderRuntime::spawn(
         source,
@@ -245,6 +247,7 @@ fn block_policy_loses_nothing() {
         result_queue: 2,
         backpressure: Backpressure::Block,
         segmenter: synthetic_seg(),
+        diag: DiagSinks::default(),
     };
     let mut rt = ReaderRuntime::spawn(
         source,
@@ -282,6 +285,7 @@ fn worker_panic_is_contained() {
         result_queue: 4,
         backpressure: Backpressure::Block,
         segmenter: synthetic_seg(),
+        diag: DiagSinks::default(),
     };
     let mut rt = ReaderRuntime::spawn(source, Arc::new(PoisonableDecoder), &cfg);
     let got = drain(&mut rt);
@@ -321,6 +325,7 @@ fn try_recv_polls_the_same_sequence_to_end_of_stream() {
         result_queue: 2,
         backpressure: Backpressure::Block,
         segmenter: synthetic_seg(),
+        diag: DiagSinks::default(),
     };
     let mut rt = ReaderRuntime::spawn(
         source,
@@ -362,6 +367,7 @@ fn try_recv_and_recv_interleave_without_reordering() {
         result_queue: 4,
         backpressure: Backpressure::Block,
         segmenter: synthetic_seg(),
+        diag: DiagSinks::default(),
     };
     let mut rt = ReaderRuntime::spawn(source, Arc::new(PoisonableDecoder), &cfg);
     let mut seqs = Vec::new();
@@ -402,6 +408,7 @@ fn shutdown_drains_and_joins() {
         result_queue: 2,
         backpressure: Backpressure::Block,
         segmenter: synthetic_seg(),
+        diag: DiagSinks::default(),
     };
     let mut rt = ReaderRuntime::spawn(
         source,

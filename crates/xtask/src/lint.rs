@@ -77,6 +77,14 @@
 //!   predicate a sibling already consumed; a bare `if … { wait }` is the
 //!   lost-item bug the `lf-check` fixture `if_wait_round` demonstrates.
 //!   `wait_while` is exempt — it owns its loop.
+//! * [`Rule::NoUnattributedDrop`] — library code never discards a decode
+//!   or frame value with `let _ =`. The delivery ledger's conservation
+//!   invariant (every expected frame is delivered *or* attributed to a
+//!   failing stage) holds only if every `EpochDecode`, delivered frame,
+//!   and queue receive reaches an observation point; a silent drop is a
+//!   frame that vanishes from the accounting with no outcome. Tombstone
+//!   pushes and thread joins are not decode values and stay legal;
+//!   binaries and examples own their own draining and are exempt.
 //! * [`Rule::NoWallclockOrdering`] — the fleet coordination layer
 //!   (`crates/fleet/src`) never touches `Instant` or `SystemTime`. Frame
 //!   identity, dedup, and delivery lag are defined over epoch ordinals
@@ -132,6 +140,8 @@ pub enum Rule {
     /// `Instant`/`SystemTime` in the fleet's clock-free coordination
     /// layer.
     NoWallclockOrdering,
+    /// `let _ =` discarding a decode/frame value in library code.
+    NoUnattributedDrop,
 }
 
 impl Rule {
@@ -150,6 +160,7 @@ impl Rule {
             Rule::NoAtomicOrderingDefault => "no-atomic-ordering-default",
             Rule::NoCondvarWithoutLoop => "no-condvar-without-timeout-loop",
             Rule::NoWallclockOrdering => "no-wallclock-ordering",
+            Rule::NoUnattributedDrop => "no-unattributed-drop",
         }
     }
 }
@@ -243,6 +254,7 @@ struct Scope {
     stage_bypass: bool,
     epoch_rescan: bool,
     wallclock: bool,
+    unattributed_drop: bool,
 }
 
 fn scope_of(root: &Path, file: &Path) -> Scope {
@@ -272,6 +284,10 @@ fn scope_of(root: &Path, file: &Path) -> Scope {
         // The fleet's dedup/delivery ordering is clock-free by contract;
         // benches and examples timing the fleet from outside are not.
         wallclock: rel.contains("fleet/src"),
+        // Binaries and examples own their own frame draining (a warm-up
+        // decode whose result is deliberately unused is their business);
+        // library code feeds every decode/frame outcome to the ledger.
+        unattributed_drop: !is_bin,
     }
 }
 
@@ -477,6 +493,23 @@ fn lint_file(root: &Path, file: &Path, text: &str, findings: &mut Vec<Finding>) 
                     ),
                 });
             }
+        }
+
+        if scope.unattributed_drop
+            && !waived(comment, Rule::NoUnattributedDrop)
+            && !trimmed.starts_with("//")
+            && has_unattributed_drop(code)
+        {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: Rule::NoUnattributedDrop,
+                message: "`let _ =` on a decode/frame value drops it with no \
+                          recorded outcome, breaking the delivery ledger's \
+                          conservation invariant; observe the value (or bind \
+                          and handle it) instead"
+                    .into(),
+            });
         }
 
         if scope.docs && !waived(comment, Rule::MissingDocs) && is_pub_fn(trimmed) && !prev_doc {
@@ -777,6 +810,42 @@ fn condvar_wait_outside_loop(lines: &[&str], idx: usize) -> bool {
     true
 }
 
+/// Identifier stems that mark a `let _ =` right-hand side as producing a
+/// decode or frame value — the quantities the delivery ledger accounts
+/// for. Each identifier token on the right-hand side is checked for a
+/// stem case-insensitively (`decode`, `decoder.decode_timed`,
+/// `EpochDecode`, `recv`, `try_recv`, `frames`), so a drop of any of
+/// them fires while `EpochReport` tombstones, `join()` handles, and
+/// `flight.trigger(…)` stay silent.
+const DROP_STEMS: &[&str] = &["decode", "frame", "recv"];
+
+/// A `let _ =` whose right-hand side mentions a decode/frame-producing
+/// identifier. Tokenized on identifier boundaries first, so the stem
+/// check cannot bridge two identifiers (`results`, `push_forced`, and
+/// `EpochReport` never fire).
+fn has_unattributed_drop(code: &str) -> bool {
+    let Some(pos) = code.find("let _ =") else {
+        return false;
+    };
+    let rhs = &code[pos + "let _ =".len()..];
+    let fires = |t: &str| {
+        let lower = t.to_ascii_lowercase();
+        DROP_STEMS.iter().any(|s| lower.contains(s))
+    };
+    let mut token = String::new();
+    for ch in rhs.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            token.push(ch);
+        } else if !token.is_empty() {
+            if fires(&token) {
+                return true;
+            }
+            token.clear();
+        }
+    }
+    !token.is_empty() && fires(&token)
+}
+
 /// Wall-clock types banned from the fleet's coordination layer. Plain
 /// `Duration` spans carry no epoch and stay legal (poll parks, timeouts).
 const WALLCLOCK_TYPES: &[&str] = &["Instant", "SystemTime"];
@@ -992,6 +1061,28 @@ mod tests {
         assert_eq!(wallclock_type("let instantaneous_eps = 4.0;"), None);
         assert_eq!(wallclock_type("struct MyInstantCache;"), None);
         assert_eq!(wallclock_type("park: Duration::from_micros(500),"), None);
+    }
+
+    #[test]
+    fn unattributed_drop_probe() {
+        assert!(has_unattributed_drop("let _ = decoder.decode(&signal);"));
+        assert!(has_unattributed_drop("let _ = self.decode_timed(&sig);"));
+        assert!(has_unattributed_drop("let _ = sub.recv();"));
+        assert!(has_unattributed_drop("let _ = results.try_recv();"));
+        assert!(has_unattributed_drop("let _ = frames.pop();"));
+        assert!(has_unattributed_drop(
+            "let _ = make(EpochDecode::default());"
+        ));
+        // Tombstones, joins, and trigger results are not decode values.
+        assert!(!has_unattributed_drop(
+            "let _ = results.push_forced(EpochReport {"
+        ));
+        assert!(!has_unattributed_drop("let _ = t.join();"));
+        assert!(!has_unattributed_drop(
+            "let _ = flight.trigger(&format!(\"worker-panic\"));"
+        ));
+        // A bound (non-`_`) result is handled, not dropped.
+        assert!(!has_unattributed_drop("let decode = run(&signal);"));
     }
 
     #[test]

@@ -15,12 +15,20 @@
 //!   core-count-normalized linear ideal (the binary itself fails below
 //!   0.8× linear).
 //!
+//! * `diag-report` — runs the `lf-bench` `diag_report` binary (a lossy
+//!   multi-reader fleet with the diagnosis layer wired in) and validates
+//!   the `DIAG_<label>.json` artifact: per-rate-class delivery ratios,
+//!   the stage loss-attribution matrix, latency exemplars, and the
+//!   flight-recorder trigger log. Fails when any miss is unattributed —
+//!   that means the diagnosis wiring regressed, not the decode.
+//!
 //! ```text
 //! cargo xtask lint                    # lint the repository
 //! cargo xtask lint --root DIR         # lint another tree (meta-tests)
 //! cargo xtask bench-report            # → BENCH_local.json
 //! cargo xtask bench-report --label ci # → BENCH_ci.json
 //! cargo xtask bench-report --label pr --baseline BENCH_ci.json
+//! cargo xtask diag-report --label ci  # → DIAG_ci.json + trace.json
 //! ```
 
 use xtask::lint;
@@ -28,18 +36,116 @@ use xtask::lint;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: cargo xtask lint [--root DIR] | bench-report [--label L] [--baseline FILE]";
+const USAGE: &str = "usage: cargo xtask lint [--root DIR] | bench-report [--label L] \
+     [--baseline FILE] | diag-report [--label L]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
         Some("bench-report") => run_bench_report(&args[1..]),
+        Some("diag-report") => run_diag_report(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             ExitCode::from(2)
         }
+    }
+}
+
+fn run_diag_report(args: &[String]) -> ExitCode {
+    let mut label = "local".to_owned();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match (flag.as_str(), it.next()) {
+            ("--label", Some(l)) => label = l.clone(),
+            _ => {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = workspace_root();
+    let out = root.join(format!("DIAG_{label}.json"));
+    let trace = root.join("trace.json");
+    let status = std::process::Command::new(env!("CARGO"))
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "lf-bench",
+            "--bin",
+            "diag_report",
+            "--",
+        ])
+        .arg("--label")
+        .arg(&label)
+        .arg("--out")
+        .arg(&out)
+        .arg("--trace")
+        .arg(&trace)
+        .current_dir(&root)
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => {
+            eprintln!("xtask diag-report: diagnosis run failed ({s})");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("xtask diag-report: spawn cargo: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let text = match std::fs::read_to_string(&out) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask diag-report: read {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_diag_report(&text) {
+        Ok(()) => {
+            println!(
+                "xtask diag-report: wrote {} and {}",
+                out.display(),
+                trace.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("xtask diag-report: {} {msg}", out.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The diag artifact gate: JSON-shaped, carrying every section CI
+/// archives, conservation asserted, and **zero unattributed misses** —
+/// a nonzero count means an epoch finished with no recorded outcome,
+/// i.e. the diagnosis wiring has a gap.
+fn validate_diag_report(text: &str) -> Result<(), String> {
+    let t = text.trim();
+    if !(t.starts_with('{') && t.ends_with('}')) {
+        return Err("is not JSON-shaped".to_owned());
+    }
+    for field in [
+        "\"ledger\"",
+        "\"attribution\"",
+        "\"exemplars\"",
+        "\"flight\"",
+        "\"delivery_ratio\"",
+    ] {
+        if !t.contains(field) {
+            return Err(format!("is missing {field}"));
+        }
+    }
+    if !t.contains("\"conserved\":true") {
+        return Err("does not assert ledger conservation".to_owned());
+    }
+    match field_value(t, "\"unattributed\":") {
+        Some(0.0) => Ok(()),
+        Some(v) => Err(format!("carries {v} unattributed misses")),
+        None => Err("is missing \"unattributed\"".to_owned()),
     }
 }
 
@@ -391,5 +497,34 @@ mod tests {
     #[test]
     fn empty_baseline_fails() {
         assert!(stage_p50_failures(REPORT, "{}").is_err());
+    }
+
+    const DIAG: &str = r#"{
+"label":"t",
+"ledger":{"expected_total":12,"delivered_union":6,"conserved":true,"classes":[{"class_bps":5000,"delivery_ratio":0.5}]},
+"attribution":{"unattributed":0,"attributed_total":30,"top_stage":{"stage":"stream-folding","misses":17},"by_stage":[]},
+"exemplars":[],
+"flight":{"recorded":9,"retained":9,"triggers":[]}
+}"#;
+
+    #[test]
+    fn a_well_formed_diag_report_passes() {
+        assert_eq!(validate_diag_report(DIAG), Ok(()));
+    }
+
+    #[test]
+    fn unattributed_misses_fail_the_diag_gate() {
+        let report = DIAG.replace("\"unattributed\":0", "\"unattributed\":3");
+        let err = validate_diag_report(&report).unwrap_err();
+        assert!(err.contains("unattributed"), "{err}");
+    }
+
+    #[test]
+    fn a_diag_report_without_conservation_fails() {
+        let report = DIAG.replace("\"conserved\":true", "\"conserved\":false");
+        assert!(validate_diag_report(&report).is_err());
+        // A section missing entirely also fails.
+        let report = DIAG.replace("\"exemplars\"", "\"examples\"");
+        assert!(validate_diag_report(&report).is_err());
     }
 }

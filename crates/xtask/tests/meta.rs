@@ -35,6 +35,7 @@ fn fixtures_trigger_every_rule() {
         Rule::NoAtomicOrderingDefault,
         Rule::NoCondvarWithoutLoop,
         Rule::NoWallclockOrdering,
+        Rule::NoUnattributedDrop,
     ] {
         assert!(
             findings.iter().any(|f| f.rule == rule),
@@ -79,6 +80,9 @@ fn fixture_finding_counts_are_exact() {
     // diagnostic timer, the `Duration` park, the token-containing
     // identifiers, and the test-module read are silent.
     assert_eq!(count(Rule::NoWallclockOrdering), 2, "{findings:?}");
+    // Two seeded decode/frame drops; the waived warm-up drain, the
+    // tombstone push, the joins, and the test-module drop are silent.
+    assert_eq!(count(Rule::NoUnattributedDrop), 2, "{findings:?}");
 }
 
 #[test]

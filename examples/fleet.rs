@@ -9,6 +9,7 @@
 
 use lf_backscatter::prelude::*;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Four sensors at mixed rates, as in the streaming_reader example.
@@ -44,10 +45,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("fleet: {n_readers} readers x {n_epochs} epochs, {frames_sent} frames on the air");
 
     let obs = ObsContext::new();
-    let cfg = FleetConfig::for_decoder(
+    // Diagnosis layer: a clock-free delivery ledger fed from ground
+    // truth (expected) and the runtime (outcomes + deliveries), plus a
+    // flight recorder holding the last epochs' vitals.
+    let ledger = Arc::new(TagLedger::new());
+    let flight = Arc::new(FlightRecorder::new(128));
+    for (epoch, streams) in truths.iter().enumerate() {
+        for t in streams {
+            ledger.expect(epoch as u64, t.rate_bps.to_bits(), t.frames_sent() as u64);
+        }
+    }
+    let mut cfg = FleetConfig::for_decoder(
         &scenario.decoder_config(),
         FrameExtractor::for_scenario(&scenario),
     );
+    cfg.diag.ledger = Some(Arc::clone(&ledger));
+    cfg.diag.flight = Some(Arc::clone(&flight));
+    cfg.diag.min_delivery_ratio = Some(0.5);
     let (fleet, mut subs) =
         FleetRuntime::spawn_decoder(sources, scenario.decoder_config(), &cfg, 1, obs.clone());
     let sub = subs.remove(0);
@@ -145,5 +159,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
         "seen-by histogram records every frame once"
     );
+
+    // The delivery ledger: expected-vs-delivered per rate class, every
+    // miss attributed to a pipeline stage, conservation checked.
+    let summary = ledger.summary();
+    println!();
+    println!(
+        "delivery ledger: {} expected, {} delivered (union), {} across readers",
+        summary.expected_total, summary.delivered_union, summary.delivered_by_readers
+    );
+    for c in &summary.classes {
+        println!(
+            "  class {:>5} bps: {}/{} delivered ({:.0}%)",
+            f64::from_bits(c.class),
+            c.delivered_union,
+            c.expected,
+            100.0 * c.delivery_ratio()
+        );
+    }
+    for (stage, count) in summary.attribution.by_stage() {
+        println!("  missed at {stage}: {count}");
+    }
+    if summary.unexpected > 0 {
+        // Deliveries ground truth never announced (e.g. a CRC false
+        // accept on a misfolded stream) — the ledger carries them on the
+        // surplus side of the conservation equation rather than hiding
+        // them in a ratio.
+        println!(
+            "  surplus deliveries beyond ground truth: {}",
+            summary.unexpected
+        );
+    }
+    assert_eq!(
+        summary.expected_total as usize, frames_sent,
+        "ledger expectations must equal synthesis ground truth"
+    );
+    assert_eq!(
+        summary.delivered_union, report.stats.frames_delivered,
+        "ledger union deliveries must equal the exactly-once feed"
+    );
+    assert!(summary.conserved(), "ledger conservation violated");
+    assert_eq!(
+        summary.attribution.unattributed, 0,
+        "every miss must be attributed to a stage"
+    );
+    println!(
+        "flight recorder: {} epochs recorded, {} trigger(s)",
+        flight.recorded(),
+        flight.triggers().len()
+    );
+
+    // Optional Chrome trace export: LF_OBS_TRACE=trace.json loads the
+    // decode spans (all six stages, per worker) in Perfetto.
+    if let Some(path) = write_chrome_trace_env(&obs)? {
+        println!("wrote Chrome trace to {path}");
+    }
     Ok(())
 }

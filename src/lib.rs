@@ -78,12 +78,15 @@ pub mod prelude {
     pub use lf_core::pipeline::{DecodedStream, Decoder, EpochDecode, StageTimings, StreamKind};
     pub use lf_core::reliability::{ReaderCommand, ReaderController};
     pub use lf_fleet::{
-        realized_sources, DeliveredFrame, FleetConfig, FleetRuntime, FrameExtractor,
+        realized_sources, DeliveredFrame, FleetConfig, FleetDiag, FleetRuntime, FrameExtractor,
     };
-    pub use lf_obs::{MetricValue, ObsContext, Snapshot};
+    pub use lf_obs::{
+        write_chrome_trace_env, FlightRecorder, LedgerSummary, MetricValue, ObsContext, Snapshot,
+        TagLedger,
+    };
     pub use lf_reader::{
-        sequential_decode, Backpressure, EpochReport, EpochResult, IqSource, ReaderRuntime,
-        RuntimeConfig, RuntimeStats, ScenarioSource, SegmenterConfig, SliceSource,
+        sequential_decode, Backpressure, DiagSinks, EpochReport, EpochResult, IqSource,
+        ReaderRuntime, RuntimeConfig, RuntimeStats, ScenarioSource, SegmenterConfig, SliceSource,
     };
     pub use lf_sim::scenario::{Scenario, ScenarioTag, TagDynamics};
     pub use lf_sim::simulate::{simulate_epoch, synthesize_epoch, EpochOutcome};
