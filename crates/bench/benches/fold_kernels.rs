@@ -1,0 +1,157 @@
+//! Criterion benches of the SoA/SIMD hot kernels and the batched
+//! multi-period fold at ci-scenario sizes (60 k samples, 8 tags, ~26
+//! tracked streams, hundreds of edges per epoch).
+//!
+//! Each kernel is swept twice — scalar fallback vs the runtime-dispatched
+//! backend (`set_scalar_override`) — so the vector speedup stays visible
+//! as its own number instead of being folded into the whole-pipeline
+//! medians. The fold sweep compares k repeated single-period folds
+//! against one `fold_many_within_to` batch over the same edge set at the
+//! candidate-period counts the tracker actually tries per round.
+//! Outputs are bit-identical across variants by construction (pinned by
+//! the dsp equivalence suites); these benches measure only time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lf_bench::standard_fixture;
+use lf_core::config::DecoderConfig;
+use lf_core::edges::{detect_edges, PrefixSums};
+use lf_dsp::fold::{FoldSpec, FoldTable, FoldedHistogram};
+use lf_dsp::simd::{
+    diff_msq_into, first_at_or_above, nearest_centroid_into, set_scalar_override, sqrt_abs_dev_into,
+};
+use lf_sim::experiments::Scale;
+use std::hint::black_box;
+
+fn decoder_cfg(fix: &lf_bench::Fixture) -> DecoderConfig {
+    let mut cfg = DecoderConfig::at_sample_rate(fix.scenario.sample_rate);
+    cfg.rate_plan = fix.scenario.rate_plan.clone();
+    cfg
+}
+
+/// Runs `f` once with the dispatched backend and once forced scalar,
+/// registering `name_simd` / `name_scalar`.
+fn sweep_backends(c: &mut Criterion, name: &str, mut f: impl FnMut()) {
+    for (suffix, force) in [("simd", false), ("scalar", true)] {
+        set_scalar_override(force);
+        c.bench_function(&format!("{name}_{suffix}"), |b| b.iter(&mut f));
+    }
+    set_scalar_override(false);
+}
+
+/// The squared-magnitude differential series over a full 60 k epoch —
+/// edge detection's O(samples) kernel.
+fn bench_diff_msq(c: &mut Criterion) {
+    let fix = standard_fixture(Scale::Quick, 8, 1);
+    let cfg = decoder_cfg(&fix);
+    let sums = PrefixSums::new(&fix.signal);
+    let (re, im) = sums.channels();
+    let w = cfg.edge_width.round().max(1.0) as usize;
+    let mut out = Vec::new();
+    sweep_backends(c, "fold_kernels_diff_msq_60k", || {
+        diff_msq_into(black_box(re), black_box(im), w, w, &mut out);
+    });
+}
+
+/// The sqrt-deviation rewrite and the sub-threshold skip scan over the
+/// epoch's msq series — the robust-threshold/peak-scan kernels.
+fn bench_threshold_kernels(c: &mut Criterion) {
+    let fix = standard_fixture(Scale::Quick, 8, 1);
+    let cfg = decoder_cfg(&fix);
+    let sums = PrefixSums::new(&fix.signal);
+    let (re, im) = sums.channels();
+    let w = cfg.edge_width.round().max(1.0) as usize;
+    let mut msq = Vec::new();
+    diff_msq_into(re, im, w, w, &mut msq);
+    let med = 0.5 * msq.iter().fold(0.0f64, |a, &b| a.max(b));
+    let mut dev = Vec::new();
+    sweep_backends(c, "fold_kernels_sqrt_abs_dev_60k", || {
+        sqrt_abs_dev_into(black_box(&msq), med, &mut dev);
+    });
+    let cutoff = 4.0 * med;
+    sweep_backends(c, "fold_kernels_first_at_or_above_60k", || {
+        let mut i = 0usize;
+        let mut hits = 0usize;
+        while i < msq.len() {
+            i = first_at_or_above(black_box(&msq), i, cutoff);
+            if i >= msq.len() {
+                break;
+            }
+            hits += 1;
+            i += 1;
+        }
+        black_box(hits);
+    });
+}
+
+/// Nearest-centroid assignment at separation-stage size: every slot
+/// differential of a busy epoch against a 9-point collision lattice.
+fn bench_nearest_centroid(c: &mut Criterion) {
+    // ~2.6 k slot differentials (26 streams × ~100 slots) vs 9 centroids.
+    let n_points = 2_600usize;
+    let pre: Vec<f64> = (0..n_points).map(|i| (i as f64 * 0.37).sin()).collect();
+    let pim: Vec<f64> = (0..n_points).map(|i| (i as f64 * 0.61).cos()).collect();
+    let cre: Vec<f64> = (0..9).map(|j| (j as f64 - 4.0) / 4.0).collect();
+    let cim: Vec<f64> = (0..9).map(|j| ((j * 7) % 9) as f64 / 9.0 - 0.5).collect();
+    let mut idx = Vec::new();
+    let mut dist = Vec::new();
+    sweep_backends(c, "fold_kernels_nearest_centroid_2600x9", || {
+        nearest_centroid_into(
+            black_box(&pre),
+            black_box(&pim),
+            &cre,
+            &cim,
+            &mut idx,
+            &mut dist,
+        );
+    });
+}
+
+/// Repeated single-period folds vs one batched multi-period pass over the
+/// same edge set, at the candidate-period counts the tracker tries per
+/// gather round.
+fn bench_batched_fold(c: &mut Criterion) {
+    let fix = standard_fixture(Scale::Quick, 8, 1);
+    let cfg = decoder_cfg(&fix);
+    let edges = detect_edges(&fix.signal, &cfg);
+    assert!(!edges.is_empty(), "fixture produced no edges");
+    let times: Vec<f64> = edges.iter().map(|e| e.time).collect();
+    let n_samples = fix.signal.len() as f64;
+    let table = FoldTable::with_unit_weights(times);
+    for n_periods in [2usize, 4, 8] {
+        let specs: Vec<FoldSpec> = (0..n_periods)
+            .map(|k| {
+                let period = 40.0 * (k + 1) as f64;
+                FoldSpec {
+                    period,
+                    nbins: (period.round() as usize).max(1),
+                    t_max: n_samples,
+                }
+            })
+            .collect();
+        let mut outs: Vec<FoldedHistogram> = Vec::new();
+        c.bench_function(&format!("fold_kernels_fold_repeated_x{n_periods}"), |b| {
+            b.iter(|| {
+                if outs.len() < specs.len() {
+                    outs.resize_with(specs.len(), FoldedHistogram::default);
+                }
+                for (spec, out) in specs.iter().zip(outs.iter_mut()) {
+                    table.fold_within_to(spec.period, spec.nbins, spec.t_max, black_box(out));
+                }
+            });
+        });
+        c.bench_function(&format!("fold_kernels_fold_batched_x{n_periods}"), |b| {
+            b.iter(|| {
+                table.fold_many_within_to(black_box(&specs), &mut outs);
+            });
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_diff_msq,
+    bench_threshold_kernels,
+    bench_nearest_centroid,
+    bench_batched_fold
+);
+criterion_main!(benches);

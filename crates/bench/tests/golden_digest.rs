@@ -88,4 +88,15 @@ fn golden_decode_digest_over_seeded_session() {
         GOLDEN,
         "dirty explicit scratch changed the decode"
     );
+
+    // Force every lf-dsp kernel onto its scalar fallback: the SIMD
+    // backends are pinned bit-identical, so the digest must not move.
+    lf_dsp::simd::set_scalar_override(true);
+    let scalar = digest_of(&decoder.decode(&fix.signal));
+    lf_dsp::simd::set_scalar_override(false);
+    assert_eq!(
+        scalar, GOLDEN,
+        "scalar-forced kernels changed the decode: the SIMD backends are \
+         not bit-identical to their scalar references"
+    );
 }

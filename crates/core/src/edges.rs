@@ -14,9 +14,10 @@
 //! (median + k·MAD) threshold, at least an edge-width apart.
 
 use crate::config::DecoderConfig;
+use crate::provenance::{AdmissionGate, AdmissionRecord};
 use lf_dsp::peaks::find_peaks;
 use lf_dsp::stats::median_inplace;
-use lf_types::Complex;
+use lf_types::{Complex, IqBuffer};
 
 /// A detected candidate edge.
 #[derive(Debug, Clone, Copy)]
@@ -38,17 +39,21 @@ pub struct EdgeEvent {
 /// for every one of ~26 tracked streams. The `no-epoch-rescan` xtask lint
 /// rule enforces that discipline: production code may not call
 /// [`PrefixSums::new`] outside the epoch-context setup.
+/// The table is stored as a split [`IqBuffer`] (structure-of-arrays): the
+/// SIMD kernels in `lf_dsp::simd` read the two prefix channels with plain
+/// contiguous loads. Componentwise accumulation makes the split layout
+/// bitwise identical to the old `Vec<Complex>` table (DESIGN.md §15).
 #[derive(Debug, Clone)]
 pub struct PrefixSums {
-    sums: Vec<Complex>,
+    sums: IqBuffer,
 }
 
 impl Default for PrefixSums {
     /// A table over zero samples; [`PrefixSums::rebuild`] before use.
     fn default() -> Self {
-        PrefixSums {
-            sums: vec![Complex::ZERO],
-        }
+        let mut sums = IqBuffer::new();
+        sums.push(Complex::ZERO);
+        PrefixSums { sums }
     }
 }
 
@@ -62,23 +67,39 @@ impl PrefixSums {
         table
     }
 
-    /// Recomputes the table over `signal`, reusing the allocation. The
-    /// accumulation order is identical to [`PrefixSums::new`], so the two
-    /// produce bitwise-equal tables.
+    /// Recomputes the table over `signal`, reusing the allocation.
+    ///
+    /// The two channels accumulate in independent scalar chains written
+    /// straight into the resized buffers — `Complex` addition is
+    /// componentwise, so each chain performs exactly the adds the old
+    /// `acc += s; push(acc)` loop performed on that component and the
+    /// table is bitwise identical; splitting the chains halves the
+    /// rebuild's serial add-latency bound and drops the per-sample
+    /// `Vec::push` bounds checks.
     pub fn rebuild(&mut self, signal: &[Complex]) {
-        self.sums.clear();
-        self.sums.reserve(signal.len() + 1);
-        self.sums.push(Complex::ZERO);
-        let mut acc = Complex::ZERO;
-        for &s in signal {
-            acc += s;
-            self.sums.push(acc);
+        self.sums.resize_zeroed(signal.len() + 1);
+        let (re, im) = self.sums.channels_mut();
+        re[0] = 0.0;
+        im[0] = 0.0;
+        let mut acc_re = 0.0f64;
+        let mut acc_im = 0.0f64;
+        for (k, s) in signal.iter().enumerate() {
+            acc_re += s.re;
+            acc_im += s.im;
+            re[k + 1] = acc_re;
+            im[k + 1] = acc_im;
         }
     }
 
     /// Number of signal samples the table covers.
     pub fn n_samples(&self) -> usize {
         self.sums.len().saturating_sub(1)
+    }
+
+    /// The split prefix channels (length `n_samples() + 1`, leading zero),
+    /// for the SoA kernels in `lf_dsp::simd`.
+    pub fn channels(&self) -> (&[f64], &[f64]) {
+        self.sums.channels()
     }
 
     /// Mean of `signal[lo..hi]`, clamped to bounds; zero when empty.
@@ -89,7 +110,7 @@ impl PrefixSums {
         if lo >= hi {
             return Complex::ZERO;
         }
-        (self.sums[hi] - self.sums[lo]).scale(1.0 / (hi - lo) as f64)
+        (self.sums.get(hi) - self.sums.get(lo)).scale(1.0 / (hi - lo) as f64)
     }
 }
 
@@ -109,12 +130,20 @@ pub(crate) fn differential_at(sums: &PrefixSums, t: f64, guard: f64, window: usi
 /// through [`detect_edges_with`] instead.
 pub fn detect_edges(signal: &[Complex], cfg: &DecoderConfig) -> Vec<EdgeEvent> {
     let sums = PrefixSums::new(signal); // one-shot entry point: xtask: allow(no-epoch-rescan)
-    detect_edges_with(&sums, cfg, &mut Vec::new(), &mut Vec::new())
+    detect_edges_with(
+        &sums,
+        cfg,
+        &mut Vec::new(),
+        &mut Vec::new(),
+        &mut Vec::new(),
+    )
 }
 
 /// Detects candidate edges using a pre-built prefix-sum table and two
 /// reusable scratch buffers (`msq` for the squared-magnitude series,
-/// `select` for the quickselect workspace).
+/// `select` for the quickselect workspace), recording admission-cascade
+/// rejections (a too-short capture, an energy-free differential) into
+/// `admission`.
 ///
 /// The hot loop works on **squared** magnitudes — the per-sample `sqrt`
 /// (via `hypot` in `Complex::abs`) was ~a third of the stage cost. The
@@ -128,27 +157,27 @@ pub(crate) fn detect_edges_with(
     cfg: &DecoderConfig,
     msq: &mut Vec<f64>,
     select: &mut Vec<f64>,
+    admission: &mut Vec<AdmissionRecord>,
 ) -> Vec<EdgeEvent> {
     let n = sums.n_samples();
     if n < 4 * cfg.detect_window {
+        admission.push(AdmissionRecord {
+            gate: AdmissionGate::EpochTooShort,
+            round: 0,
+            rate_bps: None,
+            observed: n as f64,
+            required: (4 * cfg.detect_window) as f64,
+        });
         return Vec::new();
     }
     // Guard of half an edge width keeps the averaging windows on the flat
-    // regions on either side of the ramp.
+    // regions on either side of the ramp. The kernel zeroes a margin at
+    // both ends: there the before/after windows would clamp to nothing and
+    // the "differential" would be the raw signal level — a fake edge the
+    // size of the environment reflection.
     let guard = (cfg.edge_width / 2.0).ceil();
-    // Skip a margin at both ends: there the before/after windows clamp to
-    // nothing and the "differential" is just the raw signal level — a fake
-    // edge the size of the environment reflection.
-    let margin = guard as usize + cfg.detect_window;
-    msq.clear();
-    msq.reserve(n);
-    msq.extend((0..n).map(|t| {
-        if t < margin || t + margin >= n {
-            0.0
-        } else {
-            differential_at(sums, t as f64, guard, cfg.detect_window).norm_sqr()
-        }
-    }));
+    let (pre, pim) = sums.channels();
+    lf_dsp::simd::diff_msq_into(pre, pim, guard as usize, cfg.detect_window, msq);
     // Two-part threshold: the robust (median + k·MAD) floor handles noisy
     // captures; the relative floor handles nearly noise-free ones, where
     // MAD collapses to ~0 and floating-point dust would otherwise read as
@@ -156,6 +185,16 @@ pub(crate) fn detect_edges_with(
     // amplitude range (≈1–5 m spread under the d⁻⁴ law) detectable.
     let max_msq = msq.iter().copied().fold(0.0_f64, f64::max);
     if max_msq <= 0.0 {
+        // Admission gate: no differential energy anywhere — an all-silent
+        // or constant capture. Thresholding and peak finding on an
+        // all-zero series provably return nothing.
+        admission.push(AdmissionRecord {
+            gate: AdmissionGate::EpochNoEdgeEnergy,
+            round: 0,
+            rate_bps: None,
+            observed: max_msq,
+            required: f64::MIN_POSITIVE,
+        });
         return Vec::new();
     }
     let max_mag = max_msq.sqrt();
@@ -203,8 +242,7 @@ fn robust_threshold_of_sqrt(msq: &[f64], select: &mut Vec<f64>, k: f64) -> f64 {
             0.5 * (lo + hi)
         }
     };
-    select.clear();
-    select.extend(msq.iter().map(|&v| (v.sqrt() - med).abs()));
+    lf_dsp::simd::sqrt_abs_dev_into(msq, med, select);
     let mad = median_inplace(select);
     med + k * mad * 1.4826
 }
@@ -408,7 +446,9 @@ mod tests {
         let sums = PrefixSums::new(&sig);
         let mut msq = vec![7.0; 3];
         let mut select = vec![-2.0; 9000];
-        let got = detect_edges_with(&sums, &cfg(), &mut msq, &mut select);
+        let mut admission = Vec::new();
+        let got = detect_edges_with(&sums, &cfg(), &mut msq, &mut select, &mut admission);
+        assert!(admission.is_empty(), "healthy capture hit a gate");
         assert_eq!(got.len(), expected.len());
         for (g, e) in got.iter().zip(&expected) {
             assert_eq!(g.time.to_bits(), e.time.to_bits());

@@ -40,7 +40,8 @@ use crate::decode::{decode_member_traced, decode_single_traced};
 use crate::edges::{detect_edges_with, EdgeEvent, PrefixSums};
 use crate::pipeline::{DecodedStream, EpochDecode, StageTimings, StreamKind};
 use crate::provenance::{
-    AnchorOutcome, CarveProvenance, DecodeProvenance, SeparationProvenance, StreamProvenance,
+    AdmissionRecord, AnchorOutcome, CarveProvenance, DecodeProvenance, SeparationProvenance,
+    StreamProvenance,
 };
 use crate::scratch::DecodeScratch;
 use crate::separate::{analyze_slots_with, StreamAnalysis};
@@ -163,8 +164,11 @@ pub struct EpochContext<'a> {
     owner: &'a mut Vec<Option<usize>>,
     foreign: &'a mut Vec<(f64, Complex)>,
     unowned: &'a mut Vec<bool>,
-    fold_hist: &'a mut FoldedHistogram,
+    fold_hists: &'a mut Vec<FoldedHistogram>,
     edges: Vec<EdgeEvent>,
+    /// Admission-cascade rejections recorded by the edges and folding
+    /// stages (goes into [`DecodeProvenance::admission`]).
+    admission: Vec<AdmissionRecord>,
     tracked: Vec<TrackedStream>,
     units: Vec<StreamUnit>,
     outputs: Vec<(DecodedStream, StreamProvenance)>,
@@ -188,7 +192,7 @@ impl<'a> EpochContext<'a> {
         owner: &'a mut Vec<Option<usize>>,
         foreign: &'a mut Vec<(f64, Complex)>,
         unowned: &'a mut Vec<bool>,
-        fold_hist: &'a mut FoldedHistogram,
+        fold_hists: &'a mut Vec<FoldedHistogram>,
     ) -> Self {
         EpochContext {
             cfg,
@@ -199,8 +203,9 @@ impl<'a> EpochContext<'a> {
             owner,
             foreign,
             unowned,
-            fold_hist,
+            fold_hists,
             edges: Vec::new(),
+            admission: Vec::new(),
             tracked: Vec::new(),
             units: Vec::new(),
             outputs: Vec::new(),
@@ -225,7 +230,7 @@ impl Stage for EdgesStage {
         "pipeline.stage.edges.ns"
     }
     fn run(&self, ctx: &mut EpochContext<'_>) -> StageOutcome {
-        ctx.edges = detect_edges_with(ctx.sums, ctx.cfg, ctx.msq, ctx.select);
+        ctx.edges = detect_edges_with(ctx.sums, ctx.cfg, ctx.msq, ctx.select, &mut ctx.admission);
         for e in &ctx.edges {
             checks::assert_finite_scalar("edge-detection", e.time);
             checks::assert_finite_scalar("edge-detection", e.strength);
@@ -252,7 +257,13 @@ impl Stage for FoldingStage {
     }
     fn run(&self, ctx: &mut EpochContext<'_>) -> StageOutcome {
         if ctx.carve_requests.is_empty() {
-            ctx.tracked = find_streams_with(&ctx.edges, ctx.signal.len(), ctx.cfg, ctx.fold_hist);
+            ctx.tracked = find_streams_with(
+                &ctx.edges,
+                ctx.signal.len(),
+                ctx.cfg,
+                ctx.fold_hists,
+                &mut ctx.admission,
+            );
             ctx.carve_attempted = vec![false; ctx.tracked.len()];
             ctx.carves = vec![None; ctx.tracked.len()];
         } else {
@@ -795,11 +806,11 @@ impl PipelineGraph {
             owner,
             foreign,
             unowned,
-            fold_hist,
+            fold_hists,
         } = scratch;
         prefix.rebuild(signal);
         let mut ctx = EpochContext::new(
-            cfg, signal, prefix, msq, select, owner, foreign, unowned, fold_hist,
+            cfg, signal, prefix, msq, select, owner, foreign, unowned, fold_hists,
         );
         let mut per_stage = [Duration::ZERO; STAGE_COUNT];
         let mut i = 0usize;
@@ -842,6 +853,7 @@ impl PipelineGraph {
             provenance: DecodeProvenance {
                 n_edges,
                 n_tracked,
+                admission: std::mem::take(&mut ctx.admission),
                 streams: stream_provs,
             },
         };

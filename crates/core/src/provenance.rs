@@ -18,6 +18,51 @@
 
 use crate::pipeline::StreamKind;
 
+/// Which admission-cascade gate rejected work before the expensive stage
+/// ran (see [`AdmissionRecord`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionGate {
+    /// Edge detection: the capture is shorter than the detection
+    /// differential needs (`observed` = samples, `required` = minimum).
+    EpochTooShort,
+    /// Edge detection: the squared-magnitude differential carried no
+    /// energy at all (`observed` = max |Δ|², `required` = anything
+    /// positive) — an all-silence or all-DC epoch.
+    EpochNoEdgeEnergy,
+    /// Stream search: fewer edges in the whole epoch than a single
+    /// validating track needs matches (`observed` = edge count,
+    /// `required` = the minimum match count).
+    EpochEdgeCount,
+    /// Stream search, per rate hypothesis: fewer unclaimed edges inside
+    /// the drift-safe fold window than the peak threshold (`observed` =
+    /// in-window count, `required` = min peak weight) — no fold bin could
+    /// reach a peak, so the fold/track pass for this rate was skipped.
+    RateWindowCount,
+}
+
+/// One admission-cascade rejection: a cheap upper bound proved a stage
+/// could not produce output, so the stage was skipped for that scope.
+///
+/// The cascade is a *pure* short-circuit — every gate's bound is exact
+/// (the skipped work provably returns nothing), so decode output is
+/// bit-identical with the cascade on or off. The records exist so skipped
+/// work is attributable: an epoch that decoded nothing shows *which*
+/// bound rejected it instead of silently returning empty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionRecord {
+    /// The gate that fired.
+    pub gate: AdmissionGate,
+    /// Gather round the gate fired in (0 for epoch-level gates).
+    pub round: usize,
+    /// The rejected rate hypothesis in bits/second (`None` for
+    /// epoch-level gates).
+    pub rate_bps: Option<f64>,
+    /// The cheap statistic the gate measured.
+    pub observed: f64,
+    /// The bound it failed to reach.
+    pub required: f64,
+}
+
 /// What the eye-pattern folder saw when it locked a stream (§3.2).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FoldProvenance {
@@ -210,6 +255,10 @@ pub struct DecodeProvenance {
     pub n_edges: usize,
     /// Streams locked by the folder/tracker in stage 2.
     pub n_tracked: usize,
+    /// Admission-cascade rejections: work the cheap bounds proved
+    /// fruitless and skipped, in the order the gates fired. Bounded by
+    /// (gather rounds × rate plan size) + the epoch-level gates.
+    pub admission: Vec<AdmissionRecord>,
     /// One record per decoded stream, in stream order.
     pub streams: Vec<StreamProvenance>,
 }
@@ -344,6 +393,7 @@ mod tests {
         let prov = DecodeProvenance {
             n_edges: 10,
             n_tracked: 2,
+            admission: Vec::new(),
             streams: vec![clean, broken],
         };
         assert_eq!(prov.failing_stage(), Some("collision-separation"));
@@ -396,6 +446,27 @@ mod tests {
             ..StreamProvenance::default()
         };
         assert_eq!(p.failing_stage(), Some("stream-folding"));
+    }
+
+    #[test]
+    fn admission_records_do_not_affect_failing_stage() {
+        // Admission records attribute *skipped* work; they are not stream
+        // anomalies and must not flip a clean epoch to failing.
+        let prov = DecodeProvenance {
+            n_edges: 2,
+            n_tracked: 0,
+            admission: vec![AdmissionRecord {
+                gate: AdmissionGate::EpochEdgeCount,
+                round: 0,
+                rate_bps: None,
+                observed: 2.0,
+                required: 4.0,
+            }],
+            streams: Vec::new(),
+        };
+        assert_eq!(prov.failing_stage(), None);
+        assert_eq!(prov.admission.len(), 1);
+        assert_eq!(prov.admission[0].gate, AdmissionGate::EpochEdgeCount);
     }
 
     #[test]

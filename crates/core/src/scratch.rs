@@ -42,9 +42,10 @@ pub struct DecodeScratch {
     pub(crate) foreign: Vec<(f64, Complex)>,
     /// Orphan-edge mask (carve stage).
     pub(crate) unowned: Vec<bool>,
-    /// Fold histogram reused across candidate rates and gather rounds
-    /// (folding stage).
-    pub(crate) fold_hist: FoldedHistogram,
+    /// Fold histograms — one per admitted candidate rate, filled by the
+    /// batched multi-period fold and reused across gather rounds and
+    /// epochs (folding stage).
+    pub(crate) fold_hists: Vec<FoldedHistogram>,
 }
 
 /// A poison-tolerant pool of reusable values.

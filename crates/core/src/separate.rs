@@ -11,7 +11,7 @@
 use crate::config::DecoderConfig;
 use crate::provenance::{SeparationFallback, SeparationProvenance};
 use lf_dsp::geometry::{classify_lattice, fit_parallelogram};
-use lf_dsp::kmeans::{kmeans, select_cluster_count_scored};
+use lf_dsp::kmeans::{kmeans, select_cluster_count_detailed, KMeansResult};
 use lf_dsp::stats::Gaussian2d;
 use lf_dsp::viterbi::EmissionModel;
 use lf_types::Complex;
@@ -129,17 +129,26 @@ pub fn analyze_slots_with(
         diffs
     };
     let check_collision = cfg.stages.iq_separation && sel.len() >= cfg.min_slots_for_collision;
-    let (k, fit) = if check_collision {
-        let (k, fit, scores) =
-            select_cluster_count_scored(sel, &[3, 9], cfg.kmeans_iters, cfg.collision_improvement);
-        prov.k_scores = scores;
-        (k, fit)
+    // `base3`: the 3-cluster fit retained when model selection promoted
+    // k=9 — the fallback gates below reuse it instead of re-running
+    // k-means on identical input (deterministic, so bit-identical).
+    let (k, fit, base3) = if check_collision {
+        let selected = select_cluster_count_detailed(
+            sel,
+            &[3, 9],
+            cfg.kmeans_iters,
+            cfg.collision_improvement,
+        );
+        prov.k_scores = selected.scores;
+        (selected.k, selected.fit, selected.smallest)
     } else {
         prov.fallback = Some(SeparationFallback::CollisionSkipped);
         let fit = kmeans(sel, 3, cfg.kmeans_iters);
         prov.k_scores = vec![(3, fit.inertia)];
-        (3, fit)
+        (3, fit, None)
     };
+    let rerun_3 =
+        |base3: Option<KMeansResult>| base3.unwrap_or_else(|| kmeans(sel, 3, cfg.kmeans_iters));
     prov.chosen_k = k;
 
     if k <= 3 {
@@ -156,7 +165,7 @@ pub fn analyze_slots_with(
         // decode it as a single stream best-effort (the CRCs arbitrate).
         lf_obs::event!(Warn, "9-cluster fit without lattice structure");
         prov.fallback = Some(SeparationFallback::NoLattice);
-        let single = kmeans(sel, 3, cfg.kmeans_iters);
+        let single = rerun_3(base3);
         return (
             single_fit(diffs, sel, &single.centroids, &single.assignments, cfg),
             prov,
@@ -186,7 +195,7 @@ pub fn analyze_slots_with(
         } else {
             SeparationFallback::NearParallel
         });
-        let single = kmeans(sel, 3, cfg.kmeans_iters);
+        let single = rerun_3(base3);
         return (
             single_fit(diffs, sel, &single.centroids, &single.assignments, cfg),
             prov,

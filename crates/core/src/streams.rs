@@ -44,9 +44,15 @@
 
 use crate::config::DecoderConfig;
 use crate::edges::EdgeEvent;
-use crate::provenance::FoldProvenance;
-use lf_dsp::fold::FoldTable;
+use crate::provenance::{AdmissionGate, AdmissionRecord, FoldProvenance};
+use lf_dsp::fold::{FoldSpec, FoldTable, FoldedHistogram};
 use lf_types::BitRate;
+
+/// Minimum matched slots a candidate track needs to pass validation (the
+/// `too_few` size gate), and therefore the minimum epoch edge count below
+/// which the whole stream search is provably fruitless (the
+/// [`AdmissionGate::EpochEdgeCount`] admission gate).
+const MIN_TRACK_MATCHES: usize = 4;
 
 /// Which structural alias validations a tracking pass applies.
 ///
@@ -81,6 +87,113 @@ impl TrackChecks {
             up_alias: false,
             interleave: false,
         }
+    }
+}
+
+/// Reusable per-track scratch: an epoch-edge-indexed mask of the edges
+/// the current track has taken, the list of indices set in it, and the
+/// walk's slot-time/match buffers.
+///
+/// The tracker used to test membership with `Vec::contains` on a growing
+/// index list — O(track length) per probe, quadratic per track, and the
+/// dominant cost of the folding stage at ci scale. The mask is O(1) per
+/// probe; clearing only the set bits between tracks keeps reset O(taken)
+/// instead of O(edges). The slot buffers are pooled for a different
+/// reason: the search walks ~6× more candidate tracks than it accepts,
+/// and rejected candidates used to allocate (and immediately free) their
+/// slot vectors — pooling them means only *accepted* tracks pay for an
+/// owned copy.
+#[derive(Debug, Default)]
+struct TrackScratch {
+    taken_mask: Vec<bool>,
+    taken: Vec<usize>,
+    /// Slot boundary times of the track currently being walked.
+    slot_times: Vec<f64>,
+    /// Per-slot matched edge index of the track currently being walked.
+    matched: Vec<Option<usize>>,
+}
+
+impl TrackScratch {
+    /// Prepares the scratch for an epoch with `n_edges` edges. Bits set
+    /// by a previous track have already been cleared by [`track_stream`].
+    fn reset_for(&mut self, n_edges: usize) {
+        if self.taken_mask.len() < n_edges {
+            self.taken_mask.resize(n_edges, false);
+        }
+        self.taken.clear();
+        self.slot_times.clear();
+        self.matched.clear();
+    }
+
+    /// Marks edge `i` as taken by the current track.
+    fn take(&mut self, i: usize) {
+        self.taken_mask[i] = true;
+        self.taken.push(i);
+    }
+
+    /// Clears exactly the bits the current track set.
+    fn clear_taken(&mut self) {
+        for &i in &self.taken {
+            self.taken_mask[i] = false;
+        }
+        self.taken.clear();
+    }
+}
+
+/// Bucket width (log2 samples) of [`EdgeTimeIndex`]: 64-sample buckets
+/// keep the table small (~1/64 of the epoch) while holding ≈1 edge per
+/// bucket at realistic edge densities, so lookups advance at most a step
+/// or two past the bucket boundary.
+const EDGE_INDEX_SHIFT: usize = 6;
+
+/// O(1) time→edge-index lookup over the epoch's sorted edge-time array.
+///
+/// `start_of(t)` returns exactly `times.partition_point(|&x| x < t)`
+/// — the first edge at or after `t` — but via a bucketed table instead of
+/// a binary search. The tracker probes a slot window once per predicted
+/// slot of every candidate track (tens of thousands of probes per epoch
+/// at ci scale), and the branchy `partition_point` over the edge list was
+/// the single largest cost of the folding stage. The index works on the
+/// SoA `times` array (not the `EdgeEvent` structs): the probe loop walks
+/// times and strengths only, and the struct-of-arrays layout keeps those
+/// walks on dense cache lines (see DESIGN.md §15).
+struct EdgeTimeIndex {
+    /// `bucket[b]` = index of the first edge with `time >= b << SHIFT`.
+    bucket: Vec<u32>,
+    n_edges: usize,
+}
+
+impl EdgeTimeIndex {
+    fn build(times: &[f64], n_samples: usize) -> Self {
+        let nb = (n_samples >> EDGE_INDEX_SHIFT) + 2;
+        let n_edges = times.len();
+        let mut bucket = vec![n_edges as u32; nb];
+        let mut i = 0usize;
+        for (b, slot) in bucket.iter_mut().enumerate() {
+            let t = (b << EDGE_INDEX_SHIFT) as f64;
+            while i < times.len() && times[i] < t {
+                i += 1;
+            }
+            *slot = i as u32;
+        }
+        EdgeTimeIndex {
+            bucket,
+            n_edges: times.len(),
+        }
+    }
+
+    /// First index whose edge time is `>= t`; identical to
+    /// `times.partition_point(|&x| x < t)` for the indexed time array.
+    fn start_of(&self, times: &[f64], t: f64) -> usize {
+        if t <= 0.0 {
+            return 0;
+        }
+        let b = ((t.floor() as usize) >> EDGE_INDEX_SHIFT).min(self.bucket.len() - 1);
+        let mut i = self.bucket[b] as usize;
+        while i < self.n_edges && times[i] < t {
+            i += 1;
+        }
+        i
     }
 }
 
@@ -139,33 +252,126 @@ pub fn find_streams(
     n_samples: usize,
     cfg: &DecoderConfig,
 ) -> Vec<TrackedStream> {
-    let mut hist = lf_dsp::fold::FoldedHistogram::default();
-    find_streams_with(edges, n_samples, cfg, &mut hist)
+    let mut hists = Vec::new();
+    let mut admission = Vec::new();
+    find_streams_with(edges, n_samples, cfg, &mut hists, &mut admission)
 }
 
-/// As [`find_streams`], but folding into a caller-owned scratch histogram
-/// — the search folds once per candidate rate per gather round (~16 folds
-/// per epoch), and the pipeline's reusable scratch keeps those folds from
-/// allocating fresh bin arrays each time.
+/// As [`find_streams`], but folding into caller-owned scratch histograms
+/// (one per candidate rate, reused across gather rounds) and recording
+/// admission-cascade rejections into `admission`.
+///
+/// The admission gates are *exact* short-circuits — each one skips work
+/// only when a cheap bound proves the skipped pass could not have
+/// produced a candidate, so the returned streams are bit-identical with
+/// the gates on or off; the records make the skips attributable instead
+/// of silent.
 pub(crate) fn find_streams_with(
     edges: &[EdgeEvent],
     n_samples: usize,
     cfg: &DecoderConfig,
-    hist: &mut lf_dsp::fold::FoldedHistogram,
+    hists: &mut Vec<FoldedHistogram>,
+    admission: &mut Vec<AdmissionRecord>,
 ) -> Vec<TrackedStream> {
+    // Epoch admission gate: a validating track needs MIN_TRACK_MATCHES
+    // matched slots and each slot matches a distinct edge, so an epoch
+    // with fewer edges than that cannot yield any stream — every
+    // candidate the search could seed would fail the `too_few` size gate.
+    if edges.len() < MIN_TRACK_MATCHES {
+        admission.push(AdmissionRecord {
+            gate: AdmissionGate::EpochEdgeCount,
+            round: 0,
+            rate_bps: None,
+            observed: edges.len() as f64,
+            required: MIN_TRACK_MATCHES as f64,
+        });
+        return Vec::new();
+    }
     let mut claimed = vec![false; edges.len()];
+    // SoA views of the edge arena: the tracker's window probes and the
+    // fold table touch only times and strengths, and walking them as
+    // dense f64 arrays instead of 40-byte `EdgeEvent` structs keeps the
+    // hot loops on contiguous cache lines (DESIGN.md §15). The `diff`
+    // field is only read by the (rare) alias validations, straight from
+    // `edges`.
+    let times: Vec<f64> = edges.iter().map(|e| e.time).collect();
+    let strengths: Vec<f64> = edges.iter().map(|e| e.strength).collect();
     // One resumable fold table over the whole edge arena: each gather
     // round re-folds the still-active events at every candidate period;
     // claiming a stream's edges retires them from every later fold
     // without rebuilding the event arrays.
-    let mut table = FoldTable::with_unit_weights(edges.iter().map(|e| e.time).collect());
+    let mut table = FoldTable::with_unit_weights(times.clone());
     let mut streams: Vec<TrackedStream> = Vec::new();
-    for _round in 0..4 {
-        let mut candidates = Vec::new();
+    let mut scratch = TrackScratch::default();
+    let index = EdgeTimeIndex::build(&times, n_samples);
+    let base = cfg.rate_plan.base_bps();
+    let mut rate_folds: Vec<RateFold> = Vec::new();
+    let mut specs: Vec<FoldSpec> = Vec::new();
+    for round in 0..4 {
+        rate_folds.clear();
+        specs.clear();
         for &rate in cfg.rate_plan.rates() {
-            candidates.extend(gather_candidates(
-                edges, &claimed, &table, rate, n_samples, cfg, hist,
-            ));
+            let rate_bps = rate.bps(base);
+            let period = cfg.period_samples(rate_bps);
+            // Need at least a handful of bit periods in the capture to
+            // lock (a rate-plan/epoch-shape property, not a data gate).
+            if period * 4.0 > n_samples as f64 {
+                continue;
+            }
+            let bin_width = cfg.edge_width.max(period / 256.0);
+            let nbins = ((period / bin_width).round() as usize).clamp(8, 4096);
+            let window_bits = (bin_width / (cfg.drift_tolerance * period)).clamp(8.0, 1e9);
+            let window_samples = (window_bits * period).min(n_samples as f64);
+            let window_bits_actual = window_samples / period;
+            let min_weight = (cfg.min_stream_fill * window_bits_actual * 0.5).max(3.0);
+            let end = times.partition_point(|&t| t < window_samples);
+            let in_window = claimed[..end].iter().filter(|&&c| !c).count();
+            // Rate admission gate: with unit weights no fold bin can
+            // outweigh the in-window event count, so a count below the
+            // peak threshold means the fold could not have produced a
+            // single peak — skip folding and tracking for this rate.
+            if (in_window as f64) < min_weight {
+                admission.push(AdmissionRecord {
+                    gate: AdmissionGate::RateWindowCount,
+                    round,
+                    rate_bps: Some(rate_bps),
+                    observed: in_window as f64,
+                    required: min_weight,
+                });
+                continue;
+            }
+            rate_folds.push(RateFold {
+                rate,
+                period,
+                bin_width,
+                window_bits_actual,
+                min_weight,
+                end,
+            });
+            specs.push(FoldSpec {
+                period,
+                nbins,
+                t_max: window_samples,
+            });
+        }
+        // Batched multi-period fold: one pass over the still-active
+        // events accumulates every admitted rate's histogram.
+        table.fold_many_within_to(&specs, hists);
+        let mut candidates = Vec::new();
+        for (rf, hist) in rate_folds.iter().zip(hists.iter()) {
+            gather_candidates(
+                edges,
+                &times,
+                &strengths,
+                &claimed,
+                rf,
+                hist,
+                n_samples,
+                cfg,
+                &mut scratch,
+                &index,
+                &mut candidates,
+            );
         }
         // Rank by explanatory power weighted by track quality: matched
         // edges times a Gaussian penalty on residual dispersion. This puts
@@ -178,11 +384,16 @@ pub(crate) fn find_streams_with(
             let q = (c.residual_std / 3.0).powi(2);
             c.n_matched() as f64 * (-q).exp()
         };
-        candidates.sort_by(|a, b| {
-            score(b)
-                .total_cmp(&score(a))
-                .then(b.rate_bps.total_cmp(&a.rate_bps))
+        // Score once per candidate: `n_matched` walks the slot list, so
+        // evaluating it inside the comparator would rescan every track
+        // O(n log n) times.
+        let mut scored: Vec<(f64, TrackedStream)> =
+            candidates.into_iter().map(|c| (score(&c), c)).collect();
+        scored.sort_by(|a, b| {
+            b.0.total_cmp(&a.0)
+                .then(b.1.rate_bps.total_cmp(&a.1.rate_bps))
         });
+        let candidates: Vec<TrackedStream> = scored.into_iter().map(|(_, c)| c).collect();
         let mut accepted_any = false;
         for cand in candidates {
             let matched: Vec<usize> = cand.matched.iter().flatten().copied().collect();
@@ -213,89 +424,86 @@ pub(crate) fn find_streams_with(
     streams
 }
 
-/// One gather pass: fold the unclaimed edges at every rate, track each
-/// peak, return all candidates that pass the structural validations.
-/// `table` is the epoch's resumable fold table; its active set mirrors
-/// `!claimed`.
+/// Pre-computed fold/track parameters of one admitted rate hypothesis:
+/// everything [`find_streams_with`]'s per-round loop derives before the
+/// batched fold, carried over to the gather pass that consumes the
+/// histogram.
+struct RateFold {
+    rate: BitRate,
+    /// Nominal bit period in samples.
+    period: f64,
+    /// Fold bin width in samples.
+    bin_width: f64,
+    /// Window length in bit periods — the single-tag weight ceiling.
+    window_bits_actual: f64,
+    /// Minimum peak weight for a candidate lock.
+    min_weight: f64,
+    /// First edge index at or beyond the drift-safe fold window bound.
+    end: usize,
+}
+
+/// One gather pass over one admitted rate: read the batch-folded
+/// histogram's peaks, seed and track each, and append the candidates that
+/// pass the structural validations.
 #[allow(clippy::too_many_arguments)]
 fn gather_candidates(
     edges: &[EdgeEvent],
+    times: &[f64],
+    strengths: &[f64],
     claimed: &[bool],
-    table: &FoldTable,
-    rate: BitRate,
+    rf: &RateFold,
+    hist: &FoldedHistogram,
     n_samples: usize,
     cfg: &DecoderConfig,
-    hist: &mut lf_dsp::fold::FoldedHistogram,
-) -> Vec<TrackedStream> {
-    let mut candidates = Vec::new();
-    let base = cfg.rate_plan.base_bps();
-    {
-        let rate_bps = rate.bps(base);
-        let period = cfg.period_samples(rate_bps);
-        // Need at least a handful of bit periods in the capture to lock.
-        if period * 4.0 > n_samples as f64 {
-            return candidates;
-        }
-        let bin_width = cfg.edge_width.max(period / 256.0);
-        let nbins = ((period / bin_width).round() as usize).clamp(8, 4096);
-        let window_bits = (bin_width / (cfg.drift_tolerance * period)).clamp(8.0, 1e9);
-        let window_samples = (window_bits * period).min(n_samples as f64);
-        let in_window: Vec<(usize, f64)> = edges
+    scratch: &mut TrackScratch,
+    index: &EdgeTimeIndex,
+    candidates: &mut Vec<TrackedStream>,
+) {
+    let peaks = hist.peaks(rf.min_weight, 2);
+    let mean_weight = hist.bins.iter().sum::<f64>() / hist.bins.len() as f64;
+    for (pi, &(bin, weight)) in peaks.iter().enumerate() {
+        // Fold provenance for this lock: how the chosen peak compared
+        // to its rivals and to what a single tag could produce.
+        let runner_up_weight = peaks
             .iter()
             .enumerate()
-            .filter(|&(i, e)| !claimed[i] && e.time < window_samples)
-            .map(|(i, e)| (i, e.time))
-            .collect();
-        if in_window.is_empty() {
-            return candidates;
-        }
-        table.fold_within_to(period, nbins, window_samples, hist);
-        let hist = &*hist;
-        let window_bits_actual = window_samples / period;
-        let min_weight = (cfg.min_stream_fill * window_bits_actual * 0.5).max(3.0);
-        let peaks = hist.peaks(min_weight, 2);
-        let mean_weight = hist.bins.iter().sum::<f64>() / nbins as f64;
-        for (pi, &(bin, weight)) in peaks.iter().enumerate() {
-            // Fold provenance for this lock: how the chosen peak compared
-            // to its rivals and to what a single tag could produce.
-            let runner_up_weight = peaks
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| j != pi)
-                .map(|(_, &(_, w))| w)
-                .fold(0.0f64, f64::max);
-            let fold = FoldProvenance {
-                peak_weight: weight,
-                runner_up_weight,
-                mean_weight,
-                single_tag_ceiling: window_bits_actual,
-            };
-            let peak_offset = hist.offset_of_bin(bin);
-            // Seed: earliest unclaimed edge in the window whose phase sits
-            // within ±1.5 bins of the peak.
-            let seed = in_window.iter().find(|&&(_, t)| {
-                let phase = t.rem_euclid(period);
-                let mut d = (phase - peak_offset).abs();
-                d = d.min(period - d);
-                d <= 1.5 * bin_width
-            });
-            let Some(&(seed_idx, _)) = seed else { continue };
-            if let Some(mut tracked) = track_stream(
-                edges,
-                claimed,
-                seed_idx,
-                rate,
-                period,
-                n_samples,
-                cfg,
-                TrackChecks::all(),
-            ) {
-                tracked.fold = fold;
-                candidates.push(tracked);
-            }
+            .filter(|&(j, _)| j != pi)
+            .map(|(_, &(_, w))| w)
+            .fold(0.0f64, f64::max);
+        let fold = FoldProvenance {
+            peak_weight: weight,
+            runner_up_weight,
+            mean_weight,
+            single_tag_ceiling: rf.window_bits_actual,
+        };
+        let peak_offset = hist.offset_of_bin(bin);
+        // Seed: earliest unclaimed edge in the window whose phase sits
+        // within ±1.5 bins of the peak.
+        let seed = (0..rf.end).filter(|&i| !claimed[i]).find(|&i| {
+            let phase = times[i].rem_euclid(rf.period);
+            let mut d = (phase - peak_offset).abs();
+            d = d.min(rf.period - d);
+            d <= 1.5 * rf.bin_width
+        });
+        let Some(seed_idx) = seed else { continue };
+        if let Some(mut tracked) = track_stream(
+            edges,
+            times,
+            strengths,
+            claimed,
+            seed_idx,
+            rf.rate,
+            rf.period,
+            n_samples,
+            cfg,
+            TrackChecks::all(),
+            scratch,
+            index,
+        ) {
+            tracked.fold = fold;
+            candidates.push(tracked);
         }
     }
-    candidates
 }
 
 /// Re-tracks a carved stream at a harmonic of its fused rate, seeded from
@@ -312,8 +520,15 @@ pub(crate) fn retrack_at_harmonic(
     cfg: &DecoderConfig,
 ) -> Option<TrackedStream> {
     let nominal_period = cfg.period_samples(rate.bps(cfg.rate_plan.base_bps()));
+    // Cold path (at most a few carves per epoch): building the SoA views
+    // and the index here is noise next to the blind search.
+    let times: Vec<f64> = edges.iter().map(|e| e.time).collect();
+    let strengths: Vec<f64> = edges.iter().map(|e| e.strength).collect();
+    let index = EdgeTimeIndex::build(&times, n_samples);
     track_stream(
         edges,
+        &times,
+        &strengths,
         claimed,
         seed_idx,
         rate,
@@ -321,15 +536,20 @@ pub(crate) fn retrack_at_harmonic(
         n_samples,
         cfg,
         TrackChecks::carve(),
+        &mut TrackScratch::default(),
+        &index,
     )
 }
 
 /// Tracks one stream from a seed edge, matching only unclaimed edges.
 /// Returns `None` when the candidate fails the validations `checks`
-/// selects (too few matches, rate aliases).
+/// selects (too few matches, rate aliases). Restores `scratch`'s mask to
+/// all-clear on every exit path.
 #[allow(clippy::too_many_arguments)]
 fn track_stream(
     edges: &[EdgeEvent],
+    times: &[f64],
+    strengths: &[f64],
     claimed: &[bool],
     seed_idx: usize,
     rate: BitRate,
@@ -337,6 +557,44 @@ fn track_stream(
     n_samples: usize,
     cfg: &DecoderConfig,
     checks: TrackChecks,
+    scratch: &mut TrackScratch,
+    index: &EdgeTimeIndex,
+) -> Option<TrackedStream> {
+    scratch.reset_for(edges.len());
+    let result = track_stream_impl(
+        edges,
+        times,
+        strengths,
+        claimed,
+        seed_idx,
+        rate,
+        nominal_period,
+        n_samples,
+        cfg,
+        checks,
+        scratch,
+        index,
+    );
+    scratch.clear_taken();
+    result
+}
+
+/// [`track_stream`]'s body; `scratch` arrives with a clear mask and may
+/// return with bits set — the wrapper clears them.
+#[allow(clippy::too_many_arguments)]
+fn track_stream_impl(
+    edges: &[EdgeEvent],
+    times: &[f64],
+    strengths: &[f64],
+    claimed: &[bool],
+    seed_idx: usize,
+    rate: BitRate,
+    nominal_period: f64,
+    n_samples: usize,
+    cfg: &DecoderConfig,
+    checks: TrackChecks,
+    scratch: &mut TrackScratch,
+    index: &EdgeTimeIndex,
 ) -> Option<TrackedStream> {
     // Matching tolerance: the slot prediction is good to ~a sample right
     // after a match, but while *coasting* over flat (no-edge) slots the
@@ -356,23 +614,38 @@ fn track_stream(
     // a little measurement slack.
     let max_period_dev = nominal_period * (cfg.drift_tolerance * 2.0) + 0.5;
 
-    let t0 = edges[seed_idx].time;
+    let t0 = times[seed_idx];
     let mut period_est = nominal_period;
     let mut t = t0;
-    let mut slot_times = vec![t0];
-    let mut matched: Vec<Option<usize>> = vec![Some(seed_idx)];
-    let mut taken: Vec<usize> = vec![seed_idx];
+    scratch.slot_times.push(t0);
+    scratch.matched.push(Some(seed_idx));
+    scratch.take(seed_idx);
     let mut k = 0usize;
 
     let mut coast = 1usize;
+    // Window cursor: the predicted slot times are (nearly) monotone, so the
+    // first edge at-or-after each window's lower bound is found by nudging
+    // a cursor forward instead of an indexed lookup per slot; the helper
+    // verifies the cursor and falls back to the index when the bound ever
+    // steps backwards, so the result is exactly `partition_point`.
+    let mut cursor = 0usize;
     while t + period_est < n_samples as f64 {
         k += 1;
         let pred = t + period_est;
         let tol = tol_at(coast);
-        let best = strongest_edge_in(edges, claimed, &taken, pred - tol, pred + tol);
+        let best = strongest_edge_in(
+            times,
+            strengths,
+            claimed,
+            &scratch.taken_mask,
+            index,
+            &mut cursor,
+            pred - tol,
+            pred + tol,
+        );
         match best {
             Some(idx) => {
-                let et = edges[idx].time;
+                let et = times[idx];
                 // Global-slope period refinement, gated to the physically
                 // possible drift range so one mis-association cannot drag
                 // the lock away.
@@ -390,22 +663,26 @@ fn track_stream(
                 // estimate, and full snapping lets one bad association
                 // zigzag the track.
                 t = t0 + k as f64 * period_est + 0.25 * (et - (t0 + k as f64 * period_est));
-                matched.push(Some(idx));
-                taken.push(idx);
+                scratch.matched.push(Some(idx));
+                scratch.take(idx);
                 coast = 1;
             }
             None => {
                 t = pred;
-                matched.push(None);
+                scratch.matched.push(None);
                 coast += 1;
             }
         }
-        slot_times.push(t);
+        scratch.slot_times.push(t);
     }
 
     // --- Validation ---
+    // From here on the walk buffers are read-only; borrow them as slices
+    // so the checks read like the data they scan.
+    let matched: &[Option<usize>] = &scratch.matched;
+    let slot_times: &[f64] = &scratch.slot_times;
     let n_matched = matched.iter().filter(|m| m.is_some()).count();
-    if n_matched < 4 {
+    if n_matched < MIN_TRACK_MATCHES {
         lf_obs::event!(
             Debug,
             "reject rate={} t0={:.1} n={} reason=too_few",
@@ -435,19 +712,16 @@ fn track_stream(
     // stream folded onto this rate's grid. A strict gcd test would be
     // defeated by a single stray noise match, so require only an 85 %
     // majority.
-    let matched_slots: Vec<usize> = matched
-        .iter()
-        .enumerate()
-        .filter_map(|(i, m)| m.map(|_| i))
-        .collect();
     if checks.residue_majority {
         for m in [2usize, 3, 4, 5] {
-            let mut counts = vec![0usize; m];
-            for &s in &matched_slots {
-                counts[s % m] += 1;
+            let mut counts = [0usize; 5];
+            for (slot, mm) in matched.iter().enumerate() {
+                if mm.is_some() {
+                    counts[slot % m] += 1;
+                }
             }
-            let majority = counts.iter().copied().max().unwrap_or(0);
-            if majority as f64 >= 0.85 * matched_slots.len() as f64 {
+            let majority = counts[..m].iter().copied().max().unwrap_or(0);
+            if majority as f64 >= 0.85 * n_matched as f64 {
                 lf_obs::event!(
                     Debug,
                     "reject rate={} t0={:.1} n={} reason=residue_majority",
@@ -460,23 +734,25 @@ fn track_stream(
         }
     }
     // Residual dispersion around the fitted line — the arbitration
-    // quality metric.
-    let matched_pairs: Vec<(usize, f64)> = matched
-        .iter()
-        .enumerate()
-        .filter_map(|(i, m)| m.map(|idx| (i, edges[idx].time)))
-        .collect();
-    let residual_of = |&(slot, time): &(usize, f64)| time - (t0 + slot as f64 * period_est);
-    let mean_res = matched_pairs.iter().map(residual_of).sum::<f64>() / matched_pairs.len() as f64;
-    let residual_std = (matched_pairs
-        .iter()
-        .map(|p| {
-            let r = residual_of(p) - mean_res;
-            r * r
-        })
-        .sum::<f64>()
-        / matched_pairs.len() as f64)
-        .sqrt();
+    // quality metric. Iterates the match buffer directly (in slot order,
+    // exactly the order the old materialized pair list had) so the sums
+    // are bit-identical without building a temporary Vec per candidate.
+    let residual_of = |slot: usize, idx: usize| times[idx] - (t0 + slot as f64 * period_est);
+    let mut res_sum = 0.0f64;
+    for (slot, mm) in matched.iter().enumerate() {
+        if let Some(idx) = *mm {
+            res_sum += residual_of(slot, idx);
+        }
+    }
+    let mean_res = res_sum / n_matched as f64;
+    let mut var_sum = 0.0f64;
+    for (slot, mm) in matched.iter().enumerate() {
+        if let Some(idx) = *mm {
+            let r = residual_of(slot, idx) - mean_res;
+            var_sum += r * r;
+        }
+    }
+    let residual_std = (var_sum / n_matched as f64).sqrt();
 
     // Super-rate (up-alias) check: a stream at rate m·r lands an edge on
     // every m-th boundary of the rate-r grid, so a rate-r hypothesis over
@@ -494,26 +770,37 @@ fn track_stream(
         let sub_period = nominal_period / m as f64;
         let probe = tol_at(1);
         let mut between_diffs: Vec<lf_types::Complex> = Vec::new();
-        for &t in &slot_times {
+        // A genuine up-alias matches essentially every inter-slot
+        // position, so the hit count must reach 70 % of the probes. The
+        // count is monotone in positions processed; the moment even a hit
+        // on every remaining position cannot reach the bar, the verdict
+        // ("not an alias") is already decided and the rest of the scan is
+        // skipped — same decision, a fraction of the probes.
+        let needed = 0.7 * ((m - 1) * n_matched) as f64;
+        let total_positions = slot_times.len() * (m - 1);
+        let mut processed = 0usize;
+        let mut decided_pass = true;
+        'positions: for &t in slot_times {
             for j in 1..m {
+                if ((between_diffs.len() + (total_positions - processed)) as f64) < needed {
+                    decided_pass = false;
+                    break 'positions;
+                }
                 let pos = t + j as f64 * sub_period;
-                let start = edges.partition_point(|e| e.time < pos - probe);
-                for (i, e) in edges.iter().enumerate().skip(start) {
-                    if e.time > pos + probe {
+                let start = index.start_of(times, pos - probe);
+                for (i, &et) in times.iter().enumerate().skip(start) {
+                    if et > pos + probe {
                         break;
                     }
-                    if !claimed[i] && !taken.contains(&i) {
-                        between_diffs.push(e.diff);
+                    if !claimed[i] && !scratch.taken_mask[i] {
+                        between_diffs.push(edges[i].diff);
                         break;
                     }
                 }
+                processed += 1;
             }
         }
-        // A genuine up-alias matches essentially every inter-slot
-        // position (the faster stream toggles there about as often as at
-        // the slots this track matched); dense unrelated neighbours light
-        // up only a fraction of the probes.
-        if (between_diffs.len() as f64) < 0.7 * ((m - 1) * n_matched) as f64 {
+        if !decided_pass || (between_diffs.len() as f64) < needed {
             continue;
         }
         // The between-edges must be the *same tag's* (one shared edge
@@ -549,14 +836,21 @@ fn track_stream(
     // distinct or near-parallel channel vectors, while leaving mixed-rate
     // deployments (where a 50 kbps neighbour periodically lands on one
     // parity of a 100 kbps stream) alone.
-    let ediffs: Vec<(usize, lf_types::Complex)> = matched
-        .iter()
-        .enumerate()
-        .filter_map(|(i, m)| m.map(|idx| (i, edges[idx].diff)))
-        .collect();
-    if checks.interleave && ediffs.len() >= 6 && matched_pairs.len() >= 6 {
-        let all: Vec<lf_types::Complex> = ediffs.iter().map(|&(_, d)| d).collect();
-        let whole_diverse = collinearity_ratio(&all) > 0.2;
+    if checks.interleave && n_matched >= 6 {
+        // The whole-set diversity scatter costs a `hypot` per matched
+        // edge; it only matters once a partition passes (a), which most
+        // candidates never reach — compute it on first use and cache.
+        let mut whole_diverse_cache: Option<bool> = None;
+        let mut whole_diverse = || {
+            *whole_diverse_cache.get_or_insert_with(|| {
+                let all: Vec<lf_types::Complex> = matched
+                    .iter()
+                    .flatten()
+                    .map(|&idx| edges[idx].diff)
+                    .collect();
+                collinearity_ratio(&all) > 0.2
+            })
+        };
         for m in [2usize, 3] {
             if !rate.multiple().is_multiple_of(m as u32) {
                 continue;
@@ -569,8 +863,10 @@ fn track_stream(
             }
             // (a) per-partition collinearity.
             let mut parts: Vec<Vec<lf_types::Complex>> = vec![Vec::new(); m];
-            for &(slot, d) in &ediffs {
-                parts[slot % m].push(d);
+            for (slot, mm) in matched.iter().enumerate() {
+                if let Some(idx) = *mm {
+                    parts[slot % m].push(edges[idx].diff);
+                }
             }
             let populated = parts.iter().filter(|p| p.len() >= 2).count();
             let all_collinear = populated >= 2
@@ -583,10 +879,12 @@ fn track_stream(
             }
             // (b) timing bands.
             let mut sums = vec![(0.0f64, 0usize); m];
-            for p in &matched_pairs {
-                let g = p.0 % m;
-                sums[g].0 += residual_of(p);
-                sums[g].1 += 1;
+            for (slot, mm) in matched.iter().enumerate() {
+                if let Some(idx) = *mm {
+                    let g = slot % m;
+                    sums[g].0 += residual_of(slot, idx);
+                    sums[g].1 += 1;
+                }
             }
             let means: Vec<f64> = sums
                 .iter()
@@ -598,7 +896,7 @@ fn track_stream(
                 let lo = means.iter().copied().fold(f64::MAX, f64::min);
                 hi - lo > 2.0
             };
-            if whole_diverse || timing_banded {
+            if timing_banded || whole_diverse() {
                 lf_obs::event!(
                     Debug,
                     "reject rate={} t0={:.1} n={} reason=interleave",
@@ -617,8 +915,8 @@ fn track_stream(
         nominal_period,
         period_est,
         offset: t0,
-        slot_times,
-        matched,
+        slot_times: scratch.slot_times.clone(),
+        matched: scratch.matched.clone(),
         residual_std,
         // The caller (gather_candidates) fills this in from the fold peak
         // that seeded the track.
@@ -627,24 +925,43 @@ fn track_stream(
 }
 
 /// Strongest unclaimed edge in `[lo, hi]` not already taken by this
-/// track. Edges are sorted by time, so the window is a binary search.
+/// track (`taken_mask` is epoch-edge indexed). Times are sorted, so the
+/// window is a cursor advance plus a short scan over the SoA arrays.
+///
+/// `cursor` is a per-track hint for `partition_point(|&x| x < lo)`: the
+/// tracker's window lower bounds are monotone in the common case, so the
+/// cursor only nudges forward. The invariant is re-checked every call
+/// (`times[cursor - 1] < lo`), and any backwards-stepping bound falls
+/// back to the bucketed index — the returned start is *exactly* the
+/// partition point on every path, so the probe result is identical to an
+/// unhinted lookup.
+#[allow(clippy::too_many_arguments)]
 fn strongest_edge_in(
-    edges: &[EdgeEvent],
+    times: &[f64],
+    strengths: &[f64],
     claimed: &[bool],
-    taken: &[usize],
+    taken_mask: &[bool],
+    index: &EdgeTimeIndex,
+    cursor: &mut usize,
     lo: f64,
     hi: f64,
 ) -> Option<usize> {
-    let start = edges.partition_point(|e| e.time < lo);
+    while *cursor < times.len() && times[*cursor] < lo {
+        *cursor += 1;
+    }
+    if *cursor > 0 && times[*cursor - 1] >= lo {
+        *cursor = index.start_of(times, lo);
+    }
+    let start = *cursor;
     let mut best: Option<usize> = None;
-    for (i, e) in edges.iter().enumerate().skip(start) {
-        if e.time > hi {
+    for (i, &t) in times.iter().enumerate().skip(start) {
+        if t > hi {
             break;
         }
-        if claimed[i] || taken.contains(&i) {
+        if claimed[i] || taken_mask[i] {
             continue;
         }
-        if best.is_none_or(|b| e.strength > edges[b].strength) {
+        if best.is_none_or(|b| strengths[i] > strengths[b]) {
             best = Some(i);
         }
     }

@@ -89,21 +89,35 @@ pub fn kmeans(points: &[Complex], k: usize, max_iters: usize) -> KMeansResult {
     let mut centroids = init_centroids(points, k);
     let mut assignments = vec![0usize; points.len()];
     let mut iterations = 0;
+    // Split SoA views for the SIMD assignment kernel. First-minimum
+    // semantics and the distance spelling match the old
+    // `min_by(total_cmp)` scan exactly on finite inputs, so assignments —
+    // and everything downstream — are unchanged bit for bit.
+    let mut pre: Vec<f64> = Vec::with_capacity(points.len());
+    let mut pim: Vec<f64> = Vec::with_capacity(points.len());
+    for p in points {
+        pre.push(p.re);
+        pim.push(p.im);
+    }
+    let mut cre: Vec<f64> = Vec::with_capacity(k);
+    let mut cim: Vec<f64> = Vec::with_capacity(k);
+    let mut nearest: Vec<u32> = Vec::new();
+    let mut nearest_d: Vec<f64> = Vec::new();
     for _ in 0..max_iters {
         iterations += 1;
-        // Assignment step.
+        // Assignment step (vector kernel over the SoA views).
+        cre.clear();
+        cim.clear();
+        for c in &centroids {
+            cre.push(c.re);
+            cim.push(c.im);
+        }
+        crate::simd::nearest_centroid_into(&pre, &pim, &cre, &cim, &mut nearest, &mut nearest_d);
         let mut changed = false;
-        for (i, p) in points.iter().enumerate() {
-            let Some((best, _)) = centroids
-                .iter()
-                .enumerate()
-                .map(|(c, ctr)| (c, p.distance_sqr(*ctr)))
-                .min_by(|a, b| a.1.total_cmp(&b.1))
-            else {
-                continue; // unreachable: k >= 1 keeps centroids non-empty
-            };
-            if assignments[i] != best {
-                assignments[i] = best;
+        for (a, &best) in assignments.iter_mut().zip(&nearest) {
+            let best = best as usize;
+            if *a != best {
+                *a = best;
                 changed = true;
             }
         }
@@ -176,6 +190,35 @@ pub fn select_cluster_count_scored(
     max_iters: usize,
     min_improvement: f64,
 ) -> (usize, KMeansResult, Vec<(usize, f64)>) {
+    let sel = select_cluster_count_detailed(points, candidates, max_iters, min_improvement);
+    (sel.k, sel.fit, sel.scores)
+}
+
+/// The full output of [`select_cluster_count_detailed`].
+#[derive(Debug, Clone)]
+pub struct SelectedClusters {
+    /// The chosen cluster count (clamped to the point count).
+    pub k: usize,
+    /// The winning fit.
+    pub fit: KMeansResult,
+    /// `(k, inertia)` for every candidate actually fitted, ascending k.
+    pub scores: Vec<(usize, f64)>,
+    /// The smallest candidate's fit, kept when the selection promoted a
+    /// larger model (`None` when the smallest candidate won — `fit` *is*
+    /// it then). Callers that reject the larger model downstream (e.g.
+    /// the separation stage's lattice gates) reuse this instead of
+    /// re-running k-means; determinism makes the two bit-identical.
+    pub smallest: Option<KMeansResult>,
+}
+
+/// [`select_cluster_count_scored`] that additionally hands back the
+/// smallest candidate's fit when a larger model displaced it.
+pub fn select_cluster_count_detailed(
+    points: &[Complex],
+    candidates: &[usize],
+    max_iters: usize,
+    min_improvement: f64,
+) -> SelectedClusters {
     assert!(!candidates.is_empty(), "need at least one candidate k");
     let _span = lf_obs::span!("dsp.kmeans.select");
     let mut sorted: Vec<usize> = candidates.to_vec();
@@ -184,6 +227,7 @@ pub fn select_cluster_count_scored(
     let mut best_k = sorted[0].min(points.len().max(1));
     let mut best = kmeans(points, sorted[0], max_iters);
     let mut scores = vec![(best_k, best.inertia)];
+    let mut smallest: Option<KMeansResult> = None;
     // Total scatter of the data; a fit whose residual is a negligible
     // fraction of it is already perfect, and ratios of numerical dust
     // (e.g. 1e-28 vs 1e-32 on noise-free input) must not promote a larger
@@ -205,10 +249,20 @@ pub fn select_cluster_count_scored(
         };
         if improvement > min_improvement {
             best_k = k.min(points.len());
-            best = fit;
+            let displaced = std::mem::replace(&mut best, fit);
+            // Only the first promotion displaces the smallest candidate's
+            // fit; later promotions displace intermediate models.
+            if smallest.is_none() {
+                smallest = Some(displaced);
+            }
         }
     }
-    (best_k, best, scores)
+    SelectedClusters {
+        k: best_k,
+        fit: best,
+        scores,
+        smallest,
+    }
 }
 
 #[cfg(test)]

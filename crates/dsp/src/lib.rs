@@ -27,8 +27,14 @@
 //! * [`window`] — moving averages and boxcar smoothing.
 //! * [`checks`] — NaN/∞ taint guards the pipeline wires at every stage
 //!   boundary under the `strict-checks` feature (no-ops otherwise).
+//! * [`simd`] — runtime-dispatched AVX-512 hot kernels over
+//!   structure-of-arrays slices, with bit-identical scalar fallbacks
+//!   (DESIGN.md §15).
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `simd` module opts back in locally for the
+// vendor intrinsics behind its runtime feature detection; everything else
+// in the crate stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod checks;
@@ -38,6 +44,7 @@ pub mod geometry;
 pub mod kmeans;
 pub mod linalg;
 pub mod peaks;
+pub mod simd;
 pub mod stats;
 pub mod viterbi;
 pub mod window;

@@ -23,15 +23,25 @@ pub fn find_peaks(series: &[f64], threshold: f64, min_distance: usize) -> Vec<Pe
     if n == 0 {
         return Vec::new();
     }
-    // Collect strict-or-plateau local maxima above threshold.
+    // Collect strict-or-plateau local maxima above threshold. The skip
+    // scan vaults over sub-threshold runs (most of a quiet capture) with
+    // the SIMD compare kernel; its stop predicate `!(v < threshold)` is
+    // exactly the complement of the branch it replaces, NaN included.
     let mut candidates: Vec<Peak> = Vec::new();
     let mut i = 0;
     while i < n {
-        let v = series[i];
-        if v < threshold {
-            i += 1;
-            continue;
+        // Only dispatch the skip kernel when the current sample is below
+        // threshold: `first_at_or_above` returns `i` unchanged whenever
+        // `series[i] >= threshold` (its stop predicate holds immediately),
+        // so the guard is exact and saves a per-sample dispatch during
+        // dense above-threshold runs.
+        if series[i] < threshold {
+            i = crate::simd::first_at_or_above(series, i, threshold);
+            if i >= n {
+                break;
+            }
         }
+        let v = series[i];
         // Plateau handling: advance to the end of a run of equal values and
         // report its centre.
         let start = i;

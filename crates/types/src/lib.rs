@@ -9,6 +9,9 @@
 //! * [`units`] — sample-rate/time/frequency conversions and dB helpers.
 //!   Getting sample↔time conversions wrong is the classic SDR bug, so they
 //!   are centralized here and property-tested.
+//! * [`iq`] — structure-of-arrays IQ storage ([`IqBuffer`]): the split
+//!   `re`/`im` layout the SIMD hot kernels in `lf-dsp` load from
+//!   (DESIGN.md §15).
 //! * [`bits`] — a small bit-vector with the conversions framing needs.
 //! * [`rate`] — bitrates restricted to multiples of a base rate (§3.2 imposes
 //!   this restriction so colliding tags keep colliding periodically).
@@ -23,6 +26,7 @@ pub mod bits;
 pub mod complex;
 pub mod error;
 pub mod ids;
+pub mod iq;
 pub mod rate;
 pub mod units;
 
@@ -30,5 +34,6 @@ pub use bits::BitVec;
 pub use complex::Complex;
 pub use error::{Error, Result};
 pub use ids::{Epc96, TagId};
+pub use iq::IqBuffer;
 pub use rate::{BitRate, RatePlan};
 pub use units::{db_to_linear, linear_to_db, Duration, SampleRate};

@@ -1,0 +1,30 @@
+//! Fixture: AoS backsliding inside a designated hot-kernel region
+//! (`no-aos-hotloop`), plus the silent shapes — clean SoA indexing, a
+//! waived cold preamble, AoS access outside any region, and test code.
+
+/// A split-layout kernel that has quietly regrown interleaved access.
+// hot-kernel begin (no-aos-hotloop: SoA slices only in this region)
+fn fold_accumulate_bad(re: &[f64], im: &[f64], samples: &[Complex], out: &mut [f64]) {
+    let head = samples[0].re; // xtask: allow(no-aos-hotloop) — cold one-shot seed, not per-sample
+    for (k, o) in out.iter_mut().enumerate() {
+        *o = re[k] * re[k] + im[k] * im[k] + head; // clean SoA indexing
+        let z = samples[k]; // per-sample AoS pull (flagged via the .re below)
+        *o += z.re * z.re + z.im * z.im;
+    }
+}
+// hot-kernel end
+
+/// Outside any hot-kernel region, per-sample `Complex` access is the
+/// normal cold-path spelling and stays silent.
+fn magnitude_cold(z: Complex) -> f64 {
+    (z.re * z.re + z.im * z.im).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    // hot-kernel begin
+    fn in_test_code(z: super::Complex) -> f64 {
+        z.re + z.im
+    }
+    // hot-kernel end
+}

@@ -93,6 +93,14 @@
 //!   wall-clock read smuggles per-host time into an ordering or identity
 //!   decision and makes delivery irreproducible; plain `Duration` values
 //!   (poll parks, timeouts) are fine.
+//! * [`Rule::NoAosHotloop`] — inside a designated hot-kernel region
+//!   (delimited by `// hot-kernel begin` / `// hot-kernel end` marker
+//!   comments), per-sample `Complex` values are banned: no `Complex` type
+//!   mentions and no `.re`/`.im` field access. The SIMD kernels read
+//!   split structure-of-arrays slices (separate `re`/`im` arrays, see
+//!   DESIGN.md §15) so vector loads stay contiguous; one interleaved
+//!   access quietly reintroduces the gather the layout work removed.
+//!   Cold preambles inside a region carry explicit waivers.
 //!
 //! The scanner is deliberately textual (line-oriented with a small amount
 //! of context), not a full parser: the toolchain here is hermetic, so no
@@ -142,6 +150,8 @@ pub enum Rule {
     NoWallclockOrdering,
     /// `let _ =` discarding a decode/frame value in library code.
     NoUnattributedDrop,
+    /// Per-sample `Complex` access inside a designated hot-kernel region.
+    NoAosHotloop,
 }
 
 impl Rule {
@@ -161,6 +171,7 @@ impl Rule {
             Rule::NoCondvarWithoutLoop => "no-condvar-without-timeout-loop",
             Rule::NoWallclockOrdering => "no-wallclock-ordering",
             Rule::NoUnattributedDrop => "no-unattributed-drop",
+            Rule::NoAosHotloop => "no-aos-hotloop",
         }
     }
 }
@@ -298,6 +309,9 @@ fn lint_file(root: &Path, file: &Path, text: &str, findings: &mut Vec<Finding>) 
                               // Ranked locks textually acquired so far in the current function
                               // (rank index into LOCK_RANKS), for the lock-ordering rule.
     let mut locks_taken: Vec<usize> = Vec::new();
+    // Whether the scan is inside a `// hot-kernel begin` … `end` region
+    // (the no-aos-hotloop rule's scope).
+    let mut in_hot_kernel = false;
     for (idx, &line) in lines.iter().enumerate() {
         let trimmed = line.trim_start();
         // Test modules sit at the end of files in this repo; everything
@@ -309,6 +323,13 @@ fn lint_file(root: &Path, file: &Path, text: &str, findings: &mut Vec<Finding>) 
         // Strip line comments so commented-out code and rule names in
         // comments don't fire, but keep the comment text for waivers.
         let (code, comment) = split_comment(line);
+
+        // Hot-kernel region markers (full-line comments; carry no code).
+        if comment.contains("hot-kernel begin") {
+            in_hot_kernel = true;
+        } else if comment.contains("hot-kernel end") {
+            in_hot_kernel = false;
+        }
 
         if is_fn_decl(trimmed) {
             locks_taken.clear();
@@ -510,6 +531,23 @@ fn lint_file(root: &Path, file: &Path, text: &str, findings: &mut Vec<Finding>) 
                           and handle it) instead"
                     .into(),
             });
+        }
+
+        if in_hot_kernel && !waived(comment, Rule::NoAosHotloop) && !trimmed.starts_with("//") {
+            if let Some(what) = aos_hotloop_access(code) {
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line: lineno,
+                    rule: Rule::NoAosHotloop,
+                    message: format!(
+                        "`{what}` inside a `// hot-kernel` region: hot loops \
+                         consume split SoA slices (separate re/im arrays); \
+                         a per-sample `Complex` access reintroduces the \
+                         interleaved layout — hoist it above the region or \
+                         waive a cold path"
+                    ),
+                });
+            }
         }
 
         if scope.docs && !waived(comment, Rule::MissingDocs) && is_pub_fn(trimmed) && !prev_doc {
@@ -866,6 +904,28 @@ fn wallclock_type(code: &str) -> Option<&'static str> {
     })
 }
 
+/// Per-sample AoS access inside a designated hot kernel: a `Complex`
+/// type mention, or a `.re`/`.im` field access (the probe requires the
+/// identifier to *end* after `re`/`im`, so `.resize`, `.rem_euclid`,
+/// `.rev`, and `.iter` stay silent). Bare SoA slice indexing (`re[t]`,
+/// `pim[i]`) has no leading dot and never fires.
+fn aos_hotloop_access(code: &str) -> Option<&'static str> {
+    let bytes = code.as_bytes();
+    let boundary = |b: u8| !b.is_ascii_alphanumeric() && b != b'_';
+    if code
+        .match_indices("Complex")
+        .any(|(pos, _)| pos == 0 || boundary(bytes[pos - 1]))
+    {
+        return Some("Complex");
+    }
+    [".re", ".im"].iter().copied().find(|probe| {
+        code.match_indices(probe).any(|(pos, _)| {
+            let end = pos + probe.len();
+            end == bytes.len() || boundary(bytes[end])
+        })
+    })
+}
+
 fn is_loop_header(trimmed_code: &str) -> bool {
     trimmed_code.starts_with("while ")
         || trimmed_code.starts_with("loop {")
@@ -956,6 +1016,24 @@ mod tests {
         assert_eq!(panic_escape_hatch("x.unwrap()"), Some(".unwrap()"));
         assert_eq!(panic_escape_hatch("x.unwrap_or(0)"), None);
         assert_eq!(panic_escape_hatch("assert!(k > 0)"), None);
+    }
+
+    #[test]
+    fn aos_hotloop_probe() {
+        assert_eq!(
+            aos_hotloop_access("fn f(samples: &[Complex]) {"),
+            Some("Complex")
+        );
+        assert_eq!(aos_hotloop_access("let x = z.re * z.re;"), Some(".re"));
+        assert_eq!(aos_hotloop_access("acc += samples[k].im;"), Some(".im"));
+        // Field access ends the identifier: longer method/field names that
+        // merely start with `re`/`im` stay silent, as do bare SoA slices
+        // and identifiers that merely contain `Complex`.
+        assert_eq!(aos_hotloop_access("out.resize(n, 0.0);"), None);
+        assert_eq!(aos_hotloop_access("let p = t.rem_euclid(period);"), None);
+        assert_eq!(aos_hotloop_access("for v in xs.iter().rev() {"), None);
+        assert_eq!(aos_hotloop_access("out[t] = re[t + w] - im[t - w];"), None);
+        assert_eq!(aos_hotloop_access("let k = NonComplexity::new();"), None);
     }
 
     #[test]

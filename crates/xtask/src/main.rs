@@ -7,9 +7,10 @@
 //!   and validates the `BENCH_<label>.json` artifact it writes (decode
 //!   throughput plus per-stage latency histograms from the instrumented
 //!   pipeline). With `--baseline FILE` it additionally compares the new
-//!   report against an archived report and fails if epoch-decode
-//!   throughput regressed by more than 10% or any per-stage latency
-//!   median (`p50_ns`) regressed by more than 15%. The special label
+//!   report against an archived report and fails if either throughput
+//!   metric (`epochs_per_s` or `msamples_per_s`) regressed by more than
+//!   10% or any per-stage latency median (`p50_ns`) regressed by more
+//!   than 15%. The special label
 //!   `fleet` runs the `fleet_report` binary instead: aggregate decoded
 //!   epochs/s at 1/2/4 readers plus scaling efficiency against the
 //!   core-count-normalized linear ideal (the binary itself fails below
@@ -232,9 +233,10 @@ const THROUGHPUT_FLOOR: f64 = 0.9;
 /// while another improves; this gate pins each stage individually.
 const STAGE_P50_CEILING: f64 = 1.15;
 
-/// Compares `"epochs_per_s"` and the per-stage `p50_ns` medians between
-/// the fresh report and an archived baseline report. Both come from the
-/// same fixed scenario, so the ratios are direct like-for-like checks.
+/// Compares the throughput metrics (`"epochs_per_s"` and
+/// `"msamples_per_s"`) and the per-stage `p50_ns` medians between the
+/// fresh report and an archived baseline report. Both come from the same
+/// fixed scenario, so the ratios are direct like-for-like checks.
 fn check_throughput_floor(report: &str, baseline_path: &std::path::Path) -> ExitCode {
     let baseline = match std::fs::read_to_string(baseline_path) {
         Ok(b) => b,
@@ -246,24 +248,72 @@ fn check_throughput_floor(report: &str, baseline_path: &std::path::Path) -> Exit
             return ExitCode::FAILURE;
         }
     };
-    let (Some(new_eps), Some(base_eps)) = (epochs_per_s(report), epochs_per_s(&baseline)) else {
-        eprintln!("xtask bench-report: missing \"epochs_per_s\" in report or baseline");
-        return ExitCode::FAILURE;
-    };
-    let floor = base_eps * THROUGHPUT_FLOOR;
-    if new_eps < floor {
-        eprintln!(
-            "xtask bench-report: throughput regression: {new_eps:.3} epochs/s \
-             vs baseline {base_eps:.3} (floor {floor:.3})"
-        );
-        return ExitCode::FAILURE;
+    match throughput_failures(report, &baseline) {
+        Ok(checked) => {
+            for (metric, new_v, base_v) in checked {
+                println!(
+                    "xtask bench-report: {metric} ok: {new_v:.3} vs baseline {base_v:.3} \
+                     ({:+.1}%)",
+                    (new_v / base_v - 1.0) * 100.0
+                );
+            }
+        }
+        Err(failures) => {
+            for f in failures {
+                eprintln!("xtask bench-report: {f}");
+            }
+            return ExitCode::FAILURE;
+        }
     }
-    println!(
-        "xtask bench-report: throughput ok: {new_eps:.3} epochs/s vs baseline {base_eps:.3} \
-         ({:+.1}%)",
-        (new_eps / base_eps - 1.0) * 100.0
-    );
     check_stage_p50_ceiling(report, &baseline)
+}
+
+/// The throughput metrics the baseline gate covers: whole-epoch decode
+/// rate and the sample-rate view of the same run (ROADMAP's 25 Msps
+/// target). Gating both keeps a scenario change (samples per epoch) from
+/// masking a real per-sample regression behind a stable epoch rate.
+const GATED_THROUGHPUT_METRICS: &[&str] = &["epochs_per_s", "msamples_per_s"];
+
+/// The checkable core of the throughput gate: every metric in
+/// [`GATED_THROUGHPUT_METRICS`] that the *baseline* carries must be
+/// present in the new report and retain at least [`THROUGHPUT_FLOOR`]× the
+/// baseline value. A baseline without a metric (an old archived report
+/// predating `msamples_per_s`) skips that metric rather than failing, so
+/// the gate can be rolled forward against historical artifacts.
+fn throughput_failures(
+    report: &str,
+    baseline: &str,
+) -> Result<Vec<(String, f64, f64)>, Vec<String>> {
+    let mut passed = Vec::new();
+    let mut failures = Vec::new();
+    let mut any_in_baseline = false;
+    for metric in GATED_THROUGHPUT_METRICS {
+        let key = format!("\"{metric}\":");
+        let Some(base_v) = field_value(baseline, &key) else {
+            continue;
+        };
+        any_in_baseline = true;
+        let Some(new_v) = field_value(report, &key) else {
+            failures.push(format!("metric \"{metric}\" missing from new report"));
+            continue;
+        };
+        let floor = base_v * THROUGHPUT_FLOOR;
+        if new_v < floor {
+            failures.push(format!(
+                "{metric} regression: {new_v:.3} vs baseline {base_v:.3} (floor {floor:.3})"
+            ));
+        } else {
+            passed.push(((*metric).to_owned(), new_v, base_v));
+        }
+    }
+    if !any_in_baseline {
+        failures.push("baseline carries no gated throughput metrics".to_owned());
+    }
+    if failures.is_empty() {
+        Ok(passed)
+    } else {
+        Err(failures)
+    }
 }
 
 /// The per-stage half of the baseline comparison: every stage present in
@@ -368,17 +418,6 @@ fn field_value(text: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Extracts the `"epochs_per_s"` value from a report without a JSON
-/// parser (the report format is hand-rolled and stable).
-fn epochs_per_s(report: &str) -> Option<f64> {
-    let key = "\"epochs_per_s\":";
-    let rest = &report[report.find(key)? + key.len()..];
-    let end = rest
-        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
 fn run_lint(args: &[String]) -> ExitCode {
     let root = match args {
         [] => workspace_root(),
@@ -422,7 +461,7 @@ mod tests {
 
     const REPORT: &str = r#"{
 "label":"t",
-"throughput":{"epochs_per_s":80.000},
+"throughput":{"epochs_per_s":80.000,"msamples_per_s":4.800},
 "stage_latency":{"edges":{"count":3,"p50_ns":4000000,"p90_ns":5000000},"slots":{"count":3,"p50_ns":2000000,"p90_ns":2500000},"total":{"count":3,"p50_ns":9000000,"p90_ns":9900000}},
 "registry_metrics":1
 }"#;
@@ -497,6 +536,58 @@ mod tests {
     #[test]
     fn empty_baseline_fails() {
         assert!(stage_p50_failures(REPORT, "{}").is_err());
+    }
+
+    #[test]
+    fn throughput_gate_checks_both_metrics() {
+        let checked = throughput_failures(REPORT, REPORT).unwrap();
+        let names: Vec<&str> = checked.iter().map(|(m, _, _)| m.as_str()).collect();
+        assert_eq!(names, vec!["epochs_per_s", "msamples_per_s"]);
+        // Exact-parse assertion: compare bit patterns, not float equality.
+        assert_eq!(checked[0].1.to_bits(), 80.0f64.to_bits());
+        assert_eq!(checked[1].1.to_bits(), 4.8f64.to_bits());
+    }
+
+    #[test]
+    fn msamples_regression_fails_even_when_epochs_hold() {
+        // epochs_per_s steady, msamples_per_s down 20% (e.g. the scenario
+        // grew but per-sample decode got slower): the gate must fail.
+        let report = REPORT.replace("\"msamples_per_s\":4.800", "\"msamples_per_s\":3.840");
+        let failures = throughput_failures(&report, REPORT).unwrap_err();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("msamples_per_s"), "{failures:?}");
+        // And symmetrically for epochs_per_s.
+        let report = REPORT.replace("\"epochs_per_s\":80.000", "\"epochs_per_s\":64.000");
+        let failures = throughput_failures(&report, REPORT).unwrap_err();
+        assert!(failures[0].contains("epochs_per_s"), "{failures:?}");
+    }
+
+    #[test]
+    fn throughput_within_floor_passes() {
+        // A 9% dip stays above the 10% floor on both metrics.
+        let report = REPORT
+            .replace("\"epochs_per_s\":80.000", "\"epochs_per_s\":72.800")
+            .replace("\"msamples_per_s\":4.800", "\"msamples_per_s\":4.368");
+        assert!(throughput_failures(&report, REPORT).is_ok());
+    }
+
+    #[test]
+    fn old_baseline_without_msamples_skips_that_metric() {
+        // Archived reports predate msamples_per_s; the gate rolls forward
+        // by checking only what the baseline carries.
+        let old = REPORT.replace(",\"msamples_per_s\":4.800", "");
+        let checked = throughput_failures(REPORT, &old).unwrap();
+        assert_eq!(checked.len(), 1);
+        assert_eq!(checked[0].0, "epochs_per_s");
+    }
+
+    #[test]
+    fn metric_missing_from_new_report_fails() {
+        let report = REPORT.replace(",\"msamples_per_s\":4.800", "");
+        let failures = throughput_failures(&report, REPORT).unwrap_err();
+        assert!(failures[0].contains("missing"), "{failures:?}");
+        // A baseline with no gated metrics at all is an error, not a pass.
+        assert!(throughput_failures(REPORT, "{}").is_err());
     }
 
     const DIAG: &str = r#"{

@@ -36,6 +36,7 @@ fn fixtures_trigger_every_rule() {
         Rule::NoCondvarWithoutLoop,
         Rule::NoWallclockOrdering,
         Rule::NoUnattributedDrop,
+        Rule::NoAosHotloop,
     ] {
         assert!(
             findings.iter().any(|f| f.rule == rule),
@@ -83,6 +84,11 @@ fn fixture_finding_counts_are_exact() {
     // Two seeded decode/frame drops; the waived warm-up drain, the
     // tombstone push, the joins, and the test-module drop are silent.
     assert_eq!(count(Rule::NoUnattributedDrop), 2, "{findings:?}");
+    // Two seeded AoS accesses inside the hot-kernel region (the `Complex`
+    // parameter and the `.re`/`.im` field reads); the waived cold seed,
+    // the clean SoA indexing, the outside-region cold path, and the
+    // test-module kernel are silent.
+    assert_eq!(count(Rule::NoAosHotloop), 2, "{findings:?}");
 }
 
 #[test]
